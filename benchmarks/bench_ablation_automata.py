@@ -1,0 +1,102 @@
+"""Ablation: reservation tables vs finite-state automata (section 10).
+
+The related-work automata answer an issue test in one transition lookup.
+The paper argues its transformations plus AND/OR-trees mitigate that
+advantage.  This bench drives an identical cycle scheduler through both
+backends over the fully optimized descriptions and compares work and
+wall-clock -- and confirms both backends produce the same schedule.
+"""
+
+import pytest
+from conftest import KERNEL_OPS, write_result
+
+from repro.analysis.experiments import staged_mdes
+from repro.analysis.reporting import format_table
+from repro.automata import (
+    AutomatonBackend,
+    TableBackend,
+    cycle_schedule_workload,
+)
+from repro.lowlevel.compiled import compile_mdes
+from repro.lowlevel.layout import mdes_size_bytes
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+def _compiled(machine_name):
+    machine = get_machine(machine_name)
+    return machine, compile_mdes(
+        staged_mdes(machine.build_andor(), 4), bitvector=True
+    )
+
+
+def test_ablation_automata_regenerate(results_dir, benchmark):
+    def build_rows():
+        rows = []
+        for name in MACHINE_NAMES:
+            machine, compiled = _compiled(name)
+            blocks = generate_blocks(
+                machine, WorkloadConfig(total_ops=4000)
+            )
+            table_result, table_checks = cycle_schedule_workload(
+                machine, TableBackend(compiled), blocks
+            )
+            automaton_backend = AutomatonBackend(compiled)
+            automaton_result, lookups = cycle_schedule_workload(
+                machine, automaton_backend, blocks
+            )
+            assert (
+                table_result.signature() == automaton_result.signature()
+            )
+            automaton = automaton_backend.automaton
+            rows.append(
+                (
+                    name,
+                    table_checks,
+                    mdes_size_bytes(compiled),
+                    lookups,
+                    automaton.state_count(),
+                    automaton.memory_bytes(),
+                    f"{automaton.stats.hit_ratio * 100:.1f}%",
+                )
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    text = format_table(
+        (
+            "MDES", "Table Checks", "Table Bytes",
+            "FSA Lookups", "FSA States", "FSA Bytes", "FSA Hit",
+        ),
+        rows,
+        title=(
+            "Ablation: optimized reservation tables vs finite-state "
+            "automata (identical schedules)"
+        ),
+    )
+    write_result(results_dir, "ablation_automata.txt", text)
+
+
+@pytest.mark.parametrize("backend_kind", ["tables", "automaton"])
+def test_ablation_bench_backends(benchmark, backend_kind,
+                                 kernel_workloads):
+    """Wall-clock for the same cycle scheduling on each backend."""
+    machine, compiled = _compiled("SuperSPARC")
+    blocks = kernel_workloads("SuperSPARC")
+
+    if backend_kind == "tables":
+        def run():
+            return cycle_schedule_workload(
+                machine, TableBackend(compiled), blocks
+            )[1]
+    else:
+        # Pre-warm one automaton so steady-state lookups are timed.
+        warm = AutomatonBackend(compiled)
+        cycle_schedule_workload(machine, warm, blocks)
+
+        def run():
+            warm.automaton.stats.lookups = 0
+            return cycle_schedule_workload(machine, warm, blocks)[1]
+
+    work = benchmark(run)
+    assert work > 0

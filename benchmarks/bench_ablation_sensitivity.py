@@ -1,0 +1,67 @@
+"""Ablation: does the benefit grow with scheduling-attempt pressure?
+
+Section 4's forward-looking claim: the AND/OR representation and the
+transformations matter *more* as scheduling attempts increase.  These
+sweeps vary workload parallelism and region size on the SuperSPARC and
+check that (a) attempt pressure moves as expected and (b) the check
+reduction stays at or above its baseline level as pressure grows.
+"""
+
+from conftest import write_result
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import (
+    block_size_sweep,
+    ilp_sweep,
+    scale_sweep,
+)
+
+
+def _rows(points):
+    return [
+        (
+            point.label,
+            point.attempts_per_op,
+            point.unopt_checks,
+            point.opt_checks,
+            f"{point.reduction_pct:.1f}%",
+        )
+        for point in points
+    ]
+
+
+def test_ablation_sensitivity_regenerate(results_dir, benchmark):
+    def build():
+        return (
+            ilp_sweep("SuperSPARC"),
+            block_size_sweep("SuperSPARC"),
+            scale_sweep("SuperSPARC"),
+        )
+
+    ilp_points, size_points, scale_points = benchmark(build)
+    headers = (
+        "Config", "Att/Op", "Unopt OR Chk/Att", "Opt AO Chk/Att",
+        "Reduction",
+    )
+    text = "\n\n".join(
+        [
+            format_table(headers, _rows(ilp_points),
+                         title="Sensitivity: available parallelism "
+                               "(SuperSPARC)"),
+            format_table(headers, _rows(size_points),
+                         title="Sensitivity: scheduling region size"),
+            format_table(headers, _rows(scale_points),
+                         title="Sensitivity: workload scale (statistics "
+                               "are intensive)"),
+        ]
+    )
+    write_result(results_dir, "ablation_sensitivity.txt", text)
+
+    # More ILP (lower flow probability) -> more attempt pressure.
+    assert ilp_points[0].attempts_per_op > ilp_points[-1].attempts_per_op
+    # The optimized representation keeps a large advantage everywhere.
+    for point in ilp_points + size_points:
+        assert point.reduction_pct > 70.0
+    # Intensive statistics: per-attempt checks stable across scale.
+    checks = [point.unopt_checks for point in scale_points]
+    assert max(checks) - min(checks) < 0.15 * max(checks)

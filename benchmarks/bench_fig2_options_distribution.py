@@ -1,0 +1,42 @@
+"""Figure 2: distribution of options checked per scheduling attempt."""
+
+from conftest import write_result
+
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import ConstraintChecker
+
+
+def test_fig2_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.fig2_options_distribution("SuperSPARC"))
+    write_result(results_dir, "fig2_options_distribution.txt", text)
+    run = suite.run("SuperSPARC", "or", 0, False)
+    histogram = run.stats.options_histogram
+    total = sum(histogram.values())
+    # The paper's two peaks: cheap successes at 1 option checked, and
+    # expensive failures clustered at 48 options (1-src IALU ops).
+    assert histogram.get(1, 0) / total > 0.15
+    assert histogram.get(48, 0) / total > 0.10
+    assert max(histogram) <= 72
+
+
+def test_fig2_bench_failed_attempt_cost(benchmark, kernel_compiled):
+    """Time the worst case: a failing 72-option scheduling attempt."""
+    compiled = kernel_compiled("SuperSPARC", "or", 0, False)
+    constraint = compiled.constraint_for_class("ialu_2src")
+    source = compiled.source
+    decoders = [
+        resource
+        for resource in source.resources
+        if resource.name.startswith("Decoder")
+    ]
+    ru = RUMap()
+    for decoder in decoders:
+        ru.reserve(-1, decoder.mask)  # no decoder -> every option fails
+
+    def failing_attempt():
+        checker = ConstraintChecker()
+        assert checker.try_reserve(ru, constraint, 0) is None
+        return checker.stats.options_checked
+
+    options = benchmark(failing_attempt)
+    assert options == 72

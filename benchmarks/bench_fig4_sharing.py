@@ -1,0 +1,19 @@
+"""Figure 4: OR-tree sharing across AND/OR-trees after cleanup."""
+
+from conftest import write_result
+
+from repro.machines import get_machine
+from repro.transforms import eliminate_redundancy
+
+
+def test_fig4_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.fig4_sharing())
+    assert "shared" in text
+    write_result(results_dir, "fig4_sharing.txt", text)
+
+
+def test_fig4_bench_sharing_discovery(benchmark):
+    """Time sharing analysis (or_tree_sharers) on the cleaned K5."""
+    mdes = eliminate_redundancy(get_machine("K5").build_andor())
+    sharers = benchmark(mdes.or_tree_sharers)
+    assert max(sharers.values()) >= 2

@@ -1,0 +1,30 @@
+"""Table 13: AND/OR-tree conflict-detection optimization."""
+
+import pytest
+from conftest import write_result
+
+from repro.machines import get_machine
+from repro.scheduler import schedule_workload
+
+
+def test_table13_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.table13())
+    rows = {row[0]: row for row in suite.table13_rows()}
+    # Complex machines improve; simple machines are unchanged.
+    for name in ("SuperSPARC", "K5"):
+        assert rows[name][2] < rows[name][1]
+    for name in ("PA7100", "Pentium"):
+        assert rows[name][2] == pytest.approx(rows[name][1])
+    write_result(results_dir, "table13_andor_opt.txt", text)
+
+
+@pytest.mark.parametrize("stage", [3, 4], ids=["before", "after"])
+def test_table13_bench_k5_andor(
+    benchmark, kernel_workloads, kernel_compiled, stage
+):
+    """Time K5 AND/OR scheduling before/after tree reordering."""
+    machine = get_machine("K5")
+    compiled = kernel_compiled("K5", "andor", stage, True)
+    blocks = kernel_workloads("K5")
+    result = benchmark(schedule_workload, machine, compiled, blocks)
+    assert result.total_ops > 0

@@ -1,0 +1,31 @@
+"""Table 15: aggregate effect of all transformations on checks."""
+
+import pytest
+from conftest import write_result
+
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import schedule_workload
+
+
+def test_table15_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.table15())
+    rows = {row[0]: row for row in suite.table15_rows()}
+    # Paper headline: up to a factor of ten fewer checks when the
+    # transformations are combined with AND/OR-trees.
+    assert rows["SuperSPARC"][4] < rows["SuperSPARC"][1] / 5
+    assert rows["K5"][4] < rows["K5"][1] / 5
+    # Transformations alone (OR form) reach roughly a factor 1.5-2.6.
+    assert rows["SuperSPARC"][2] < rows["SuperSPARC"][1]
+    write_result(results_dir, "table15_aggregate_checks.txt", text)
+
+
+@pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+def test_table15_bench_fully_optimized(
+    benchmark, kernel_workloads, kernel_compiled, machine_name
+):
+    """Time scheduling with the fully optimized AND/OR description."""
+    machine = get_machine(machine_name)
+    compiled = kernel_compiled(machine_name, "andor", 4, True)
+    blocks = kernel_workloads(machine_name)
+    result = benchmark(schedule_workload, machine, compiled, blocks)
+    assert result.total_ops > 0

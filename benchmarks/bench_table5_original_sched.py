@@ -1,0 +1,30 @@
+"""Table 5: original scheduling characteristics, OR versus AND/OR."""
+
+import pytest
+from conftest import write_result
+
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import schedule_workload
+
+
+def test_table5_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.table5())
+    rows = {row[0]: row for row in suite.table5_rows()}
+    # AND/OR reduces checks sharply for the complex machines only.
+    assert rows["SuperSPARC"][6] < rows["SuperSPARC"][4] / 3
+    assert rows["K5"][6] < rows["K5"][4] / 3
+    assert rows["Pentium"][6] == pytest.approx(rows["Pentium"][4])
+    write_result(results_dir, "table5_original_sched.txt", text)
+
+
+@pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+@pytest.mark.parametrize("rep", ["or", "andor"])
+def test_table5_bench_scheduling(
+    benchmark, kernel_workloads, kernel_compiled, machine_name, rep
+):
+    """Time original-description scheduling under each representation."""
+    machine = get_machine(machine_name)
+    compiled = kernel_compiled(machine_name, rep, 0, False)
+    blocks = kernel_workloads(machine_name)
+    result = benchmark(schedule_workload, machine, compiled, blocks)
+    assert result.stats.attempts >= result.total_ops

@@ -1,0 +1,24 @@
+"""Table 6: original MDES memory requirements."""
+
+from conftest import write_result
+
+from repro.lowlevel.compiled import compile_mdes
+from repro.lowlevel.layout import mdes_size_bytes
+from repro.machines import get_machine
+
+
+def test_table6_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.table6())
+    rows = {row[0]: row for row in suite.table6_rows()}
+    # The K5's flat enumeration explodes; AND/OR stays tiny (98%+ cut).
+    assert rows["K5"][5] < rows["K5"][3] / 50
+    # The Pentium grows slightly (one-child AND nodes).
+    assert rows["Pentium"][5] > rows["Pentium"][3]
+    write_result(results_dir, "table6_original_memory.txt", text)
+
+
+def test_table6_bench_size_accounting(benchmark):
+    """Time the layout-model walk over the K5 flat representation."""
+    compiled = compile_mdes(get_machine("K5").build_or(), bitvector=False)
+    size = benchmark(mdes_size_bytes, compiled)
+    assert size > 50_000

@@ -1,0 +1,23 @@
+"""Table 7: memory after eliminating redundant and unused information."""
+
+from conftest import write_result
+
+from repro.machines import get_machine
+from repro.transforms import eliminate_redundancy
+
+
+def test_table7_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.table7())
+    table6 = {row[0]: row for row in suite.table6_rows()}
+    for row in suite.table7_rows():
+        name = row[0]
+        assert row[3] <= table6[name][3]
+        assert row[6] <= table6[name][5]
+    write_result(results_dir, "table7_redundancy.txt", text)
+
+
+def test_table7_bench_elimination(benchmark):
+    """Time CSE/copy-propagation/dead-code over the K5 description."""
+    mdes = get_machine("K5").build_andor()
+    result = benchmark(eliminate_redundancy, mdes)
+    assert result.unused_trees == {}

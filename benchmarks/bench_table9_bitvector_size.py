@@ -1,0 +1,30 @@
+"""Table 9: representation size before/after bit-vector packing."""
+
+from conftest import write_result
+
+from repro.analysis.experiments import staged_mdes
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+
+
+def test_table9_regenerate(suite, results_dir, benchmark):
+    text = benchmark(lambda: suite.table9())
+    rows = {row[0]: row for row in suite.table9_rows()}
+    for row in rows.values():
+        assert row[2] <= row[1]
+        assert row[5] <= row[4]
+    # The Pentium benefits most: its options check several resources in
+    # the same cycle.
+    pentium_cut = (rows["Pentium"][1] - rows["Pentium"][2]) / rows[
+        "Pentium"
+    ][1]
+    pa_cut = (rows["PA7100"][1] - rows["PA7100"][2]) / rows["PA7100"][1]
+    assert pentium_cut > pa_cut
+    write_result(results_dir, "table9_bitvector_size.txt", text)
+
+
+def test_table9_bench_bitvector_compile(benchmark):
+    """Time bit-vector compilation of the cleaned Pentium description."""
+    mdes = staged_mdes(get_machine("Pentium").build_or(), 1)
+    compiled = benchmark(compile_mdes, mdes, True)
+    assert compiled.bitvector

@@ -1,0 +1,37 @@
+"""Tables 2-4: PA7100, Pentium, and K5 option breakdowns."""
+
+import pytest
+from conftest import write_result
+
+from repro.machines import get_machine
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+@pytest.mark.parametrize(
+    "machine_name,expected_rows",
+    [
+        ("PA7100", [1, 2, 3]),
+        ("Pentium", [1, 2]),
+        ("K5", [16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 768]),
+    ],
+)
+def test_tables234_regenerate(suite, results_dir, benchmark, machine_name,
+                              expected_rows):
+    text = benchmark(lambda: suite.table_breakdown(machine_name))
+    rows = suite.option_breakdown(machine_name)
+    assert [row[0] for row in rows] == expected_rows
+    number = {"PA7100": 2, "Pentium": 3, "K5": 4}[machine_name]
+    write_result(
+        results_dir,
+        f"table{number}_{machine_name.lower()}_breakdown.txt",
+        text,
+    )
+
+
+def test_tables234_bench_workload_generation(benchmark):
+    """Time synthetic workload generation for the K5."""
+    machine = get_machine("K5")
+    blocks = benchmark(
+        generate_blocks, machine, WorkloadConfig(total_ops=2000)
+    )
+    assert sum(len(b) for b in blocks) >= 2000

@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates its paper table/figure from a shared
+:class:`ExperimentSuite` (scale controlled by ``REPRO_BENCH_OPS``,
+default 20000 operations per machine) and writes the artifact to
+``benchmarks/results/``.  The timed kernels run at a smaller scale so
+``pytest benchmarks/ --benchmark-only`` stays fast.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentSuite
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.workloads import WorkloadConfig, generate_blocks
+
+#: Operations per machine for the reported tables.
+BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "20000"))
+
+#: Operations per timed kernel round.
+KERNEL_OPS = int(os.environ.get("REPRO_KERNEL_OPS", "2000"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The shared full-scale experiment suite."""
+    return ExperimentSuite(total_ops=BENCH_OPS)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting every regenerated table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, name, text):
+    """Persist one artifact and echo it for ``-s`` runs."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def kernel_workloads():
+    """Small per-machine workloads for the timed kernels."""
+    cache = {}
+
+    def get(machine_name):
+        if machine_name not in cache:
+            machine = get_machine(machine_name)
+            cache[machine_name] = generate_blocks(
+                machine, WorkloadConfig(total_ops=KERNEL_OPS)
+            )
+        return cache[machine_name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def kernel_compiled():
+    """Compiled descriptions for the timed kernels, keyed by config."""
+    cache = {}
+
+    def get(machine_name, rep, stage, bitvector):
+        from repro.analysis.experiments import staged_mdes
+
+        key = (machine_name, rep, stage, bitvector)
+        if key not in cache:
+            machine = get_machine(machine_name)
+            base = (
+                machine.build_or() if rep == "or" else machine.build_andor()
+            )
+            cache[key] = compile_mdes(
+                staged_mdes(base, stage), bitvector=bitvector
+            )
+        return cache[key]
+
+    return get

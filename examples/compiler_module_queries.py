@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""MDES queries for compiler modules beyond the scheduler.
+
+The paper's introduction: as compilers push ILP, "transformations such
+as predication and height reduction also need to use execution
+constraints to avoid over-subscription of processor resources" -- but
+most modules forgo the MDES because efficient access is hard.  With the
+compiled representation, those questions are cheap.  This example plays
+an if-converter and a height-reduction pass interrogating the
+SuperSPARC.
+
+Run:  python examples/compiler_module_queries.py
+"""
+
+from repro.lowlevel import MdesQuery, compile_mdes
+from repro.machines import get_machine
+
+
+def main():
+    machine = get_machine("SuperSPARC")
+    query = MdesQuery(compile_mdes(machine.build_andor()))
+
+    print("Per-class issue bandwidth (operations per cycle):")
+    for class_name, bandwidth in query.resource_summary().items():
+        print(f"  {class_name:14s} {bandwidth}")
+
+    print("\nIf-conversion sizing: can both branch sides share cycles?")
+    candidates = [
+        (["ialu_1src", "ialu_1src"], "two ALU ops"),
+        (["ialu_1src", "ialu_1src", "ialu_1src"], "three ALU ops"),
+        (["load", "ialu_1src", "branch"], "load + ALU + branch"),
+        (["load", "load"], "two loads"),
+        (["load", "store"], "load + store"),
+    ]
+    for classes, label in candidates:
+        verdict = "fits" if query.can_issue_together(classes) else (
+            "over-subscribes"
+        )
+        print(f"  {label:24s} -> {verdict} one cycle")
+
+    print("\nHeight reduction: resource-only issue distances:")
+    pairs = [
+        ("load", "load"), ("load", "ialu_1src"),
+        ("idiv", "idiv"), ("fp_div", "fp_div"),
+    ]
+    for first, second in pairs:
+        distance = query.min_issue_distance(first, second)
+        print(f"  {second:10s} after {first:10s}: >= {distance} cycles")
+
+    print("\nSteady-state throughput (ops/cycle over a long window):")
+    for class_name in ("load", "ialu_1src", "idiv", "fp_div"):
+        throughput = query.steady_state_throughput(class_name)
+        print(f"  {class_name:10s} {throughput:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Retargeting story: evolve a description to a new processor.
+
+The paper's motivation: compilers need accurate descriptions of rapidly
+shipping processors, so descriptions get *evolved*, not rewritten -- and
+they accrete duplicated and dead information along the way (section 5).
+
+This example plays the MDES writer: it takes a shipped single-issue core
+("Mercury"), derives the dual-issue successor ("Venus") by copy-paste --
+leaving behind a dead tree, a duplicated option, and cloned subtrees --
+then lets the transformation pipeline clean up the mess and reports what
+each step recovered.
+
+Run:  python examples/retarget_new_processor.py
+"""
+
+from repro.hmdes import load_mdes, write_mdes
+from repro.lowlevel import compile_mdes, mdes_size_bytes
+from repro.transforms import (
+    eliminate_redundancy,
+    remove_dominated_options,
+    run_pipeline,
+)
+
+# The evolved description, with the classic retargeting scars:
+#  * OT_old_issue survives from Mercury but nothing references it;
+#  * the memory issue tree gained a duplicated option during the port;
+#  * the FP class got a private copy of the issue tree instead of a
+#    reference.
+VENUS_HMDES = """
+mdes Venus;
+
+section resource {
+    Issue[0..1];
+    ALU[0..1];
+    MEM;
+    FPU;
+}
+
+section ortree {
+    OT_issue { $for i in 0..1 { option { use Issue[$i] at 0; } } }
+
+    // Mercury's single-issue tree: dead since the port.
+    OT_old_issue { option { use Issue[0] at 0; } }
+
+    // Copy-paste accident: the second and third options are identical.
+    OT_mem_issue {
+        option { use Issue[0] at 0; }
+        option { use Issue[1] at 0; }
+        option { use Issue[1] at 0; }
+    }
+}
+
+section andortree {
+    AOT_alu { ortree OT_issue;
+              ortree { $for a in 0..1 { option { use ALU[$a] at 0; } } } }
+    AOT_mem { ortree OT_mem_issue; ortree { option { use MEM at 0; } } }
+    AOT_fp {
+        // Cloned instead of referencing OT_issue.
+        ortree { $for i in 0..1 { option { use Issue[$i] at 0; } } }
+        ortree { option { use FPU at 0; use FPU at 1; } }
+    }
+}
+
+section opclass {
+    alu  { resv AOT_alu; latency 1; }
+    load { resv AOT_mem; latency 2; }
+    fp   { resv AOT_fp;  latency 2; }
+}
+
+section operation { ADD: alu; LD: load; FADD: fp; }
+"""
+
+
+def size_of(mdes):
+    return mdes_size_bytes(compile_mdes(mdes, bitvector=True))
+
+
+def main():
+    venus = load_mdes(VENUS_HMDES)
+    print(f"Loaded {venus}")
+    print(f"  dead trees left over from Mercury: "
+          f"{sorted(venus.unused_trees)}")
+    print(f"  load options before cleanup: "
+          f"{venus.op_class('load').option_count()}")
+    print(f"  size as written: {size_of(venus)} bytes")
+
+    cleaned = eliminate_redundancy(venus)
+    print("\nAfter redundancy elimination + dead-code removal:")
+    print(f"  dead trees: {sorted(cleaned.unused_trees) or 'none'}")
+    fp = cleaned.op_class("fp").constraint
+    alu = cleaned.op_class("alu").constraint
+    shared = {id(t) for t in fp.or_trees} & {id(t) for t in alu.or_trees}
+    print(f"  fp and alu now share {len(shared)} issue tree(s)")
+    print(f"  size: {size_of(cleaned)} bytes")
+
+    pruned = remove_dominated_options(cleaned)
+    print("\nAfter dominated-option removal:")
+    print(f"  load options: {pruned.op_class('load').option_count()}")
+
+    final = run_pipeline(venus).final
+    print(f"\nFully optimized size: {size_of(final)} bytes "
+          f"({size_of(venus) - size_of(final)} bytes recovered)")
+
+    print("\nThe cleaned description, written back as HMDES source:")
+    print(write_mdes(final))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of *Optimization of Machine Descriptions for Efficient Use*.
+
+Gyllenhaal, Hwu & Rau, MICRO-29, 1996.
+
+The package implements the paper's full system:
+
+* :mod:`repro.core` -- reservation tables, OR-trees, and the paper's
+  AND/OR-tree representation of resource constraints.
+* :mod:`repro.hmdes` -- a high-level machine description language with a
+  macro preprocessor, parser, and translator to the core model.
+* :mod:`repro.lowlevel` -- the compiled low-level representation: bit-vector
+  resource-usage maps, constraint checkers, and a byte-level layout model.
+* :mod:`repro.transforms` -- the MDES optimizations of sections 5-8.
+* :mod:`repro.machines` -- detailed PA7100, Pentium, SuperSPARC, and AMD-K5
+  machine descriptions.
+* :mod:`repro.ir` / :mod:`repro.scheduler` -- a multi-platform,
+  MDES-driven list scheduler.
+* :mod:`repro.modulo` -- an iterative modulo scheduler built on the same
+  reservation-table machinery.
+* :mod:`repro.automata` / :mod:`repro.eichenberger` -- the related-work
+  baselines (finite-state automata and reduced reservation tables).
+* :mod:`repro.workloads` -- synthetic SPEC CINT92-shaped workload generator.
+* :mod:`repro.analysis` -- experiment drivers for every table and figure.
+"""
+
+from repro.core.resource import Resource, ResourceTable
+from repro.core.usage import ResourceUsage
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.mdes import Mdes, OperationClass
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndOrTree",
+    "Mdes",
+    "OperationClass",
+    "OrTree",
+    "ReservationTable",
+    "Resource",
+    "ResourceTable",
+    "ResourceUsage",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Experiment drivers and reporting.
+
+:class:`~repro.analysis.experiments.ExperimentSuite` regenerates every
+table and figure of the paper's evaluation; :mod:`~repro.analysis.figures`
+renders reservation tables and constraint trees as ASCII art;
+:mod:`~repro.analysis.reporting` formats the result tables.
+"""
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.gantt import render_schedule, render_utilization
+from repro.analysis.reporting import format_table, reduction_pct
+
+__all__ = [
+    "ExperimentSuite",
+    "format_table",
+    "reduction_pct",
+    "render_schedule",
+    "render_utilization",
+]

@@ -1,0 +1,97 @@
+"""ASCII renderings of reservation tables and constraint trees.
+
+These reproduce the paper's illustrative figures: the grid drawings of
+figures 1 and 5 and the tree drawings of figures 3, 4, and 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.resource import Resource
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+
+
+def _used_resources(options: Sequence[ReservationTable]) -> List[Resource]:
+    resources = set()
+    for option in options:
+        resources.update(option.resources())
+    return sorted(resources, key=lambda resource: resource.index)
+
+
+def render_reservation_table(
+    option: ReservationTable,
+    columns: Sequence[Resource],
+) -> List[str]:
+    """Render one option as a cycle x resource grid (figure 1 style)."""
+    if option.usages:
+        low = min(option.min_time(), 0)
+        high = option.max_time()
+    else:
+        low = high = 0
+    header = "Cycle | " + " ".join(f"{res.name:^10s}" for res in columns)
+    lines = [header, "-" * len(header)]
+    used = {(usage.time, usage.resource) for usage in option.usages}
+    for cycle in range(low, high + 1):
+        cells = [
+            f"{'X':^10s}" if (cycle, resource) in used else f"{'':^10s}"
+            for resource in columns
+        ]
+        lines.append(f"{cycle:5d} | " + " ".join(cells))
+    return lines
+
+
+def render_or_tree(tree: OrTree, label: str = "") -> str:
+    """Render an OR-tree as a prioritized list of option grids."""
+    columns = _used_resources(tree.options)
+    lines = [f"OR-tree {label or tree.name or '<anon>'} "
+             f"({len(tree)} options, priority order):"]
+    for position, option in enumerate(tree.options, start=1):
+        lines.append(f"  Option {position}:")
+        lines.extend(
+            "    " + line
+            for line in render_reservation_table(option, columns)
+        )
+    return "\n".join(lines)
+
+
+def render_and_or_tree(tree: AndOrTree, label: str = "") -> str:
+    """Render an AND/OR-tree: AND of compact OR summaries (figure 3b)."""
+    lines = [f"AND/OR-tree {label or tree.name or '<anon>'} "
+             f"(AND over {len(tree)} OR-trees; "
+             f"{tree.option_product()} flat options):"]
+    for position, or_tree in enumerate(tree.or_trees, start=1):
+        summaries = []
+        for option in or_tree.options:
+            usage_text = ", ".join(
+                f"{usage.resource.name}@{usage.time}"
+                for usage in option.usages
+            )
+            summaries.append(f"[{usage_text}]")
+        joint = " OR ".join(summaries)
+        lines.append(f"  AND[{position}] {or_tree.name or '<anon>'}: {joint}")
+    return "\n".join(lines)
+
+
+def render_constraint(constraint: Constraint, label: str = "") -> str:
+    """Render either representation."""
+    if isinstance(constraint, AndOrTree):
+        return render_and_or_tree(constraint, label)
+    return render_or_tree(constraint, label)
+
+
+def render_options_histogram(
+    histogram: dict, max_width: int = 50
+) -> str:
+    """Render figure 2: distribution of options checked per attempt."""
+    if not histogram:
+        return "(no attempts recorded)"
+    total = sum(histogram.values())
+    peak = max(histogram.values())
+    lines = ["options-checked  % of attempts"]
+    for options in sorted(histogram):
+        count = histogram[options]
+        share = count / total * 100
+        bar = "#" * max(1, round(count / peak * max_width))
+        lines.append(f"{options:15d}  {share:6.2f}%  {bar}")
+    return "\n".join(lines)

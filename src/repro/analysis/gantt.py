@@ -1,0 +1,84 @@
+"""ASCII schedule rendering (a Gantt view of one basic block).
+
+Useful for eyeballing what the scheduler did: one row per cycle, the
+operations issued that cycle, and optionally the resources their chosen
+options reserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.scheduler.schedule import BlockSchedule
+
+
+def render_schedule(
+    schedule: BlockSchedule, show_classes: bool = True
+) -> str:
+    """Render one block schedule, one line per cycle."""
+    if not schedule.times:
+        return "(empty schedule)"
+    by_cycle: Dict[int, List[int]] = {}
+    for index, cycle in schedule.times.items():
+        by_cycle.setdefault(cycle, []).append(index)
+    ops_by_index = {op.index: op for op in schedule.block.operations}
+    first = min(by_cycle)
+    last = max(by_cycle)
+    lines = [
+        f"block {schedule.block.label}: {len(schedule.times)} ops in "
+        f"{schedule.length} cycles"
+    ]
+    for cycle in range(first, last + 1):
+        entries = []
+        for index in sorted(by_cycle.get(cycle, [])):
+            op = ops_by_index[index]
+            text = op.opcode
+            if op.dests:
+                text += f" {','.join(op.dests)}"
+            if op.srcs:
+                text += f"={','.join(op.srcs)}"
+            if show_classes:
+                text += f" [{schedule.classes[index]}]"
+            entries.append(text)
+        body = " | ".join(entries) if entries else "-"
+        lines.append(f"  {cycle:4d}: {body}")
+    return "\n".join(lines)
+
+
+def render_utilization(
+    schedule: BlockSchedule, compiled, machine
+) -> str:
+    """Render per-cycle resource utilization of one block schedule.
+
+    Re-simulates the reservations (the same choices the scheduler made,
+    since checking is deterministic) and prints which resources are busy
+    each cycle.
+    """
+    from repro.lowlevel.bitvector import RUMap
+    from repro.lowlevel.checker import ConstraintChecker
+
+    ru_map = RUMap()
+    checker = ConstraintChecker()
+    for index in sorted(
+        schedule.times, key=lambda i: (schedule.times[i], i)
+    ):
+        constraint = compiled.constraint_for_class(
+            schedule.classes[index]
+        )
+        handle = checker.try_reserve(
+            ru_map, constraint, schedule.times[index]
+        )
+        if handle is None:
+            raise ValueError(
+                f"schedule does not re-simulate at op {index}"
+            )
+    resources = list(machine.build().resources)
+    lines = ["cycle  busy resources"]
+    for cycle, word in ru_map.busy_cycles():
+        names = [
+            resource.name
+            for resource in resources
+            if word & resource.mask
+        ]
+        lines.append(f"{cycle:5d}  {', '.join(names)}")
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+Values come from the MICRO-29 paper's tables.  The available scan is
+imperfect; entries whose digits could not be read with confidence are
+marked ``approx=True`` and should be compared by magnitude only.  Byte
+counts use the authors' 1996 C-struct layout and are *not* expected to
+match our documented layout model absolutely -- the reproduction compares
+ratios (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One number from the paper, possibly flagged as hard to read."""
+
+    value: float
+    approx: bool = False
+
+    def __str__(self) -> str:
+        prefix = "~" if self.approx else ""
+        if self.value == int(self.value):
+            return f"{prefix}{int(self.value)}"
+        return f"{prefix}{self.value:g}"
+
+
+def v(value: float, approx: bool = False) -> PaperValue:
+    """Shorthand constructor."""
+    return PaperValue(value, approx)
+
+
+#: Table 1: SuperSPARC option breakdown -> % of scheduling attempts.
+TABLE1_ATTEMPT_SHARES: Dict[int, PaperValue] = {
+    1: v(13.41), 3: v(0.72), 6: v(14.37), 12: v(4.92),
+    24: v(9.24), 36: v(3.00), 48: v(50.29), 72: v(4.05),
+}
+
+#: Table 2: PA7100 (as published, post-cleanup: no 3-option row).
+TABLE2_ATTEMPT_SHARES: Dict[int, PaperValue] = {
+    1: v(18.81), 2: v(81.19),
+}
+
+#: Table 3: Pentium.
+TABLE3_ATTEMPT_SHARES: Dict[int, PaperValue] = {
+    1: v(45.42), 2: v(54.58),
+}
+
+#: Table 4: K5.
+TABLE4_ATTEMPT_SHARES: Dict[int, PaperValue] = {
+    16: v(14.72), 24: v(0.14), 32: v(74.72), 48: v(5.91),
+    64: v(2.56), 96: v(0.19), 128: v(0.66), 192: v(0.15),
+    256: v(0.37), 384: v(0.43), 768: v(0.15),
+}
+
+#: Table 5: ops scheduled, attempts/op, OR and AND/OR options & checks
+#: per attempt, and the % check reduction.
+TABLE5: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "ops": v(201011), "attempts_per_op": v(1.95, True),
+        "or_options": v(1.56), "or_checks": v(2.47),
+        "andor_options": v(1.45), "andor_checks": v(1.96, True),
+        "checks_reduced_pct": v(20.6, True),
+    },
+    "Pentium": {
+        "ops": v(207341), "attempts_per_op": v(1.47),
+        "or_options": v(1.49), "or_checks": v(3.99),
+        "andor_options": v(1.49), "andor_checks": v(3.99),
+        "checks_reduced_pct": v(0.0),
+    },
+    "SuperSPARC": {
+        "ops": v(282219), "attempts_per_op": v(2.05),
+        "or_options": v(21.48), "or_checks": v(31.09, True),
+        "andor_options": v(4.83, True), "andor_checks": v(4.82, True),
+        "checks_reduced_pct": v(84.5),
+    },
+    "K5": {
+        "ops": v(203094), "attempts_per_op": v(1.66, True),
+        "or_options": v(19.59), "or_checks": v(35.49),
+        "andor_options": v(5.20, True), "andor_checks": v(5.73),
+        "checks_reduced_pct": v(83.9, True),
+    },
+}
+
+#: Table 6: original memory requirements (bytes) and size reduction.
+TABLE6: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "or_bytes": v(2504), "andor_bytes": v(2504, True),
+        "size_reduced_pct": v(0.0, True),
+    },
+    "Pentium": {
+        "or_bytes": v(14824), "andor_bytes": v(15415, True),
+        "size_reduced_pct": v(-4.0),
+    },
+    "SuperSPARC": {
+        "or_bytes": v(17124), "andor_bytes": v(2624, True),
+        "size_reduced_pct": v(84.7),
+    },
+    "K5": {
+        "trees": v(33), "or_options": v(4424),
+        "or_bytes": v(312640), "andor_bytes": v(4316),
+        "size_reduced_pct": v(98.6),
+    },
+}
+
+#: Table 7: memory after redundancy elimination (bytes + % reduction).
+TABLE7: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "or_bytes": v(1712), "or_reduced_pct": v(31.6, True),
+        "andor_bytes": v(1232), "andor_reduced_pct": v(11.0),
+    },
+    "Pentium": {
+        "or_bytes": v(10814), "or_reduced_pct": v(27.0),
+        "andor_bytes": v(11296), "andor_reduced_pct": v(26.4),
+    },
+    "SuperSPARC": {
+        "or_bytes": v(14752), "or_reduced_pct": v(13.8),
+        "andor_bytes": v(1896), "andor_reduced_pct": v(2.7, True),
+    },
+    "K5": {
+        "or_bytes": v(266034), "or_reduced_pct": v(14.9),
+        "andor_bytes": v(3502, True), "andor_reduced_pct": v(17.0, True),
+    },
+}
+
+#: Table 8: PA7100 option removal (OR representation row).
+TABLE8: Dict[str, PaperValue] = {
+    "options_before": v(1.46, True), "options_after": v(1.38),
+    "checks_before": v(2.42, True), "checks_after": v(2.30, True),
+}
+
+#: Table 9: size before/after bit-vectors (bytes).
+TABLE9: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "or_before": v(1712), "or_after": v(1404),
+        "or_diff_pct": v(18.0), "andor_before": v(1232),
+        "andor_after": v(1128), "andor_diff_pct": v(8.4),
+    },
+    "Pentium": {
+        "or_before": v(10814), "or_after": v(3224),
+        "or_diff_pct": v(70.2), "andor_before": v(11296),
+        "andor_after": v(3704), "andor_diff_pct": v(67.2, True),
+    },
+    "SuperSPARC": {
+        "or_before": v(14752), "or_after": v(11152),
+        "or_diff_pct": v(24.4), "andor_before": v(1896),
+        "andor_after": v(1640), "andor_diff_pct": v(13.5),
+    },
+    "K5": {
+        "or_before": v(266034), "or_after": v(183280),
+        "or_diff_pct": v(31.1), "andor_before": v(3562, True),
+        "andor_after": v(3136), "andor_diff_pct": v(12.0, True),
+    },
+}
+
+#: Table 10: checks per attempt before/after bit-vectors.
+TABLE10: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "or_before": v(2.32), "or_after": v(2.18),
+        "or_diff_pct": v(6.0), "andor_before": v(1.89),
+        "andor_after": v(1.76, True), "andor_diff_pct": v(6.9, True),
+    },
+    "Pentium": {
+        "or_before": v(3.99), "or_after": v(2.31),
+        "or_diff_pct": v(42.1), "andor_before": v(3.99),
+        "andor_after": v(2.31), "andor_diff_pct": v(42.1),
+    },
+    "SuperSPARC": {
+        "or_before": v(31.09), "or_after": v(26.69),
+        "or_diff_pct": v(14.2), "andor_before": v(4.83),
+        "andor_after": v(4.62), "andor_diff_pct": v(4.3),
+    },
+    "K5": {
+        "or_before": v(35.49), "or_after": v(34.35),
+        "or_diff_pct": v(3.2), "andor_before": v(5.13, True),
+        "andor_after": v(5.80, True), "andor_diff_pct": v(-7.0, True),
+    },
+}
+
+#: Table 11: size before/after the usage-time transformation (bytes).
+TABLE11: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "or_before": v(1404), "or_after": v(1168),
+        "or_diff_pct": v(17.0), "andor_before": v(1128),
+        "andor_after": v(1032), "andor_diff_pct": v(8.5),
+    },
+    "Pentium": {
+        "or_before": v(3224), "or_after": v(3080),
+        "or_diff_pct": v(4.5), "andor_before": v(3704),
+        "andor_after": v(3560), "andor_diff_pct": v(3.9),
+    },
+    "SuperSPARC": {
+        "or_before": v(11152), "or_after": v(7016),
+        "or_diff_pct": v(37.1), "andor_before": v(1640),
+        "andor_after": v(1584), "andor_diff_pct": v(3.4),
+    },
+    "K5": {
+        "or_before": v(183280), "or_after": v(125488),
+        "or_diff_pct": v(31.5), "andor_before": v(3136),
+        "andor_after": v(3096), "andor_diff_pct": v(1.3),
+    },
+}
+
+#: Table 12: checks before/after time shift + zero-first sorting, with
+#: checks per option after.
+TABLE12: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "or_before": v(2.18), "or_after": v(1.59),
+        "or_checks_per_option": v(1.12, True),
+        "andor_before": v(1.76), "andor_after": v(1.55),
+        "andor_checks_per_option": v(1.12, True),
+    },
+    "Pentium": {
+        "or_before": v(2.31), "or_after": v(1.57),
+        "or_checks_per_option": v(1.05),
+        "andor_before": v(2.31, True), "andor_after": v(1.57, True),
+        "andor_checks_per_option": v(1.05, True),
+    },
+    "SuperSPARC": {
+        "or_before": v(26.69), "or_after": v(21.59),
+        "or_checks_per_option": v(1.01, True),
+        "andor_before": v(4.62), "andor_after": v(4.49),
+        "andor_checks_per_option": v(1.03),
+    },
+    "K5": {
+        "or_before": v(34.35), "or_after": v(19.87),
+        "or_checks_per_option": v(1.01, True),
+        "andor_before": v(5.80), "andor_after": v(5.25),
+        "andor_checks_per_option": v(1.01),
+    },
+}
+
+#: Table 13: AND/OR conflict-detection optimization.
+TABLE13: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "options_before": v(1.38), "options_after": v(1.38),
+        "checks_before": v(1.55), "checks_after": v(1.55),
+    },
+    "Pentium": {
+        "options_before": v(1.44, True), "options_after": v(1.44, True),
+        "checks_before": v(1.57), "checks_after": v(1.57),
+    },
+    "SuperSPARC": {
+        "options_before": v(4.38), "options_after": v(2.97),
+        "checks_before": v(4.49), "checks_after": v(3.08),
+    },
+    "K5": {
+        "options_before": v(5.20), "options_after": v(4.32),
+        "checks_before": v(5.25), "checks_after": v(4.38),
+    },
+}
+
+#: Table 14: aggregate sizes (bytes).
+TABLE14: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "unopt_or": v(2504), "opt_or": v(1168),
+        "opt_or_reduction_pct": v(53.4), "opt_andor": v(1032),
+        "opt_andor_reduction_pct": v(58.4),
+    },
+    "Pentium": {
+        "unopt_or": v(14824), "opt_or": v(3080),
+        "opt_or_reduction_pct": v(79.2), "opt_andor": v(3560),
+        "opt_andor_reduction_pct": v(76.4),
+    },
+    "SuperSPARC": {
+        "unopt_or": v(17124), "opt_or": v(7016),
+        "opt_or_reduction_pct": v(59.0), "opt_andor": v(1584),
+        "opt_andor_reduction_pct": v(90.1),
+    },
+    "K5": {
+        "unopt_or": v(312640), "opt_or": v(125488),
+        "opt_or_reduction_pct": v(59.9), "opt_andor": v(3096),
+        "opt_andor_reduction_pct": v(99.0),
+    },
+}
+
+#: Table 15: aggregate checks per attempt.
+TABLE15: Dict[str, Dict[str, PaperValue]] = {
+    "PA7100": {
+        "unopt_or": v(2.47, True), "opt_or": v(1.59),
+        "opt_or_reduction_pct": v(35.6), "opt_andor": v(1.55),
+        "opt_andor_reduction_pct": v(37.2, True),
+    },
+    "Pentium": {
+        "unopt_or": v(3.99), "opt_or": v(1.57),
+        "opt_or_reduction_pct": v(60.7), "opt_andor": v(1.57),
+        "opt_andor_reduction_pct": v(60.7),
+    },
+    "SuperSPARC": {
+        "unopt_or": v(31.09), "opt_or": v(21.59),
+        "opt_or_reduction_pct": v(30.6), "opt_andor": v(3.08),
+        "opt_andor_reduction_pct": v(90.1),
+    },
+    "K5": {
+        "unopt_or": v(35.49), "opt_or": v(19.87),
+        "opt_or_reduction_pct": v(44.0), "opt_andor": v(4.38),
+        "opt_andor_reduction_pct": v(87.4, True),
+    },
+}
+
+#: Figure 2's headline statistics (prose of section 2).
+FIGURE2: Dict[str, PaperValue] = {
+    "share_one_option": v(38.02),
+    "share_48_options": v(30.05),
+    "share_24_to_72": v(45.52),
+    "success_first_option_pct": v(73.75),
+}

@@ -1,0 +1,67 @@
+"""Fixed-width table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Numbers are right-aligned, text left-aligned; floats print with two
+    decimals (the paper's precision).
+    """
+    string_rows: List[List[str]] = [[_cell(value) for value in row]
+                                    for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for column, text in enumerate(row):
+            widths[column] = max(widths[column], len(text))
+
+    def render_row(cells: Sequence[str], numeric: bool) -> str:
+        parts = []
+        for column, text in enumerate(cells):
+            if numeric and _looks_numeric(text):
+                parts.append(text.rjust(widths[column]))
+            else:
+                parts.append(text.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers), numeric=False))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append(render_row(row, numeric=True))
+    return "\n".join(lines)
+
+
+def _looks_numeric(text: str) -> bool:
+    stripped = text.rstrip("%")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def reduction_pct(before: float, after: float) -> str:
+    """Percentage reduction, formatted like the paper's tables.
+
+    Negative values (growth) are possible -- the paper's Pentium AND/OR
+    row grows by 4%.
+    """
+    if before == 0:
+        return "0.0%"
+    return f"{(before - after) / before * 100:.1f}%"

@@ -1,0 +1,126 @@
+"""Sensitivity studies.
+
+Section 4 argues the benefit of the AND/OR-tree representation and the
+transformations "should only increase as more scheduling attempts are
+required, since they speed up detection of resource-constraint
+conflicts".  These sweeps vary the workload's parallelism and shape to
+change the attempt rate and measure how the check reduction responds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import staged_mdes
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.scheduler import schedule_workload
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's outcome."""
+
+    label: str
+    attempts_per_op: float
+    unopt_checks: float
+    opt_checks: float
+
+    @property
+    def reduction_pct(self) -> float:
+        """Check reduction, unoptimized OR -> fully optimized AND/OR."""
+        if not self.unopt_checks:
+            return 0.0
+        return (
+            (self.unopt_checks - self.opt_checks)
+            / self.unopt_checks
+            * 100.0
+        )
+
+
+def _variant(machine, **overrides):
+    """A machine copy with workload knobs overridden, caches preserved."""
+    return dataclasses.replace(
+        machine,
+        _mdes=machine.build(),
+        _mdes_andor=machine.build_andor(),
+        _mdes_or=machine.build_or(),
+        **overrides,
+    )
+
+
+def _measure(machine, label: str, total_ops: int,
+             seed: int) -> SweepPoint:
+    blocks = generate_blocks(
+        machine, WorkloadConfig(total_ops=total_ops, seed=seed)
+    )
+    unopt = compile_mdes(machine.build_or(), bitvector=False)
+    opt = compile_mdes(
+        staged_mdes(machine.build_andor(), 4), bitvector=True
+    )
+    unopt_run = schedule_workload(machine, unopt, blocks)
+    opt_run = schedule_workload(machine, opt, blocks)
+    return SweepPoint(
+        label=label,
+        attempts_per_op=unopt_run.attempts_per_op,
+        unopt_checks=unopt_run.stats.checks_per_attempt,
+        opt_checks=opt_run.stats.checks_per_attempt,
+    )
+
+
+def ilp_sweep(
+    machine_name: str,
+    flow_probabilities: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+    total_ops: int = 4000,
+    seed: int = 20161202,
+) -> List[SweepPoint]:
+    """Vary available parallelism (lower flow probability = more ILP =
+    more failed attempts) and measure the check reduction."""
+    machine = get_machine(machine_name)
+    return [
+        _measure(
+            _variant(machine, flow_probability=probability),
+            f"flow={probability:.1f}",
+            total_ops,
+            seed,
+        )
+        for probability in flow_probabilities
+    ]
+
+
+def block_size_sweep(
+    machine_name: str,
+    size_ranges: Sequence[Tuple[int, int]] = ((2, 5), (4, 10), (8, 20)),
+    total_ops: int = 4000,
+    seed: int = 20161202,
+) -> List[SweepPoint]:
+    """Vary region size (bigger blocks = more ready operations competing
+    per cycle = more failed attempts)."""
+    machine = get_machine(machine_name)
+    return [
+        _measure(
+            _variant(machine, block_size_range=size_range),
+            f"block={size_range[0]}-{size_range[1]}",
+            total_ops,
+            seed,
+        )
+        for size_range in size_ranges
+    ]
+
+
+def scale_sweep(
+    machine_name: str,
+    op_counts: Sequence[int] = (1000, 4000, 16000),
+    seed: int = 20161202,
+) -> List[SweepPoint]:
+    """Vary workload size: the per-attempt statistics must be stable
+    (they are intensive quantities), which validates using scaled-down
+    workloads in tests."""
+    machine = get_machine(machine_name)
+    return [
+        _measure(machine, f"ops={count}", count, seed)
+        for count in op_counts
+    ]

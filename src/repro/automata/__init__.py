@@ -1,0 +1,39 @@
+"""Finite-state-automata baseline (paper section 10).
+
+Proebsting & Fraser, Muller, and Bala & Rubin proposed replacing
+reservation-table checking with a finite-state automaton whose states
+encode the pipeline's outstanding resource commitments; an issue test is
+then a single transition lookup.  The paper argues its transformations
+plus AND/OR-trees mitigate that advantage while keeping the capability
+automata lack: *unscheduling* (see :mod:`repro.modulo`).
+
+This subpackage implements the baseline so the claim can be measured:
+
+* :mod:`~repro.automata.collision` -- forbidden latencies and collision
+  vectors (Davidson's theory, used by section 7's correctness argument);
+* :mod:`~repro.automata.automaton` -- a lazily built scheduling DFA over
+  a compiled description;
+* :mod:`~repro.automata.cycle_scheduler` -- a cycle-driven list scheduler
+  that runs against either backend (reservation tables or the automaton)
+  and produces identical schedules, so cost can be compared directly.
+"""
+
+from repro.automata.collision import (
+    collision_vector,
+    forbidden_latencies,
+)
+from repro.automata.automaton import SchedulingAutomaton
+from repro.automata.cycle_scheduler import (
+    AutomatonBackend,
+    TableBackend,
+    cycle_schedule_workload,
+)
+
+__all__ = [
+    "AutomatonBackend",
+    "SchedulingAutomaton",
+    "TableBackend",
+    "collision_vector",
+    "cycle_schedule_workload",
+    "forbidden_latencies",
+]

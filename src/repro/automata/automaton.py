@@ -1,0 +1,161 @@
+"""A lazily built scheduling automaton over a compiled description.
+
+A state encodes the resource commitments of everything issued so far,
+relative to the current cycle: one bit-vector word per future offset
+``0 .. horizon-1``.  Issuing an operation class is a transition; advancing
+a cycle shifts the window.  After memoization, an issue test costs one
+dictionary lookup -- the advantage the related-work automata papers claim.
+
+Construction requires every usage time to be non-negative (a state cannot
+reach into the past), which is exactly what the forward usage-time
+transformation (section 7) guarantees; callers normally feed this class a
+stage-3+ description.
+
+Limitations mirrored from the literature (paper section 10): there is no
+way to *release* a previously issued operation's resources, so techniques
+that unschedule operations -- iterative modulo scheduling in particular
+(:mod:`repro.modulo`) -- cannot run on this backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MdesError
+from repro.lowlevel.compiled import (
+    CompiledAndOrTree,
+    CompiledMdes,
+    CompiledOption,
+)
+
+#: A state: busy masks for offsets 0 .. horizon-1 from "now".
+State = Tuple[int, ...]
+
+
+@dataclass
+class AutomatonStats:
+    """Work and memory accounting for comparisons against tables."""
+
+    lookups: int = 0
+    misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of issue tests answered from the transition table."""
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.misses / self.lookups
+
+
+class SchedulingAutomaton:
+    """Issue/advance automaton for one compiled machine description."""
+
+    def __init__(self, compiled: CompiledMdes) -> None:
+        self._compiled = compiled
+        self.horizon = self._validate_and_measure(compiled)
+        self._transitions: Dict[
+            Tuple[State, str], Optional[Tuple[State, Tuple[Tuple[int, int], ...]]]
+        ] = {}
+        self.stats = AutomatonStats()
+
+    @staticmethod
+    def _validate_and_measure(compiled: CompiledMdes) -> int:
+        horizon = 1
+        _, _, options = compiled.unique_objects()
+        for option in options:
+            for time, _ in option.checks:
+                if time < 0:
+                    raise MdesError(
+                        "automaton construction needs non-negative usage "
+                        "times; run the usage-time transformation first "
+                        "(section 7)"
+                    )
+                horizon = max(horizon, time + 1)
+        return horizon
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    @property
+    def start_state(self) -> State:
+        """The all-idle state."""
+        return (0,) * self.horizon
+
+    def _try_option(
+        self, state: State, option: CompiledOption
+    ) -> Optional[State]:
+        for time, mask in option.checks:
+            if state[time] & mask:
+                return None
+        updated = list(state)
+        for time, mask in option.reserve_mask_by_time:
+            updated[time] |= mask
+        return tuple(updated)
+
+    def _compute_issue(
+        self, state: State, class_name: str
+    ) -> Optional[Tuple[State, Tuple[Tuple[int, int], ...]]]:
+        constraint = self._compiled.constraint_for_class(class_name)
+        if isinstance(constraint, CompiledAndOrTree):
+            or_trees = constraint.or_trees
+        else:
+            or_trees = (constraint,)
+        current = state
+        reserved = []
+        for or_tree in or_trees:
+            chosen = None
+            for option in or_tree.options:
+                next_state = self._try_option(current, option)
+                if next_state is not None:
+                    chosen = option
+                    current = next_state
+                    break
+            if chosen is None:
+                return None
+            reserved.extend(chosen.reserve_mask_by_time)
+        return current, tuple(reserved)
+
+    def try_issue(
+        self, state: State, class_name: str
+    ) -> Optional[Tuple[State, Tuple[Tuple[int, int], ...]]]:
+        """Issue test: the successor state and the reservations made.
+
+        Returns ``None`` when the class cannot issue in this state.
+        Memoized: repeated (state, class) queries are O(1).
+        """
+        key = (state, class_name)
+        self.stats.lookups += 1
+        if key not in self._transitions:
+            self.stats.misses += 1
+            self._transitions[key] = self._compute_issue(state, class_name)
+        return self._transitions[key]
+
+    @staticmethod
+    def advance(state: State) -> State:
+        """Move one cycle forward (shift the commitment window)."""
+        return state[1:] + (0,)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def transition_count(self) -> int:
+        """Memoized transitions (the automaton's memory footprint)."""
+        return len(self._transitions)
+
+    def state_count(self) -> int:
+        """Distinct states seen so far."""
+        states = {state for state, _ in self._transitions}
+        for value in self._transitions.values():
+            if value is not None:
+                states.add(value[0])
+        return len(states)
+
+    def memory_bytes(self, word_bytes: int = 4) -> int:
+        """Rough memory model: horizon words per state + 2 per edge."""
+        return (
+            self.state_count() * self.horizon + 2 * self.transition_count
+        ) * word_bytes

@@ -1,0 +1,62 @@
+"""Forbidden latencies and collision vectors (section 7's theory).
+
+For an ordered pair of reservation table options (A, B), a latency ``t``
+is *forbidden* -- an operation using B cannot be initiated ``t`` cycles
+after one using A -- iff A and B use some common resource at times ``i``
+and ``j`` with ``i >= j`` and ``i - j = t``.  The set of all forbidden
+latencies is the pair's *collision vector*.
+
+Only collision vectors matter to schedule legality; this is what licenses
+both the usage-time transformation (section 7) and the Eichenberger-
+Davidson option reduction (:mod:`repro.eichenberger`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.expand import as_or_tree
+from repro.core.mdes import Mdes
+from repro.core.tables import ReservationTable
+
+
+def forbidden_latencies(
+    first: ReservationTable, second: ReservationTable
+) -> FrozenSet[int]:
+    """Forbidden initiation distances for issuing ``second`` after ``first``."""
+    forbidden = set()
+    for usage_a in first.usages:
+        for usage_b in second.usages:
+            if usage_a.resource is usage_b.resource:
+                distance = usage_a.time - usage_b.time
+                if distance >= 0:
+                    forbidden.add(distance)
+    return frozenset(forbidden)
+
+
+#: Alias matching the paper's terminology.
+collision_vector = forbidden_latencies
+
+
+def mdes_options(mdes: Mdes) -> List[ReservationTable]:
+    """Every reservation table option of a description, in flat form.
+
+    AND/OR constraints are expanded first, so the result covers every
+    resource-usage combination an operation might reserve.
+    """
+    options: List[ReservationTable] = []
+    for class_name in sorted(mdes.op_classes):
+        constraint = as_or_tree(mdes.op_class(class_name).constraint)
+        options.extend(constraint.options)
+    return options
+
+
+def collision_matrix(
+    options: List[ReservationTable],
+) -> Dict[Tuple[int, int], FrozenSet[int]]:
+    """All pairwise collision vectors, keyed by option indices."""
+    return {
+        (i, j): forbidden_latencies(options[i], options[j])
+        for i in range(len(options))
+        for j in range(len(options))
+    }

@@ -1,0 +1,366 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``machines`` -- list the built-in machine descriptions.
+* ``tables [--ops N] [--table N]`` -- regenerate the paper's tables.
+* ``figures [--name figN]`` -- regenerate the paper's figures.
+* ``lint (FILE | --machine NAME)`` -- MDES diagnostics.
+* ``optimize FILE -o OUT`` -- run the transformation pipeline on an
+  HMDES file and write the optimized description back as HMDES.
+* ``expand FILE -o OUT`` -- the AND/OR -> OR preprocessor.
+* ``generate --machine NAME --ops N -o FILE`` -- synthesize a workload
+  trace.
+* ``schedule (--machine NAME | --trace FILE) [options]`` -- schedule a
+  workload and report the paper's statistics.
+* ``report [--ops N] [-o FILE]`` -- regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.machines.registry import EXTRA_MACHINE_NAMES
+
+#: Every machine the CLI can target (paper four + retargeting demos).
+ALL_MACHINE_NAMES = MACHINE_NAMES + EXTRA_MACHINE_NAMES
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    for name in ALL_MACHINE_NAMES:
+        machine = get_machine(name)
+        mdes = machine.build()
+        print(
+            f"{name:11s} {machine.scheduling_mode:8s} "
+            f"{len(mdes.op_classes):3d} classes  "
+            f"{len(mdes.opcode_map):3d} opcodes  "
+            f"{len(mdes.resources):3d} resources  "
+            f"{mdes.stored_option_count():4d} stored options "
+            f"({mdes.expanded().stored_option_count()} flat)"
+        )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import ExperimentSuite
+
+    suite = ExperimentSuite(total_ops=args.ops)
+    if args.table is None:
+        print(suite.all_tables())
+        return 0
+    methods = {
+        1: lambda: suite.table_breakdown("SuperSPARC"),
+        2: lambda: suite.table_breakdown("PA7100"),
+        3: lambda: suite.table_breakdown("Pentium"),
+        4: lambda: suite.table_breakdown("K5"),
+        5: suite.table5, 6: suite.table6, 7: suite.table7,
+        8: suite.table8, 9: suite.table9, 10: suite.table10,
+        11: suite.table11, 12: suite.table12, 13: suite.table13,
+        14: suite.table14, 15: suite.table15,
+    }
+    if args.table not in methods:
+        print(f"no table {args.table}; choose 1-15", file=sys.stderr)
+        return 2
+    print(methods[args.table]())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import ExperimentSuite
+
+    suite = ExperimentSuite(total_ops=args.ops)
+    figures = {
+        "fig1": suite.fig1_load_reservation_tables,
+        "fig2": suite.fig2_options_distribution,
+        "fig3": suite.fig3_representations,
+        "fig4": suite.fig4_sharing,
+        "fig5": suite.fig5_shifted_load,
+        "fig6": suite.fig6_tree_order,
+    }
+    names = [args.name] if args.name else sorted(figures)
+    for name in names:
+        if name not in figures:
+            print(f"no figure {name!r}; choose fig1-fig6",
+                  file=sys.stderr)
+            return 2
+        print(f"=== {name} ===")
+        print(figures[name]())
+        print()
+    return 0
+
+
+def _load_description(args: argparse.Namespace):
+    from repro.hmdes import load_mdes
+
+    if getattr(args, "machine", None):
+        return get_machine(args.machine).build()
+    with open(args.file) as handle:
+        return load_mdes(handle.read())
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.hmdes.validator import lint_mdes
+
+    mdes = _load_description(args)
+    diagnostics = lint_mdes(mdes)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    warnings = sum(1 for d in diagnostics if d.severity == "warning")
+    print(f"{warnings} warning(s), {len(diagnostics) - warnings} info")
+    return 1 if warnings and args.strict else 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.hmdes import load_mdes, write_mdes
+    from repro.lowlevel import compile_mdes, mdes_size_bytes
+    from repro.transforms import optimize
+
+    with open(args.file) as handle:
+        mdes = load_mdes(handle.read())
+    before = mdes_size_bytes(compile_mdes(mdes, bitvector=True))
+    optimized = optimize(mdes, direction=args.direction)
+    after = mdes_size_bytes(compile_mdes(optimized, bitvector=True))
+    text = write_mdes(optimized)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(
+        f"{args.file}: {before} -> {after} bytes "
+        f"({(before - after) / before * 100:.1f}% smaller); wrote "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import staged_mdes
+    from repro.hmdes import load_mdes
+    from repro.lowlevel import compile_mdes, mdes_size_bytes
+    from repro.lowlevel.serialize import save_lmdes
+
+    if args.machine:
+        base = get_machine(args.machine).build_andor()
+    else:
+        with open(args.file) as handle:
+            base = load_mdes(handle.read())
+    mdes = staged_mdes(base, args.stage)
+    compiled = compile_mdes(mdes, bitvector=not args.no_bitvector)
+    text = save_lmdes(compiled)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(
+        f"wrote {args.output}: {mdes_size_bytes(compiled)} bytes of "
+        f"compiled constraints (stage {args.stage})"
+    )
+    return 0
+
+
+def _cmd_expand(args: argparse.Namespace) -> int:
+    from repro.hmdes import load_mdes, write_mdes
+
+    with open(args.file) as handle:
+        mdes = load_mdes(handle.read())
+    flat = mdes.expanded()
+    with open(args.output, "w") as handle:
+        handle.write(write_mdes(flat))
+    print(
+        f"{args.file}: {mdes.stored_option_count()} stored options -> "
+        f"{flat.stored_option_count()} flat options; wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import WorkloadConfig, generate_blocks
+    from repro.workloads.trace import write_trace
+
+    machine = get_machine(args.machine)
+    blocks = generate_blocks(
+        machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
+    )
+    text = write_trace(blocks, machine.name)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    total = sum(len(block) for block in blocks)
+    print(f"wrote {args.output}: {len(blocks)} blocks, {total} ops")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import staged_mdes
+    from repro.lowlevel import compile_mdes
+    from repro.scheduler import schedule_workload
+    from repro.workloads import WorkloadConfig, generate_blocks
+    from repro.workloads.trace import read_trace
+
+    if args.trace:
+        with open(args.trace) as handle:
+            machine_name, blocks = read_trace(handle.read())
+        machine = get_machine(args.machine or machine_name)
+    elif args.lmdes:
+        if not args.machine:
+            print("schedule --lmdes needs --machine for the workload "
+                  "profile", file=sys.stderr)
+            return 2
+        machine = get_machine(args.machine)
+        blocks = generate_blocks(
+            machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
+        )
+    else:
+        if not args.machine:
+            print("schedule needs --machine or --trace", file=sys.stderr)
+            return 2
+        machine = get_machine(args.machine)
+        blocks = generate_blocks(
+            machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
+        )
+    if args.lmdes:
+        from repro.lowlevel.serialize import load_lmdes
+
+        with open(args.lmdes) as handle:
+            compiled = load_lmdes(handle.read())
+    else:
+        base = (
+            machine.build_or()
+            if args.rep == "or"
+            else machine.build_andor()
+        )
+        mdes = staged_mdes(base, args.stage)
+        compiled = compile_mdes(mdes, bitvector=not args.no_bitvector)
+    result = schedule_workload(machine, compiled, blocks)
+    stats = result.stats
+    print(f"machine:             {machine.name} ({args.rep}, "
+          f"stage {args.stage})")
+    print(f"operations:          {result.total_ops}")
+    print(f"schedule cycles:     {result.total_cycles}")
+    print(f"attempts/op:         {result.attempts_per_op:.2f}")
+    print(f"options/attempt:     {stats.options_per_attempt:.2f}")
+    print(f"checks/attempt:      {stats.checks_per_attempt:.2f}")
+    print(f"checks/option:       {stats.checks_per_option:.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import main as report_main
+
+    report_main(["--ops", str(args.ops), "-o", args.output])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Machine-description optimization toolkit (MICRO-29 1996 "
+            "reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("machines", help="list built-in machines")
+
+    tables = commands.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument("--ops", type=int, default=10000)
+    tables.add_argument("--table", type=int, default=None)
+
+    figures = commands.add_parser("figures",
+                                  help="regenerate paper figures")
+    figures.add_argument("--ops", type=int, default=10000)
+    figures.add_argument("--name", default=None)
+
+    lint = commands.add_parser("lint", help="lint a machine description")
+    lint.add_argument("file", nargs="?", default=None)
+    lint.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                      default=None)
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on warnings")
+
+    optimize_cmd = commands.add_parser(
+        "optimize", help="optimize an HMDES file"
+    )
+    optimize_cmd.add_argument("file")
+    optimize_cmd.add_argument("-o", "--output", required=True)
+    optimize_cmd.add_argument(
+        "--direction", choices=("forward", "backward"), default="forward"
+    )
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile an HMDES file (or machine) to LMDES"
+    )
+    compile_cmd.add_argument("file", nargs="?", default=None)
+    compile_cmd.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                             default=None)
+    compile_cmd.add_argument("--stage", type=int, default=4)
+    compile_cmd.add_argument("--no-bitvector", action="store_true")
+    compile_cmd.add_argument("-o", "--output", required=True)
+
+    expand = commands.add_parser(
+        "expand", help="expand AND/OR-trees to flat OR-trees"
+    )
+    expand.add_argument("file")
+    expand.add_argument("-o", "--output", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a workload trace"
+    )
+    generate.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                          required=True)
+    generate.add_argument("--ops", type=int, default=5000)
+    generate.add_argument("--seed", type=int, default=20161202)
+    generate.add_argument("-o", "--output", required=True)
+
+    schedule = commands.add_parser(
+        "schedule", help="schedule a workload and report statistics"
+    )
+    schedule.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                          default=None)
+    schedule.add_argument("--trace", default=None)
+    schedule.add_argument("--lmdes", default=None,
+                          help="schedule against a compiled LMDES file")
+    schedule.add_argument("--ops", type=int, default=10000)
+    schedule.add_argument("--seed", type=int, default=20161202)
+    schedule.add_argument("--rep", choices=("or", "andor"),
+                          default="andor")
+    schedule.add_argument("--stage", type=int, default=4,
+                          help="transformation stage 0-4")
+    schedule.add_argument("--no-bitvector", action="store_true")
+
+    report = commands.add_parser(
+        "report", help="regenerate EXPERIMENTS.md"
+    )
+    report.add_argument("--ops", type=int, default=20000)
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    return parser
+
+
+_HANDLERS = {
+    "machines": _cmd_machines,
+    "compile": _cmd_compile,
+    "tables": _cmd_tables,
+    "figures": _cmd_figures,
+    "lint": _cmd_lint,
+    "optimize": _cmd_optimize,
+    "expand": _cmd_expand,
+    "generate": _cmd_generate,
+    "schedule": _cmd_schedule,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "lint" and not args.file and not args.machine:
+        parser.error("lint needs a FILE or --machine")
+    if args.command == "compile" and not args.file and not args.machine:
+        parser.error("compile needs a FILE or --machine")
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

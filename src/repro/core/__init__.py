@@ -1,0 +1,37 @@
+"""Core resource-constraint model.
+
+This subpackage holds the paper's central abstractions:
+
+* :class:`~repro.core.resource.Resource` and
+  :class:`~repro.core.resource.ResourceTable` -- the (abstract) machine
+  resources a description may use.
+* :class:`~repro.core.usage.ResourceUsage` -- a (resource, time) pair.
+* :class:`~repro.core.tables.ReservationTable` -- one *reservation table
+  option*: the set of usages an operation needs under one resource binding.
+* :class:`~repro.core.tables.OrTree` -- the traditional representation: a
+  prioritized list of options.
+* :class:`~repro.core.tables.AndOrTree` -- the paper's representation: an
+  AND of OR-trees (section 3).
+* :class:`~repro.core.mdes.Mdes` -- a whole machine description.
+* :func:`~repro.core.expand.expand_to_or_tree` -- AND/OR -> OR conversion.
+"""
+
+from repro.core.resource import Resource, ResourceTable
+from repro.core.usage import ResourceUsage
+from repro.core.tables import AndOrTree, OrTree, ReservationTable, Constraint
+from repro.core.mdes import Mdes, OperationClass
+from repro.core.expand import expand_to_or_tree, as_or_tree
+
+__all__ = [
+    "AndOrTree",
+    "Constraint",
+    "Mdes",
+    "OperationClass",
+    "OrTree",
+    "ReservationTable",
+    "Resource",
+    "ResourceTable",
+    "ResourceUsage",
+    "as_or_tree",
+    "expand_to_or_tree",
+]

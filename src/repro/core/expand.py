@@ -1,0 +1,39 @@
+"""AND/OR-tree to OR-tree expansion.
+
+The paper's experiments obtain the traditional OR-tree form of each machine
+description by running the AND/OR form through a preprocessor that expands
+every AND/OR-tree into the corresponding flat OR-tree (section 4).  This
+module is that preprocessor.
+
+Priority is preserved: the cartesian product is enumerated with the *last*
+sub-OR-tree varying fastest, so the flat option list ranks a choice in an
+earlier OR-tree above any choice in a later one exactly as the AND/OR
+checker (which satisfies OR-trees in order, each greedily) would.  Both
+representations therefore reserve identical resources and produce identical
+schedules, which is the invariant the paper's tables rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+
+
+def expand_to_or_tree(tree: AndOrTree) -> OrTree:
+    """Flatten an AND/OR-tree into the equivalent prioritized OR-tree."""
+    option_lists = [or_tree.options for or_tree in tree.or_trees]
+    flat_options = []
+    for combination in itertools.product(*option_lists):
+        usages = tuple(
+            usage for option in combination for usage in option.usages
+        )
+        flat_options.append(ReservationTable(usages))
+    return OrTree(tuple(flat_options), name=tree.name)
+
+
+def as_or_tree(constraint: Constraint) -> OrTree:
+    """Return ``constraint`` in flat OR-tree form (expanding if needed)."""
+    if isinstance(constraint, AndOrTree):
+        return expand_to_or_tree(constraint)
+    return constraint

@@ -1,0 +1,301 @@
+"""Whole machine descriptions.
+
+An :class:`Mdes` bundles everything a compiler module needs from a machine
+description: the declared resources, one :class:`OperationClass` per
+distinct execution-constraint/latency bundle, and a map from concrete
+opcodes to operation classes.
+
+Transformations never mutate an :class:`Mdes`; they derive a new one (see
+:mod:`repro.transforms`).  Object identity of constraint trees across
+operation classes expresses sharing, exactly as in the paper's internal
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, Constraint, OrTree
+from repro.errors import MdesError
+
+
+@dataclass(frozen=True)
+class Bypass:
+    """A forwarding path between two operation classes.
+
+    Real machine descriptions model bypassing and forwarding effects
+    alongside resource constraints (paper, footnote 1).  A bypass says a
+    flow-dependent (producer class, consumer class) pair may issue at
+    ``latency`` cycles' distance instead of the producer's normal
+    destination latency -- and, when the shortcut narrows the consumer's
+    resource alternatives, that the consumer must then use
+    ``substitute_class``.  The SuperSPARC's cascaded IALU pairs are the
+    canonical instance: distance 0, half the reservation table options.
+    """
+
+    latency: int
+    substitute_class: str = ""
+
+
+@dataclass(frozen=True)
+class OperationClass:
+    """A group of opcodes with identical execution constraints.
+
+    Attributes:
+        name: Class name, e.g. ``"ialu_2src"``.
+        constraint: The class's resource constraint, in either
+            representation.
+        latency: Cycles from issue until a flow-dependent consumer may
+            issue (the destination-operand latency).
+        read_time: When register sources are read, relative to issue.
+            Zero for most classes; negative for operands consumed during
+            decode -- the SuperSPARC reads load/store address operands a
+            cycle early, which is what causes its address generation
+            interlocks (paper section 2).  A producer feeding such an
+            operand is visible one cycle later: the effective flow
+            latency is ``producer.latency - consumer.read_time``.
+    """
+
+    name: str
+    constraint: Constraint
+    latency: int = 1
+    read_time: int = 0
+
+    def option_count(self) -> int:
+        """Number of reservation table options in flat (OR-tree) terms.
+
+        This is the figure the paper's Tables 1-4 report: the number of
+        distinct resource-usage combinations available to the operation.
+        """
+        if isinstance(self.constraint, AndOrTree):
+            return self.constraint.option_product()
+        return len(self.constraint)
+
+    def with_constraint(self, constraint: Constraint) -> "OperationClass":
+        """Return a copy of this class with a different constraint."""
+        return replace(self, constraint=constraint)
+
+
+@dataclass
+class Mdes:
+    """A complete machine description.
+
+    Attributes:
+        name: Machine name, e.g. ``"SuperSPARC"``.
+        resources: The declared resource table.
+        op_classes: Operation classes by name.
+        opcode_map: Concrete opcode -> operation class name.
+        unused_trees: Named trees declared by the description but not
+            referenced by any operation class.  Real descriptions accrete
+            such dead information as they evolve (section 5); dead-code
+            removal deletes it.
+    """
+
+    name: str
+    resources: ResourceTable
+    op_classes: Dict[str, OperationClass] = field(default_factory=dict)
+    opcode_map: Dict[str, str] = field(default_factory=dict)
+    unused_trees: Dict[str, Constraint] = field(default_factory=dict)
+    #: Forwarding paths: (producer class, consumer class) -> Bypass.
+    bypasses: Dict[Tuple[str, str], "Bypass"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def op_class(self, class_name: str) -> OperationClass:
+        """Return the operation class called ``class_name``."""
+        try:
+            return self.op_classes[class_name]
+        except KeyError:
+            raise MdesError(
+                f"{self.name}: unknown operation class {class_name!r}"
+            ) from None
+
+    def class_for_opcode(self, opcode: str) -> OperationClass:
+        """Return the operation class an opcode maps to."""
+        try:
+            class_name = self.opcode_map[opcode]
+        except KeyError:
+            raise MdesError(
+                f"{self.name}: opcode {opcode!r} has no operation class"
+            ) from None
+        return self.op_class(class_name)
+
+    def constraint_for_opcode(self, opcode: str) -> Constraint:
+        """Return the execution constraint for an opcode."""
+        return self.class_for_opcode(opcode).constraint
+
+    def latency_for_opcode(self, opcode: str) -> int:
+        """Return the destination latency for an opcode."""
+        return self.class_for_opcode(opcode).latency
+
+    def bypass_for(
+        self, producer_class: str, consumer_class: str
+    ) -> Optional["Bypass"]:
+        """The forwarding path between two classes, if one exists."""
+        return self.bypasses.get((producer_class, consumer_class))
+
+    def flow_latency(
+        self, producer_class: str, consumer_class: str
+    ) -> int:
+        """Effective flow-dependence latency between two classes.
+
+        The producer's destination latency, seen earlier or later by the
+        consumer's operand read time (never below zero).
+        """
+        producer = self.op_class(producer_class)
+        consumer = self.op_class(consumer_class)
+        return max(0, producer.latency - consumer.read_time)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def constraints(self) -> List[Constraint]:
+        """Distinct (by identity) constraints across all operation classes."""
+        seen: Dict[int, Constraint] = {}
+        for op_class in self.op_classes.values():
+            seen.setdefault(id(op_class.constraint), op_class.constraint)
+        return list(seen.values())
+
+    def or_trees(self) -> List[OrTree]:
+        """Distinct (by identity) OR-trees reachable from any constraint."""
+        seen: Dict[int, OrTree] = {}
+        for constraint in self.constraints():
+            if isinstance(constraint, AndOrTree):
+                for tree in constraint.or_trees:
+                    seen.setdefault(id(tree), tree)
+            else:
+                seen.setdefault(id(constraint), constraint)
+        return list(seen.values())
+
+    def tree_count(self) -> int:
+        """Number of distinct top-level constraint trees (Table 6 column)."""
+        return len(self.constraints())
+
+    def stored_option_count(self) -> int:
+        """Reservation table options actually stored (Table 6 column).
+
+        For an OR-tree this is its option count; for an AND/OR-tree it is
+        the sum over sub-OR-trees, which is what makes the representation
+        compact.  Shared trees are counted once.
+        """
+        total = 0
+        for tree in self.or_trees():
+            total += len(tree)
+        return total
+
+    def or_tree_sharers(self) -> Dict[int, int]:
+        """Map ``id(or_tree)`` -> number of AND/OR-trees sharing it.
+
+        Used by the section 8 sorting heuristic: heavy sharing signals a
+        heavily used resource group.
+        """
+        counts: Dict[int, int] = {}
+        for constraint in self.constraints():
+            if isinstance(constraint, AndOrTree):
+                for tree in constraint.or_trees:
+                    counts[id(tree)] = counts.get(id(tree), 0) + 1
+            else:
+                counts[id(constraint)] = counts.get(id(constraint), 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def map_constraints(
+        self, rewrite: Callable[[Constraint], Constraint]
+    ) -> "Mdes":
+        """Return a new Mdes with every constraint passed through ``rewrite``.
+
+        ``rewrite`` is called once per distinct constraint object, so
+        sharing between operation classes is preserved in the result.
+        """
+        cache: Dict[int, Constraint] = {}
+
+        def rewrite_cached(constraint: Constraint) -> Constraint:
+            key = id(constraint)
+            if key not in cache:
+                cache[key] = rewrite(constraint)
+            return cache[key]
+
+        new_classes = {
+            class_name: op_class.with_constraint(
+                rewrite_cached(op_class.constraint)
+            )
+            for class_name, op_class in self.op_classes.items()
+        }
+        new_unused = {
+            tree_name: rewrite_cached(tree)
+            for tree_name, tree in self.unused_trees.items()
+        }
+        return Mdes(
+            name=self.name,
+            resources=self.resources,
+            op_classes=new_classes,
+            opcode_map=dict(self.opcode_map),
+            unused_trees=new_unused,
+            bypasses=dict(self.bypasses),
+        )
+
+    def expanded(self) -> "Mdes":
+        """Return the flat OR-tree form of this description (section 4)."""
+        from repro.core.expand import as_or_tree
+
+        flattened = self.map_constraints(as_or_tree)
+        return flattened
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`MdesError` on faults."""
+        for class_name in self.opcode_map.values():
+            if class_name not in self.op_classes:
+                raise MdesError(
+                    f"{self.name}: opcode map references missing class "
+                    f"{class_name!r}"
+                )
+        for op_class in self.op_classes.values():
+            if isinstance(op_class.constraint, AndOrTree):
+                op_class.constraint.validate_disjoint()
+            if op_class.latency < 0:
+                raise MdesError(
+                    f"{self.name}: class {op_class.name!r} has negative "
+                    "latency"
+                )
+        for (producer, consumer), bypass in self.bypasses.items():
+            for class_name in (producer, consumer):
+                if class_name not in self.op_classes:
+                    raise MdesError(
+                        f"{self.name}: bypass references unknown class "
+                        f"{class_name!r}"
+                    )
+            if bypass.latency < 0:
+                raise MdesError(
+                    f"{self.name}: bypass {producer}->{consumer} has "
+                    "negative latency"
+                )
+            if (
+                bypass.substitute_class
+                and bypass.substitute_class not in self.op_classes
+            ):
+                raise MdesError(
+                    f"{self.name}: bypass {producer}->{consumer} "
+                    f"substitutes unknown class "
+                    f"{bypass.substitute_class!r}"
+                )
+            if bypass.latency >= self.flow_latency(producer, consumer):
+                raise MdesError(
+                    f"{self.name}: bypass {producer}->{consumer} is not "
+                    "a shortcut (latency not below the normal flow "
+                    "latency)"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Mdes({self.name!r}, {len(self.op_classes)} classes, "
+            f"{len(self.opcode_map)} opcodes, {len(self.resources)} "
+            "resources)"
+        )

@@ -1,0 +1,92 @@
+"""Machine resources.
+
+Resources model the processor's scheduling rules, not necessarily real
+hardware (paper, section 2): decoders, register read/write ports, function
+units, issue slots, and so on.  Each resource owns a distinct bit index so
+that one cycle's worth of usages can be packed into a single bit-vector
+word (section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import MdesError
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One schedulable machine resource.
+
+    Attributes:
+        name: Human-readable resource name, e.g. ``"Decoder[1]"``.
+        index: Bit position of this resource in bit-vector words.
+    """
+
+    name: str
+    index: int
+
+    @property
+    def mask(self) -> int:
+        """Single-bit mask for this resource in a bit-vector word."""
+        return 1 << self.index
+
+    def __lt__(self, other: "Resource") -> bool:
+        if not isinstance(other, Resource):
+            return NotImplemented
+        return (self.index, self.name) < (other.index, other.name)
+
+    def __repr__(self) -> str:
+        return f"Resource({self.name!r}, bit={self.index})"
+
+
+@dataclass
+class ResourceTable:
+    """An ordered registry of the resources declared by one MDES.
+
+    The table assigns bit indices in declaration order, so the order in the
+    high-level description determines the bit layout of the low-level
+    representation.
+    """
+
+    _by_name: Dict[str, Resource] = field(default_factory=dict)
+    _ordered: List[Resource] = field(default_factory=list)
+
+    def declare(self, name: str) -> Resource:
+        """Declare a new resource; raises :class:`MdesError` on duplicates."""
+        if name in self._by_name:
+            raise MdesError(f"resource {name!r} declared twice")
+        resource = Resource(name, len(self._ordered))
+        self._by_name[name] = resource
+        self._ordered.append(resource)
+        return resource
+
+    def declare_many(self, names: List[str]) -> List[Resource]:
+        """Declare several resources in order; convenience for builders."""
+        return [self.declare(name) for name in names]
+
+    def lookup(self, name: str) -> Resource:
+        """Return the resource called ``name``; raise if undeclared."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MdesError(f"unknown resource {name!r}") from None
+
+    def get(self, name: str) -> Optional[Resource]:
+        """Return the resource called ``name`` or ``None``."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._ordered)
+
+    @property
+    def names(self) -> List[str]:
+        """Resource names in declaration order."""
+        return [resource.name for resource in self._ordered]

@@ -1,0 +1,209 @@
+"""Reservation tables, OR-trees, and AND/OR-trees.
+
+The traditional representation of an operation's resource constraints is a
+prioritized list of *reservation table options* -- an OR-tree (paper,
+figure 3a).  The paper's new representation is an AND-tree of OR-trees
+(figure 3b): every sub-OR-tree must be satisfied, and within each, the
+highest-priority available option is chosen.
+
+All three classes are immutable.  Structural equality deliberately ignores
+names: the redundancy-elimination transformation (section 5) merges
+structurally identical trees regardless of what the MDES writer called
+them.  Sharing, as in the paper's internal representation, is expressed by
+object *identity*: two operation classes share an OR-tree when they hold
+the very same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from repro.core.resource import Resource
+from repro.core.usage import ResourceUsage
+from repro.errors import MdesError
+
+
+@dataclass(frozen=True)
+class ReservationTable:
+    """One reservation table option.
+
+    Attributes:
+        usages: The resource usages, in *check order*.  The order is
+            semantically irrelevant (all usages must hold) but determines
+            how many checks a failing test performs, which is why the
+            usage-sorting transformation (section 7) exists.
+        name: Optional label from the high-level description.  Not part of
+            structural equality.
+    """
+
+    usages: Tuple[ResourceUsage, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.usages)) != len(self.usages):
+            raise MdesError(
+                f"reservation table {self.name or '<anon>'} lists a "
+                "duplicate resource usage"
+            )
+
+    @property
+    def usage_set(self) -> FrozenSet[ResourceUsage]:
+        """The usages as a set, for dominance and equivalence tests."""
+        return frozenset(self.usages)
+
+    def resources(self) -> FrozenSet[Resource]:
+        """Every resource this option touches."""
+        return frozenset(usage.resource for usage in self.usages)
+
+    def min_time(self) -> int:
+        """Earliest usage time in the option."""
+        return min(usage.time for usage in self.usages)
+
+    def max_time(self) -> int:
+        """Latest usage time in the option."""
+        return max(usage.time for usage in self.usages)
+
+    def normalized(self) -> "ReservationTable":
+        """Return a copy with usages in canonical (time, bit) order."""
+        return ReservationTable(tuple(sorted(self.usages)), name=self.name)
+
+    def dominates(self, other: "ReservationTable") -> bool:
+        """True when ``other`` can never be chosen below this option.
+
+        Per section 5: a lower-priority option whose usages are identical
+        to, or a superset of, a higher-priority option's usages is dead --
+        whenever the superset is available, so is the subset, and the
+        subset wins on priority.
+        """
+        return self.usage_set <= other.usage_set
+
+    def __len__(self) -> int:
+        return len(self.usages)
+
+    def __iter__(self) -> Iterator[ResourceUsage]:
+        return iter(self.usages)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        inner = ", ".join(repr(usage) for usage in self.usages)
+        return f"ReservationTable{label}[{inner}]"
+
+
+@dataclass(frozen=True)
+class OrTree:
+    """A prioritized list of reservation table options.
+
+    Option 0 has the highest priority; the first available option is the
+    one the scheduler reserves.
+    """
+
+    options: Tuple[ReservationTable, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise MdesError(
+                f"OR-tree {self.name or '<anon>'} has no options"
+            )
+
+    def resources(self) -> FrozenSet[Resource]:
+        """Every resource any option touches."""
+        result: FrozenSet[Resource] = frozenset()
+        for option in self.options:
+            result |= option.resources()
+        return result
+
+    def usage_pairs(self) -> FrozenSet[ResourceUsage]:
+        """Every (resource, time) pair any option may reserve."""
+        result: FrozenSet[ResourceUsage] = frozenset()
+        for option in self.options:
+            result |= option.usage_set
+        return result
+
+    def min_time(self) -> int:
+        """Earliest usage time across all options."""
+        return min(option.min_time() for option in self.options)
+
+    def common_usages(self) -> FrozenSet[ResourceUsage]:
+        """Usages present in *every* option (candidates for factoring)."""
+        common = self.options[0].usage_set
+        for option in self.options[1:]:
+            common &= option.usage_set
+        return common
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+    def __iter__(self) -> Iterator[ReservationTable]:
+        return iter(self.options)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"OrTree{label}({len(self.options)} options)"
+
+
+@dataclass(frozen=True)
+class AndOrTree:
+    """An AND of OR-trees (the paper's representation, section 3).
+
+    An operation may be scheduled at a cycle iff every sub-OR-tree has an
+    available option at that cycle.  The checker processes the OR-trees in
+    order with the plain OR-tree algorithm, so earlier trees should be the
+    ones most likely to conflict (the section 8 sorting transformation).
+    """
+
+    or_trees: Tuple[OrTree, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.or_trees:
+            raise MdesError(
+                f"AND/OR-tree {self.name or '<anon>'} has no OR-trees"
+            )
+
+    def validate_disjoint(self) -> None:
+        """Ensure sibling OR-trees can never reserve the same usage.
+
+        The checker satisfies each sub-OR-tree independently; that is only
+        sound when no two siblings can choose the same (resource, time)
+        pair.  Every machine description in this library maintains this
+        invariant, and the HMDES translator calls this method.
+        """
+        seen: FrozenSet[ResourceUsage] = frozenset()
+        for tree in self.or_trees:
+            pairs = tree.usage_pairs()
+            overlap = seen & pairs
+            if overlap:
+                sample = sorted(overlap)[0]
+                raise MdesError(
+                    f"AND/OR-tree {self.name or '<anon>'}: sibling OR-trees "
+                    f"may both reserve {sample!r}"
+                )
+            seen |= pairs
+
+    def option_product(self) -> int:
+        """Number of OR-tree options an equivalent flat OR-tree would need."""
+        product = 1
+        for tree in self.or_trees:
+            product *= len(tree)
+        return product
+
+    def total_options(self) -> int:
+        """Number of options stored across the sub-OR-trees."""
+        return sum(len(tree) for tree in self.or_trees)
+
+    def __len__(self) -> int:
+        return len(self.or_trees)
+
+    def __iter__(self) -> Iterator[OrTree]:
+        return iter(self.or_trees)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        sizes = "x".join(str(len(tree)) for tree in self.or_trees)
+        return f"AndOrTree{label}({sizes})"
+
+
+#: A resource constraint in either representation.
+Constraint = Union[OrTree, AndOrTree]

@@ -1,0 +1,38 @@
+"""Resource usages: (resource, time) pairs.
+
+A *resource usage* says that a resource is busy at a given time relative to
+the operation's issue point.  Following the paper (section 2), time zero is
+the first stage of the execution pipeline: decode-stage usages carry
+negative times and writeback-stage usages sit near the operation latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resource import Resource
+
+
+@dataclass(frozen=True, order=True)
+class ResourceUsage:
+    """One use of one resource at one relative time.
+
+    The ordering (time-major, then resource bit index) is the canonical
+    order used when normalizing reservation tables for structural
+    comparison.
+    """
+
+    time: int
+    resource: Resource
+
+    def shifted(self, delta: int) -> "ResourceUsage":
+        """Return the same usage moved by ``delta`` cycles.
+
+        Shifting usages of one resource by a common constant preserves all
+        forbidden latencies (section 7), which is what makes the paper's
+        usage-time transformation safe.
+        """
+        return ResourceUsage(self.time + delta, self.resource)
+
+    def __repr__(self) -> str:
+        return f"use({self.resource.name}@{self.time})"

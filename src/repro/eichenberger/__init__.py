@@ -1,0 +1,13 @@
+"""Eichenberger-Davidson reduced reservation tables (paper section 10).
+
+Eichenberger and Davidson (PLDI 1996) compute, for each reservation table
+option, an equivalent option with a minimum number of resource usages --
+minimizing per-option memory and checks, though not the number of
+*options* checked per attempt (which is what the paper's AND/OR-trees
+attack).  This subpackage implements a greedy variant of their reduction
+as a comparison baseline.
+"""
+
+from repro.eichenberger.reduce import reduce_mdes_options, reduce_options
+
+__all__ = ["reduce_mdes_options", "reduce_options"]

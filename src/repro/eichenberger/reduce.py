@@ -1,0 +1,120 @@
+"""Greedy per-option usage minimization preserving collision vectors.
+
+A usage can be deleted from an option when deleting it changes no
+pairwise collision vector against any option in the description
+(including the option against itself).  Whatever schedules were legal
+before remain exactly the legal schedules after -- Eichenberger and
+Davidson's equivalence criterion.  Like theirs, this implementation is a
+heuristic: it deletes greedily in a fixed order and may miss a true
+minimum, but results are near-optimal in practice.
+
+Note the scope of the guarantee: *legality* is preserved, not the
+greedy checker's concrete resource choices, so a priority-driven list
+scheduler may pick different (equally legal) placements afterwards.
+This is weaker than the paper's own transformations, every one of which
+preserves the produced schedule bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.mdes import Mdes
+from repro.core.tables import OrTree, ReservationTable
+from repro.errors import MdesError
+from repro.transforms.base import TreeRewriter
+
+#: (resource id, time) pairs -- the working form of an option.
+_Pairs = Tuple[Tuple[int, int], ...]
+
+
+def _collisions(a: Sequence, b: Sequence) -> frozenset:
+    return frozenset(
+        ua.time - ub.time
+        for ua in a
+        for ub in b
+        if ua.resource is ub.resource and ua.time >= ub.time
+    )
+
+
+def reduce_options(
+    options: List[ReservationTable],
+) -> List[ReservationTable]:
+    """Reduce a closed set of options, preserving pairwise collisions.
+
+    ``options`` must contain every option of the description: a deletion
+    is only safe when checked against all of them.
+    """
+    current: List[List] = [list(option.usages) for option in options]
+
+    def safe_to_drop(index: int, usage_position: int) -> bool:
+        candidate = (
+            current[index][:usage_position]
+            + current[index][usage_position + 1 :]
+        )
+        if not candidate:
+            return False
+        original = current[index]
+        for other_index, other in enumerate(current):
+            if other_index == index:
+                if _collisions(candidate, candidate) != _collisions(
+                    original, original
+                ):
+                    return False
+                continue
+            if _collisions(candidate, other) != _collisions(
+                original, other
+            ):
+                return False
+            if _collisions(other, candidate) != _collisions(
+                other, original
+            ):
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current)):
+            position = 0
+            while position < len(current[index]):
+                if safe_to_drop(index, position):
+                    del current[index][position]
+                    changed = True
+                else:
+                    position += 1
+
+    return [
+        ReservationTable(tuple(usages), name=options[i].name)
+        for i, usages in enumerate(current)
+    ]
+
+
+def reduce_mdes_options(mdes: Mdes) -> Mdes:
+    """Apply the reduction to a whole flat (OR-tree) description."""
+    for op_class in mdes.op_classes.values():
+        if not isinstance(op_class.constraint, OrTree):
+            raise MdesError(
+                "Eichenberger-Davidson reduction operates on flat OR-tree "
+                "descriptions; expand AND/OR-trees first"
+            )
+
+    originals: List[ReservationTable] = []
+    positions: Dict[int, int] = {}
+    for constraint in mdes.constraints():
+        for option in constraint.options:
+            if id(option) not in positions:
+                positions[id(option)] = len(originals)
+                originals.append(option)
+    for tree in mdes.unused_trees.values():
+        for option in tree.options:
+            if id(option) not in positions:
+                positions[id(option)] = len(originals)
+                originals.append(option)
+
+    reduced = reduce_options(originals)
+
+    rewriter = TreeRewriter(
+        option_hook=lambda option: reduced[positions[id(option)]]
+    )
+    return rewriter.rewrite_mdes(mdes)

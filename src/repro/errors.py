@@ -1,0 +1,38 @@
+"""Exception hierarchy for the MDES reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MdesError(ReproError):
+    """An inconsistency in a machine description."""
+
+
+class HmdesError(MdesError):
+    """Base class for high-level MDES language errors."""
+
+
+class HmdesSyntaxError(HmdesError):
+    """A lexical or syntactic error in HMDES source text.
+
+    Carries the 1-based source line so the MDES writer can find the fault.
+    """
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class HmdesSemanticError(HmdesError):
+    """A well-formed HMDES construct that does not make sense.
+
+    Examples: a reference to an undeclared resource, a duplicate section
+    entry, or an operation mapped to a missing operation class.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not make progress (e.g. an unschedulable op)."""

@@ -1,0 +1,38 @@
+"""The high-level machine description (HMDES) language.
+
+The paper's model has compiler writers author machine descriptions in a
+high-level language that a translator turns into the low-level form.  This
+subpackage is that language:
+
+* :mod:`~repro.hmdes.preprocess` -- ``$define`` macros and generative
+  ``$for`` loops (the paper notes option enumeration via preprocessor
+  directives as a source of redundant options).
+* :mod:`~repro.hmdes.lexer` / :mod:`~repro.hmdes.parser` -- tokenizer and
+  recursive-descent parser producing the :mod:`~repro.hmdes.ast` nodes.
+* :mod:`~repro.hmdes.translate` -- semantic analysis producing a
+  :class:`~repro.core.mdes.Mdes`, with name-based sharing: referencing a
+  named OR-tree from two AND/OR-trees shares one object, exactly the
+  sharing the paper says "is entirely specified by the external MDES
+  representation".
+* :mod:`~repro.hmdes.writer` -- pretty-print an :class:`Mdes` back to
+  HMDES source (round-trips structurally).
+
+Grammar sketch::
+
+    mdes SuperSPARC;
+    section resource  { Decoder[0..2]; M; WrPt[0..1]; }
+    section table     { RT_mem { use M at 0; } }
+    section ortree    {
+        OT_decoder { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+    }
+    section andortree { AOT_load { ortree RT_mem; ortree OT_decoder; } }
+    section opclass   { load { resv AOT_load; latency 1; } }
+    section operation { LD: load; }
+"""
+
+from repro.hmdes.preprocess import preprocess
+from repro.hmdes.parser import parse_source
+from repro.hmdes.translate import load_mdes, translate
+from repro.hmdes.writer import write_mdes
+
+__all__ = ["load_mdes", "parse_source", "preprocess", "translate", "write_mdes"]

@@ -1,0 +1,125 @@
+"""Abstract syntax tree for the HMDES language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass(frozen=True)
+class ResourceDecl:
+    """``Name;`` or ``Name[lo..hi];`` in the resource section."""
+
+    name: str
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+    @property
+    def is_range(self) -> bool:
+        """Whether the declaration expands to indexed resources."""
+        return self.low is not None
+
+    def expanded_names(self) -> List[str]:
+        """The concrete resource names this declaration introduces."""
+        if not self.is_range:
+            return [self.name]
+        assert self.low is not None and self.high is not None
+        return [f"{self.name}[{i}]" for i in range(self.low, self.high + 1)]
+
+
+@dataclass(frozen=True)
+class UsageNode:
+    """``use Resource at time;`` inside a table or option body."""
+
+    resource: str
+    time: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TableNode:
+    """A named reservation table in the table section."""
+
+    name: str
+    usages: List[UsageNode] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class OptionNode:
+    """One option of an OR-tree: inline usages or a named-table reference."""
+
+    usages: Optional[List[UsageNode]] = None
+    ref: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class OrTreeNode:
+    """An OR-tree: prioritized options."""
+
+    name: str
+    options: List[OptionNode] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class OrTreeRef:
+    """A by-name reference to a named OR-tree (or named table)."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AndOrTreeNode:
+    """An AND/OR-tree: an ordered list of OR-tree children."""
+
+    name: str
+    children: List[Union[OrTreeRef, OrTreeNode]] = field(default_factory=list)
+
+
+#: A constraint expression in an opclass: a reference or an inline tree.
+ConstraintExpr = Union[OrTreeRef, OrTreeNode, AndOrTreeNode]
+
+
+@dataclass(frozen=True)
+class OpClassNode:
+    """``name { resv <constraint>; latency n; read n; }``."""
+
+    name: str
+    constraint: ConstraintExpr
+    latency: int = 1
+    read_time: int = 0
+
+
+@dataclass(frozen=True)
+class BypassNode:
+    """``producer -> consumer: latency n [class subst];`` entry."""
+
+    producer: str
+    consumer: str
+    latency: int
+    substitute: str = ""
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class OperationNode:
+    """``OPCODE: classname;`` in the operation section."""
+
+    opcode: str
+    class_name: str
+    line: int = 0
+
+
+@dataclass
+class MdesNode:
+    """A whole parsed description."""
+
+    name: str
+    resources: List[ResourceDecl] = field(default_factory=list)
+    tables: List[TableNode] = field(default_factory=list)
+    or_trees: List[OrTreeNode] = field(default_factory=list)
+    and_or_trees: List[AndOrTreeNode] = field(default_factory=list)
+    op_classes: List[OpClassNode] = field(default_factory=list)
+    operations: List[OperationNode] = field(default_factory=list)
+    bypasses: List[BypassNode] = field(default_factory=list)

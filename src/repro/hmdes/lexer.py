@@ -1,0 +1,102 @@
+"""Tokenizer for preprocessed HMDES source."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import HmdesSyntaxError
+
+#: Token kinds.
+IDENT = "IDENT"
+INT = "INT"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<int>-?\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct>\.\.|->|\{|\}|\[|\]|;|:|,)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`HmdesSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise HmdesSyntaxError(
+                f"unexpected character {source[position]!r}", line
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            line += match.group(0).count("\n")
+            continue
+        kind = {"int": INT, "ident": IDENT, "punct": PUNCT}[match.lastgroup]
+        tokens.append(Token(kind, match.group(0), line))
+    tokens.append(Token(EOF, "", line))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual parser conveniences."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        """The token at the cursor."""
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        """Return the current token and move past it."""
+        token = self.current
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def expect(self, kind: str, value: str = "") -> Token:
+        """Consume a token of the given kind (and value, if non-empty)."""
+        token = self.current
+        if token.kind != kind or (value and token.value != value):
+            wanted = value or kind
+            raise HmdesSyntaxError(
+                f"expected {wanted!r}, found {token.value!r}", token.line
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: str = "") -> bool:
+        """Consume the token if it matches; return whether it did."""
+        token = self.current
+        if token.kind == kind and (not value or token.value == value):
+            self.advance()
+            return True
+        return False
+
+    def at(self, kind: str, value: str = "") -> bool:
+        """True when the current token matches without consuming it."""
+        token = self.current
+        return token.kind == kind and (not value or token.value == value)

@@ -1,0 +1,249 @@
+"""Recursive-descent parser for the HMDES language.
+
+Grammar (after preprocessing)::
+
+    file       := 'mdes' IDENT ';' section*
+    section    := 'section' KIND '{' entries '}'
+    resource   := NAME ('[' INT '..' INT ']')? ';'
+    table      := NAME '{' usage* '}'
+    usage      := 'use' resname 'at' INT ';'
+    resname    := NAME ('[' INT ']')?
+    ortree     := NAME '{' option+ '}'
+    option     := 'option' ('{' usage* '}' | NAME ';')
+    andortree  := NAME '{' child+ '}'
+    child      := 'ortree' (NAME ';' | '{' option+ '}')
+    opclass    := NAME '{' 'resv' constraint ';' ('latency' INT ';')? '}'
+    constraint := NAME | 'ortree' '{' option+ '}' | 'andortree' '{' child+ '}'
+    operation  := OPCODE ':' NAME ';'
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import HmdesSyntaxError
+from repro.hmdes import ast
+from repro.hmdes.lexer import IDENT, INT, PUNCT, Token, TokenStream, tokenize
+from repro.hmdes.preprocess import preprocess
+
+_SECTION_KINDS = (
+    "resource",
+    "table",
+    "ortree",
+    "andortree",
+    "opclass",
+    "operation",
+    "bypass",
+)
+
+
+class Parser:
+    """Parses one preprocessed HMDES source into an :class:`ast.MdesNode`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._stream = TokenStream(tokens)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_file(self) -> ast.MdesNode:
+        """Parse the whole file."""
+        stream = self._stream
+        stream.expect(IDENT, "mdes")
+        name = stream.expect(IDENT).value
+        stream.expect(PUNCT, ";")
+        node = ast.MdesNode(name=name)
+        while not stream.at("EOF"):
+            self._parse_section(node)
+        return node
+
+    def _parse_section(self, node: ast.MdesNode) -> None:
+        stream = self._stream
+        stream.expect(IDENT, "section")
+        kind_token = stream.expect(IDENT)
+        kind = kind_token.value
+        if kind not in _SECTION_KINDS:
+            raise HmdesSyntaxError(
+                f"unknown section kind {kind!r}", kind_token.line
+            )
+        stream.expect(PUNCT, "{")
+        while not stream.accept(PUNCT, "}"):
+            if kind == "resource":
+                node.resources.append(self._parse_resource_decl())
+            elif kind == "table":
+                node.tables.append(self._parse_table())
+            elif kind == "ortree":
+                node.or_trees.append(self._parse_or_tree())
+            elif kind == "andortree":
+                node.and_or_trees.append(self._parse_and_or_tree())
+            elif kind == "opclass":
+                node.op_classes.append(self._parse_op_class())
+            elif kind == "bypass":
+                node.bypasses.append(self._parse_bypass())
+            else:
+                node.operations.append(self._parse_operation())
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+
+    def _parse_resource_decl(self) -> ast.ResourceDecl:
+        stream = self._stream
+        name = stream.expect(IDENT).value
+        low = high = None
+        if stream.accept(PUNCT, "["):
+            low = int(stream.expect(INT).value)
+            if stream.accept(PUNCT, ".."):
+                high = int(stream.expect(INT).value)
+            else:
+                # Single-index declaration, e.g. ``Decoder[0];``
+                high = low
+            stream.expect(PUNCT, "]")
+            if high < low:
+                raise HmdesSyntaxError(
+                    f"resource range {name}[{low}..{high}] is empty",
+                    stream.current.line,
+                )
+        stream.expect(PUNCT, ";")
+        return ast.ResourceDecl(name, low, high)
+
+    def _parse_resource_name(self) -> str:
+        stream = self._stream
+        name = stream.expect(IDENT).value
+        if stream.accept(PUNCT, "["):
+            index = int(stream.expect(INT).value)
+            stream.expect(PUNCT, "]")
+            name = f"{name}[{index}]"
+        return name
+
+    def _parse_usage(self) -> ast.UsageNode:
+        stream = self._stream
+        line = stream.current.line
+        stream.expect(IDENT, "use")
+        resource = self._parse_resource_name()
+        stream.expect(IDENT, "at")
+        time = int(stream.expect(INT).value)
+        stream.expect(PUNCT, ";")
+        return ast.UsageNode(resource, time, line)
+
+    def _parse_usage_block(self) -> List[ast.UsageNode]:
+        stream = self._stream
+        stream.expect(PUNCT, "{")
+        usages: List[ast.UsageNode] = []
+        while not stream.accept(PUNCT, "}"):
+            usages.append(self._parse_usage())
+        return usages
+
+    def _parse_table(self) -> ast.TableNode:
+        name = self._stream.expect(IDENT).value
+        return ast.TableNode(name, self._parse_usage_block())
+
+    def _parse_option(self) -> ast.OptionNode:
+        stream = self._stream
+        line = stream.expect(IDENT, "option").line
+        if stream.at(PUNCT, "{"):
+            return ast.OptionNode(usages=self._parse_usage_block(), line=line)
+        ref = stream.expect(IDENT).value
+        stream.expect(PUNCT, ";")
+        return ast.OptionNode(ref=ref, line=line)
+
+    def _parse_option_block(self, name: str) -> ast.OrTreeNode:
+        stream = self._stream
+        stream.expect(PUNCT, "{")
+        options: List[ast.OptionNode] = []
+        while not stream.accept(PUNCT, "}"):
+            options.append(self._parse_option())
+        return ast.OrTreeNode(name, options)
+
+    def _parse_or_tree(self) -> ast.OrTreeNode:
+        name = self._stream.expect(IDENT).value
+        return self._parse_option_block(name)
+
+    def _parse_child(self) -> Union[ast.OrTreeRef, ast.OrTreeNode]:
+        stream = self._stream
+        line = stream.expect(IDENT, "ortree").line
+        if stream.at(PUNCT, "{"):
+            return self._parse_option_block("")
+        name = stream.expect(IDENT).value
+        stream.expect(PUNCT, ";")
+        return ast.OrTreeRef(name, line)
+
+    def _parse_child_block(self, name: str) -> ast.AndOrTreeNode:
+        stream = self._stream
+        stream.expect(PUNCT, "{")
+        children: List[Union[ast.OrTreeRef, ast.OrTreeNode]] = []
+        while not stream.accept(PUNCT, "}"):
+            children.append(self._parse_child())
+        return ast.AndOrTreeNode(name, children)
+
+    def _parse_and_or_tree(self) -> ast.AndOrTreeNode:
+        name = self._stream.expect(IDENT).value
+        return self._parse_child_block(name)
+
+    def _parse_constraint(self) -> ast.ConstraintExpr:
+        stream = self._stream
+        if stream.at(IDENT, "ortree"):
+            stream.advance()
+            return self._parse_option_block("")
+        if stream.at(IDENT, "andortree"):
+            stream.advance()
+            return self._parse_child_block("")
+        token = stream.expect(IDENT)
+        return ast.OrTreeRef(token.value, token.line)
+
+    def _parse_op_class(self) -> ast.OpClassNode:
+        stream = self._stream
+        name = stream.expect(IDENT).value
+        stream.expect(PUNCT, "{")
+        stream.expect(IDENT, "resv")
+        constraint = self._parse_constraint()
+        stream.expect(PUNCT, ";")
+        latency = 1
+        read_time = 0
+        while not stream.at(PUNCT, "}"):
+            if stream.accept(IDENT, "latency"):
+                latency = int(stream.expect(INT).value)
+            elif stream.accept(IDENT, "read"):
+                read_time = int(stream.expect(INT).value)
+            else:
+                raise HmdesSyntaxError(
+                    f"expected 'latency', 'read', or '}}' in class "
+                    f"{name!r}, found {stream.current.value!r}",
+                    stream.current.line,
+                )
+            stream.expect(PUNCT, ";")
+        stream.expect(PUNCT, "}")
+        return ast.OpClassNode(name, constraint, latency, read_time)
+
+    def _parse_bypass(self) -> ast.BypassNode:
+        stream = self._stream
+        producer_token = stream.expect(IDENT)
+        stream.expect(PUNCT, "->")
+        consumer = stream.expect(IDENT).value
+        stream.expect(PUNCT, ":")
+        stream.expect(IDENT, "latency")
+        latency = int(stream.expect(INT).value)
+        substitute = ""
+        if stream.accept(IDENT, "class"):
+            substitute = stream.expect(IDENT).value
+        stream.expect(PUNCT, ";")
+        return ast.BypassNode(
+            producer_token.value, consumer, latency, substitute,
+            producer_token.line,
+        )
+
+    def _parse_operation(self) -> ast.OperationNode:
+        stream = self._stream
+        opcode_token = stream.expect(IDENT)
+        stream.expect(PUNCT, ":")
+        class_name = stream.expect(IDENT).value
+        stream.expect(PUNCT, ";")
+        return ast.OperationNode(
+            opcode_token.value, class_name, opcode_token.line
+        )
+
+
+def parse_source(source: str) -> ast.MdesNode:
+    """Preprocess and parse HMDES source text."""
+    return Parser(tokenize(preprocess(source))).parse_file()

@@ -1,0 +1,136 @@
+"""The HMDES macro preprocessor.
+
+Two directives, modeled on the generative facilities the paper's MDES
+language relies on ("the use of preprocessor directives enumerates the
+various OR-tree options", section 5):
+
+* ``$define NAME replacement-text`` -- every later ``$NAME`` occurrence is
+  replaced.  Definitions may reference earlier definitions.
+* ``$for var in LO..HI { body }`` -- the body is emitted ``HI - LO + 1``
+  times with ``$var`` bound to each value.  Loops nest; bounds may be
+  ``$define``-d names.
+
+Comments (``// ...`` and ``/* ... */``) are stripped here so directives
+inside comments are inert.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import HmdesSyntaxError
+
+_DEFINE_RE = re.compile(r"^\s*\$define\s+([A-Za-z_]\w*)\s+(.*)$")
+_FOR_RE = re.compile(
+    r"\$for\s+([A-Za-z_]\w*)\s+in\s+(-?\$?\w+)\s*\.\.\s*(-?\$?\w+)\s*\{"
+)
+_VAR_RE = re.compile(r"\$([A-Za-z_]\w*)")
+_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def strip_comments(text: str) -> str:
+    """Remove ``//`` and ``/* */`` comments, preserving line structure."""
+    def blank_lines(match: "re.Match[str]") -> str:
+        return "\n" * match.group(0).count("\n")
+
+    text = _BLOCK_COMMENT_RE.sub(blank_lines, text)
+    return _LINE_COMMENT_RE.sub("", text)
+
+
+def _substitute(text: str, bindings: Dict[str, str], strict: bool = True) -> str:
+    """Replace every ``$name`` with its binding.
+
+    With ``strict`` unset, unknown names are left in place -- they may be
+    inner ``$for`` variables that a later expansion pass will bind.  The
+    final pass runs strict, so genuine typos are still reported.
+    """
+
+    def replace(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name in ("define", "for"):
+            return match.group(0)
+        if name not in bindings:
+            if strict:
+                raise HmdesSyntaxError(f"undefined macro ${name}")
+            return match.group(0)
+        return bindings[name]
+
+    return _VAR_RE.sub(replace, text)
+
+
+def _find_block(text: str, open_index: int) -> int:
+    """Index just past the ``}`` matching the ``{`` at ``open_index``."""
+    depth = 0
+    for index in range(open_index, len(text)):
+        if text[index] == "{":
+            depth += 1
+        elif text[index] == "}":
+            depth -= 1
+            if depth == 0:
+                return index + 1
+    raise HmdesSyntaxError("unterminated { block in $for")
+
+
+def _resolve_bound(token: str, bindings: Dict[str, str]) -> int:
+    """Turn a loop bound (integer literal or ``$macro``) into an int."""
+    negate = token.startswith("-")
+    if negate:
+        token = token[1:]
+    if token.startswith("$"):
+        token = token[1:]
+    candidate = bindings.get(token, token)
+    if negate:
+        candidate = f"-{candidate}"
+    try:
+        return int(candidate)
+    except ValueError:
+        raise HmdesSyntaxError(
+            f"$for bound {token!r} is not an integer"
+        ) from None
+
+
+def _expand_fors(text: str, bindings: Dict[str, str]) -> str:
+    """Expand every ``$for`` loop, innermost-last via recursion."""
+    while True:
+        match = _FOR_RE.search(text)
+        if match is None:
+            return text
+        var, lo_token, hi_token = match.groups()
+        lo = _resolve_bound(lo_token, bindings)
+        hi = _resolve_bound(hi_token, bindings)
+        if hi < lo:
+            raise HmdesSyntaxError(
+                f"$for {var}: empty range {lo}..{hi}"
+            )
+        open_index = match.end() - 1
+        end_index = _find_block(text, open_index)
+        body = text[open_index + 1 : end_index - 1]
+        pieces: List[str] = []
+        for value in range(lo, hi + 1):
+            iteration = dict(bindings)
+            iteration[var] = str(value)
+            expanded_body = _expand_fors(
+                _substitute(body, iteration, strict=False), iteration
+            )
+            pieces.append(expanded_body)
+        text = text[: match.start()] + "".join(pieces) + text[end_index:]
+
+
+def preprocess(source: str) -> str:
+    """Strip comments, apply ``$define`` bindings, and expand ``$for``."""
+    source = strip_comments(source)
+    bindings: Dict[str, str] = {}
+    output_lines: List[str] = []
+    for line in source.split("\n"):
+        match = _DEFINE_RE.match(line)
+        if match:
+            name, replacement = match.groups()
+            bindings[name] = _substitute(replacement.strip(), bindings)
+            output_lines.append("")
+        else:
+            output_lines.append(line)
+    text = "\n".join(output_lines)
+    text = _expand_fors(text, bindings)
+    return _substitute(text, bindings)

@@ -1,0 +1,274 @@
+"""Semantic analysis: HMDES AST -> :class:`~repro.core.mdes.Mdes`.
+
+Name-based sharing is the key property: every reference to a named table,
+OR-tree, or AND/OR-tree resolves to one shared object, so the sharing an
+MDES writer expresses in the high-level source survives into the low-level
+representation (paper section 4: "the common information to be shared is
+entirely specified by the external MDES representation").
+
+Named trees that no operation class reaches are collected into
+``Mdes.unused_trees`` -- the dead information that section 5's dead-code
+removal deletes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Union
+
+from repro.core.mdes import Bypass, Mdes, OperationClass
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.errors import HmdesSemanticError
+from repro.hmdes import ast
+from repro.hmdes.parser import parse_source
+
+
+class _Translator:
+    def __init__(self, node: ast.MdesNode) -> None:
+        self._node = node
+        self._resources = ResourceTable()
+        self._tables: Dict[str, ReservationTable] = {}
+        self._or_trees: Dict[str, OrTree] = {}
+        self._and_or_trees: Dict[str, AndOrTree] = {}
+        self._table_wrappers: Dict[str, OrTree] = {}
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _declare_resources(self) -> None:
+        for decl in self._node.resources:
+            for name in decl.expanded_names():
+                self._resources.declare(name)
+
+    def _check_fresh_name(self, name: str) -> None:
+        if (
+            name in self._tables
+            or name in self._or_trees
+            or name in self._and_or_trees
+        ):
+            raise HmdesSemanticError(f"name {name!r} declared twice")
+
+    def _build_usages(self, nodes: List[ast.UsageNode]) -> ReservationTable:
+        usages = []
+        for usage_node in nodes:
+            resource = self._resources.get(usage_node.resource)
+            if resource is None:
+                raise HmdesSemanticError(
+                    f"line {usage_node.line}: unknown resource "
+                    f"{usage_node.resource!r}"
+                )
+            usages.append(ResourceUsage(usage_node.time, resource))
+        return ReservationTable(tuple(usages))
+
+    def _build_tables(self) -> None:
+        for table_node in self._node.tables:
+            self._check_fresh_name(table_node.name)
+            table = self._build_usages(table_node.usages)
+            self._tables[table_node.name] = ReservationTable(
+                table.usages, name=table_node.name
+            )
+
+    def _build_option(self, option_node: ast.OptionNode) -> ReservationTable:
+        if option_node.ref is not None:
+            table = self._tables.get(option_node.ref)
+            if table is None:
+                raise HmdesSemanticError(
+                    f"line {option_node.line}: option references unknown "
+                    f"table {option_node.ref!r}"
+                )
+            return table
+        assert option_node.usages is not None
+        return self._build_usages(option_node.usages)
+
+    def _build_or_tree(self, tree_node: ast.OrTreeNode) -> OrTree:
+        options = tuple(
+            self._build_option(option) for option in tree_node.options
+        )
+        return OrTree(options, name=tree_node.name)
+
+    def _build_or_trees(self) -> None:
+        for tree_node in self._node.or_trees:
+            self._check_fresh_name(tree_node.name)
+            self._or_trees[tree_node.name] = self._build_or_tree(tree_node)
+
+    def _resolve_or_child(
+        self, child: Union[ast.OrTreeRef, ast.OrTreeNode]
+    ) -> OrTree:
+        if isinstance(child, ast.OrTreeNode):
+            return self._build_or_tree(child)
+        tree = self._or_trees.get(child.name)
+        if tree is not None:
+            return tree
+        table = self._tables.get(child.name)
+        if table is not None:
+            # A named table used where an OR-tree is expected becomes a
+            # shared one-option OR-tree.
+            if child.name not in self._table_wrappers:
+                self._table_wrappers[child.name] = OrTree(
+                    (table,), name=child.name
+                )
+            return self._table_wrappers[child.name]
+        raise HmdesSemanticError(
+            f"line {child.line}: reference to unknown OR-tree {child.name!r}"
+        )
+
+    def _build_and_or_tree(self, tree_node: ast.AndOrTreeNode) -> AndOrTree:
+        children = tuple(
+            self._resolve_or_child(child) for child in tree_node.children
+        )
+        return AndOrTree(children, name=tree_node.name)
+
+    def _build_and_or_trees(self) -> None:
+        for tree_node in self._node.and_or_trees:
+            self._check_fresh_name(tree_node.name)
+            self._and_or_trees[tree_node.name] = self._build_and_or_tree(
+                tree_node
+            )
+
+    # ------------------------------------------------------------------
+    # Operation classes and opcodes
+    # ------------------------------------------------------------------
+
+    def _resolve_constraint(self, expr: ast.ConstraintExpr) -> Constraint:
+        if isinstance(expr, ast.AndOrTreeNode):
+            return self._build_and_or_tree(expr)
+        if isinstance(expr, ast.OrTreeNode):
+            return self._build_or_tree(expr)
+        if expr.name in self._and_or_trees:
+            return self._and_or_trees[expr.name]
+        if expr.name in self._or_trees:
+            return self._or_trees[expr.name]
+        if expr.name in self._tables:
+            return OrTree((self._tables[expr.name],), name=expr.name)
+        raise HmdesSemanticError(
+            f"line {expr.line}: resv references unknown tree {expr.name!r}"
+        )
+
+    def _build_op_classes(self) -> Dict[str, OperationClass]:
+        op_classes: Dict[str, OperationClass] = {}
+        for class_node in self._node.op_classes:
+            if class_node.name in op_classes:
+                raise HmdesSemanticError(
+                    f"operation class {class_node.name!r} declared twice"
+                )
+            constraint = self._resolve_constraint(class_node.constraint)
+            if class_node.latency < 0:
+                raise HmdesSemanticError(
+                    f"operation class {class_node.name!r} has negative "
+                    "latency"
+                )
+            op_classes[class_node.name] = OperationClass(
+                class_node.name,
+                constraint,
+                class_node.latency,
+                class_node.read_time,
+            )
+        return op_classes
+
+    def _build_bypasses(self) -> Dict:
+        bypasses = {}
+        for node in self._node.bypasses:
+            key = (node.producer, node.consumer)
+            if key in bypasses:
+                raise HmdesSemanticError(
+                    f"line {node.line}: bypass {node.producer}->"
+                    f"{node.consumer} declared twice"
+                )
+            bypasses[key] = Bypass(node.latency, node.substitute)
+        return bypasses
+
+    def _build_opcode_map(
+        self, op_classes: Dict[str, OperationClass]
+    ) -> Dict[str, str]:
+        opcode_map: Dict[str, str] = {}
+        for operation in self._node.operations:
+            if operation.opcode in opcode_map:
+                raise HmdesSemanticError(
+                    f"line {operation.line}: opcode {operation.opcode!r} "
+                    "mapped twice"
+                )
+            if operation.class_name not in op_classes:
+                raise HmdesSemanticError(
+                    f"line {operation.line}: opcode {operation.opcode!r} "
+                    f"maps to unknown class {operation.class_name!r}"
+                )
+            opcode_map[operation.opcode] = operation.class_name
+        return opcode_map
+
+    # ------------------------------------------------------------------
+    # Unused-information accounting
+    # ------------------------------------------------------------------
+
+    def _collect_unused(
+        self, op_classes: Dict[str, OperationClass]
+    ) -> Dict[str, Constraint]:
+        """Named items not reachable from any operation class.
+
+        Reachability is computed on the final object graph (by identity),
+        so a named OR-tree referenced only by an unused AND/OR-tree is
+        itself reported unused.
+        """
+        reachable: Set[int] = set()
+
+        def mark(constraint: Constraint) -> None:
+            reachable.add(id(constraint))
+            or_trees = (
+                constraint.or_trees
+                if isinstance(constraint, AndOrTree)
+                else (constraint,)
+            )
+            for tree in or_trees:
+                reachable.add(id(tree))
+                for option in tree.options:
+                    reachable.add(id(option))
+
+        for op_class in op_classes.values():
+            mark(op_class.constraint)
+
+        unused: Dict[str, Constraint] = {}
+        for name, and_or in self._and_or_trees.items():
+            if id(and_or) not in reachable:
+                unused[name] = and_or
+        for name, or_tree in self._or_trees.items():
+            if id(or_tree) not in reachable:
+                unused[name] = or_tree
+        for name, table in self._tables.items():
+            if id(table) not in reachable:
+                unused[name] = self._table_wrappers.get(
+                    name, OrTree((table,), name=name)
+                )
+        return unused
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def translate(self) -> Mdes:
+        self._declare_resources()
+        self._build_tables()
+        self._build_or_trees()
+        self._build_and_or_trees()
+        op_classes = self._build_op_classes()
+        opcode_map = self._build_opcode_map(op_classes)
+        mdes = Mdes(
+            name=self._node.name,
+            resources=self._resources,
+            op_classes=op_classes,
+            opcode_map=opcode_map,
+            unused_trees=self._collect_unused(op_classes),
+            bypasses=self._build_bypasses(),
+        )
+        mdes.validate()
+        return mdes
+
+
+def translate(node: ast.MdesNode) -> Mdes:
+    """Translate a parsed HMDES file into a machine description."""
+    return _Translator(node).translate()
+
+
+def load_mdes(source: str) -> Mdes:
+    """Preprocess, parse, and translate HMDES source text."""
+    return translate(parse_source(source))

@@ -1,0 +1,236 @@
+"""MDES lint: diagnostics for machine-description writers.
+
+The paper's section 5 observes that evolving descriptions silently
+accumulate exactly the defects its transformations later remove --
+duplicated information, dead trees, dominated options.  An MDES author
+would rather hear about them at description-build time; this module is
+that tool.  ``python -m repro lint <file.hmdes>`` drives it.
+
+Every diagnostic is advisory: all of these descriptions still produce
+correct schedules (that is precisely why the defects go unnoticed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.core.expand import as_or_tree
+from repro.core.mdes import Mdes
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+
+#: Diagnostic severities.
+WARNING = "warning"
+INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: [{self.code}] {self.message}"
+
+
+class MdesLinter:
+    """Collects diagnostics over one machine description."""
+
+    def __init__(self, mdes: Mdes) -> None:
+        self.mdes = mdes
+        self.diagnostics: List[Diagnostic] = []
+
+    def _emit(self, severity: str, code: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic(severity, code, message))
+
+    # ------------------------------------------------------------------
+    # Individual checks
+    # ------------------------------------------------------------------
+
+    def check_dead_trees(self) -> None:
+        """W001: named trees no operation class reaches."""
+        for name in sorted(self.mdes.unused_trees):
+            self._emit(
+                WARNING,
+                "W001",
+                f"tree {name!r} is never referenced by any operation "
+                "class (dead-code removal will delete it)",
+            )
+
+    def check_dominated_options(self) -> None:
+        """W002: options shadowed by a higher-priority option."""
+        for tree_name, tree in self._named_or_trees().items():
+            for low_index, option in enumerate(tree.options):
+                for high_index in range(low_index):
+                    higher = tree.options[high_index]
+                    if higher.dominates(option):
+                        kind = (
+                            "duplicates"
+                            if higher.usage_set == option.usage_set
+                            else "is a superset of"
+                        )
+                        self._emit(
+                            WARNING,
+                            "W002",
+                            f"OR-tree {tree_name}: option "
+                            f"{low_index + 1} {kind} option "
+                            f"{high_index + 1} and can never be chosen",
+                        )
+                        break
+
+    def check_unreferenced_resources(self) -> None:
+        """W003: declared resources no reachable option ever uses."""
+        used: Set[str] = set()
+        for constraint in self.mdes.constraints():
+            for option in as_or_tree(constraint).options:
+                used.update(
+                    usage.resource.name for usage in option.usages
+                )
+        for tree in self.mdes.unused_trees.values():
+            for option in as_or_tree(tree).options:
+                used.update(
+                    usage.resource.name for usage in option.usages
+                )
+        for name in self.mdes.resources.names:
+            if name not in used:
+                self._emit(
+                    WARNING,
+                    "W003",
+                    f"resource {name!r} is declared but never used",
+                )
+
+    def check_duplicate_structures(self) -> None:
+        """W004: structurally identical but unshared constraint trees."""
+        seen: Dict[Constraint, str] = {}
+        for class_name in sorted(self.mdes.op_classes):
+            constraint = self.mdes.op_class(class_name).constraint
+            for earlier_constraint, earlier_class in seen.items():
+                if (
+                    constraint == earlier_constraint
+                    and constraint is not earlier_constraint
+                ):
+                    self._emit(
+                        WARNING,
+                        "W004",
+                        f"classes {earlier_class!r} and {class_name!r} "
+                        "carry structurally identical but unshared "
+                        "trees (redundancy elimination will merge them)",
+                    )
+                    break
+            else:
+                seen[constraint] = class_name
+
+    def check_overlapping_andor_siblings(self) -> None:
+        """W005: duplicated sub-OR-trees within one AND/OR-tree."""
+        for class_name in sorted(self.mdes.op_classes):
+            constraint = self.mdes.op_class(class_name).constraint
+            if not isinstance(constraint, AndOrTree):
+                continue
+            structural: Dict[OrTree, int] = {}
+            for position, child in enumerate(constraint.or_trees):
+                if child in structural:
+                    self._emit(
+                        WARNING,
+                        "W005",
+                        f"class {class_name!r}: AND/OR children "
+                        f"{structural[child] + 1} and {position + 1} are "
+                        "structurally identical -- is one a stale copy?",
+                    )
+                structural.setdefault(child, position)
+
+    def check_unshared_or_trees(self) -> None:
+        """W006: structurally identical sub-OR-trees held as copies."""
+        groups: Dict[OrTree, List[int]] = {}
+        order: List[OrTree] = []
+        for tree in self.mdes.or_trees():
+            if tree not in groups:
+                groups[tree] = []
+                order.append(tree)
+            groups[tree].append(id(tree))
+        for tree in order:
+            identities = set(groups[tree])
+            if len(identities) > 1:
+                label = tree.name or f"<{len(tree)}-option tree>"
+                self._emit(
+                    WARNING,
+                    "W006",
+                    f"{len(identities)} private copies of the same "
+                    f"OR-tree ({label}) exist; reference one shared "
+                    "tree instead",
+                )
+
+    def check_expansion_pressure(self, threshold: int = 64) -> None:
+        """I101: flat option counts worth an AND/OR-tree."""
+        for class_name in sorted(self.mdes.op_classes):
+            op_class = self.mdes.op_class(class_name)
+            if isinstance(op_class.constraint, OrTree):
+                flat = len(op_class.constraint)
+                if flat >= threshold:
+                    self._emit(
+                        INFO,
+                        "I101",
+                        f"class {class_name!r} enumerates {flat} flat "
+                        "options; an AND/OR-tree would store "
+                        "dramatically fewer (section 3)",
+                    )
+
+    def check_shift_potential(self) -> None:
+        """I102: resources whose earliest usage is away from time zero."""
+        from repro.transforms.time_shift import compute_shift_constants
+
+        constants = compute_shift_constants(self.mdes)
+        shiftable = sorted(
+            resource.name
+            for resource, constant in constants.items()
+            if constant != 0
+        )
+        if shiftable:
+            self._emit(
+                INFO,
+                "I102",
+                "usage-time shifting would move these resources to time "
+                f"zero: {', '.join(shiftable)}",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _named_or_trees(self) -> Dict[str, OrTree]:
+        trees: Dict[str, OrTree] = {}
+        for class_name in sorted(self.mdes.op_classes):
+            constraint = self.mdes.op_class(class_name).constraint
+            children = (
+                constraint.or_trees
+                if isinstance(constraint, AndOrTree)
+                else (constraint,)
+            )
+            for position, child in enumerate(children):
+                label = child.name or f"{class_name}[{position}]"
+                trees.setdefault(label, child)
+        return trees
+
+    def run(self) -> List[Diagnostic]:
+        """Run every check and return the findings."""
+        self.check_dead_trees()
+        self.check_dominated_options()
+        self.check_unreferenced_resources()
+        self.check_duplicate_structures()
+        self.check_overlapping_andor_siblings()
+        self.check_unshared_or_trees()
+        self.check_expansion_pressure()
+        self.check_shift_potential()
+        return self.diagnostics
+
+
+def lint_mdes(mdes: Mdes) -> List[Diagnostic]:
+    """Lint a machine description."""
+    return MdesLinter(mdes).run()
+
+
+def lint_source(source: str) -> List[Diagnostic]:
+    """Lint HMDES source text."""
+    from repro.hmdes.translate import load_mdes
+
+    return lint_mdes(load_mdes(source))

@@ -1,0 +1,155 @@
+"""Pretty-print a machine description back to HMDES source.
+
+The writer emits every distinct (by identity) reservation table, OR-tree,
+and AND/OR-tree as a named section entry, so sharing in the object graph
+round-trips into name-based sharing in the source.  ``load_mdes(
+write_mdes(mdes))`` yields a description whose constraints are
+structurally equal to the original's (the round-trip property the test
+suite checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.mdes import Mdes
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+
+
+class _Writer:
+    def __init__(self, mdes: Mdes) -> None:
+        self._mdes = mdes
+        self._or_names: Dict[int, str] = {}
+        self._and_names: Dict[int, str] = {}
+        self._counter = 0
+
+    def _fresh_name(self, prefix: str, hint: str) -> str:
+        self._counter += 1
+        hint = hint or "anon"
+        return f"{prefix}_{hint}_{self._counter}"
+
+    def _or_trees_in_order(self) -> List[OrTree]:
+        ordered: List[OrTree] = []
+        for constraint in self._all_constraints():
+            children = (
+                constraint.or_trees
+                if isinstance(constraint, AndOrTree)
+                else (constraint,)
+            )
+            for tree in children:
+                if id(tree) not in self._or_names:
+                    self._or_names[id(tree)] = self._fresh_name(
+                        "OT", tree.name
+                    )
+                    ordered.append(tree)
+        return ordered
+
+    def _and_trees_in_order(self) -> List[AndOrTree]:
+        ordered: List[AndOrTree] = []
+        for constraint in self._all_constraints():
+            if isinstance(constraint, AndOrTree):
+                if id(constraint) not in self._and_names:
+                    self._and_names[id(constraint)] = self._fresh_name(
+                        "AOT", constraint.name
+                    )
+                    ordered.append(constraint)
+        return ordered
+
+    def _all_constraints(self) -> List[Constraint]:
+        constraints = self._mdes.constraints()
+        constraints.extend(self._mdes.unused_trees.values())
+        return constraints
+
+    @staticmethod
+    def _format_usages(table: ReservationTable, indent: str) -> List[str]:
+        return [
+            f"{indent}use {usage.resource.name} at {usage.time};"
+            for usage in table.usages
+        ]
+
+    def _format_or_tree(self, tree: OrTree) -> List[str]:
+        lines = [f"    {self._or_names[id(tree)]} {{"]
+        for option in tree.options:
+            lines.append("        option {")
+            lines.extend(self._format_usages(option, "            "))
+            lines.append("        }")
+        lines.append("    }")
+        return lines
+
+    def _format_and_tree(self, tree: AndOrTree) -> List[str]:
+        lines = [f"    {self._and_names[id(tree)]} {{"]
+        for child in tree.or_trees:
+            lines.append(f"        ortree {self._or_names[id(child)]};")
+        lines.append("    }")
+        return lines
+
+    def _constraint_name(self, constraint: Constraint) -> str:
+        if isinstance(constraint, AndOrTree):
+            return self._and_names[id(constraint)]
+        return self._or_names[id(constraint)]
+
+    def write(self) -> str:
+        mdes = self._mdes
+        lines = [f"mdes {mdes.name};", ""]
+
+        lines.append("section resource {")
+        for name in mdes.resources.names:
+            lines.append(f"    {name};")
+        lines.append("}")
+        lines.append("")
+
+        or_trees = self._or_trees_in_order()
+        and_trees = self._and_trees_in_order()
+
+        lines.append("section ortree {")
+        for tree in or_trees:
+            lines.extend(self._format_or_tree(tree))
+        lines.append("}")
+        lines.append("")
+
+        if and_trees:
+            lines.append("section andortree {")
+            for tree in and_trees:
+                lines.extend(self._format_and_tree(tree))
+            lines.append("}")
+            lines.append("")
+
+        lines.append("section opclass {")
+        for op_class in mdes.op_classes.values():
+            lines.append(f"    {op_class.name} {{")
+            lines.append(
+                f"        resv {self._constraint_name(op_class.constraint)};"
+            )
+            lines.append(f"        latency {op_class.latency};")
+            if op_class.read_time:
+                lines.append(f"        read {op_class.read_time};")
+            lines.append("    }")
+        lines.append("}")
+        lines.append("")
+
+        if mdes.bypasses:
+            lines.append("section bypass {")
+            for (producer, consumer), bypass in mdes.bypasses.items():
+                suffix = (
+                    f" class {bypass.substitute_class}"
+                    if bypass.substitute_class
+                    else ""
+                )
+                lines.append(
+                    f"    {producer} -> {consumer}: latency "
+                    f"{bypass.latency}{suffix};"
+                )
+            lines.append("}")
+            lines.append("")
+
+        lines.append("section operation {")
+        for opcode, class_name in mdes.opcode_map.items():
+            lines.append(f"    {opcode}: {class_name};")
+        lines.append("}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def write_mdes(mdes: Mdes) -> str:
+    """Serialize a machine description to HMDES source text."""
+    return _Writer(mdes).write()

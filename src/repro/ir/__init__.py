@@ -1,0 +1,19 @@
+"""Minimal compiler IR the scheduler operates on.
+
+The paper's scheduler consumes platform assembly code; ours consumes
+:class:`~repro.ir.operation.Operation` streams grouped into
+:class:`~repro.ir.block.BasicBlock` regions, with register and memory
+dependences built by :mod:`~repro.ir.dependence`.
+"""
+
+from repro.ir.operation import Operation
+from repro.ir.block import BasicBlock
+from repro.ir.dependence import DependenceGraph, Edge, build_dependence_graph
+
+__all__ = [
+    "BasicBlock",
+    "DependenceGraph",
+    "Edge",
+    "Operation",
+    "build_dependence_graph",
+]

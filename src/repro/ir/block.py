@@ -1,0 +1,29 @@
+"""Basic blocks: the scheduling regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.ir.operation import Operation
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of operations.
+
+    The list scheduler treats each block as one scheduling region with a
+    fresh resource-usage map, as a prepass/postpass local scheduler does.
+    """
+
+    label: str
+    operations: List[Operation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label!r}, {len(self.operations)} ops)"

@@ -1,0 +1,179 @@
+"""Register, memory, and control dependence construction.
+
+Edges carry two latencies:
+
+* ``latency`` -- the normal cycles the consumer must wait after the
+  producer issues (flow edges use the producer's MDES latency; anti and
+  control edges use 0; output and memory serialization edges use 1).
+* ``min_latency`` -- the latency when the machine supports a shortcut for
+  this pair.  The SuperSPARC's *cascaded* IALU feature (paper section 2)
+  lets a flow-dependent IALU pair issue in the same cycle, so such edges
+  get ``min_latency=0``; the scheduler must then use the consumer's
+  cascaded operation class, which has half the reservation table options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+
+FLOW = "flow"
+ANTI = "anti"
+OUTPUT = "output"
+MEMORY = "memory"
+CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A dependence from ``pred`` to ``succ`` (operation indices).
+
+    ``bypass_class`` names the operation class the consumer must use
+    when it issues at the shortcut distance (empty when the shortcut
+    does not narrow the consumer's alternatives).
+    """
+
+    pred: int
+    succ: int
+    kind: str
+    latency: int
+    min_latency: int
+    bypass_class: str = ""
+
+    @property
+    def is_cascade_eligible(self) -> bool:
+        """Whether the pair may use the machine's forwarding shortcut."""
+        return self.min_latency < self.latency
+
+
+@dataclass
+class DependenceGraph:
+    """Dependences of one basic block, as predecessor/successor lists."""
+
+    block: BasicBlock
+    preds: Dict[int, List[Edge]] = field(default_factory=dict)
+    succs: Dict[int, List[Edge]] = field(default_factory=dict)
+
+    def add_edge(self, edge: Edge) -> None:
+        """Insert one edge (duplicates between a pair are kept strongest)."""
+        for existing in self.preds.setdefault(edge.succ, []):
+            if existing.pred == edge.pred and existing.kind == edge.kind:
+                return
+        self.preds[edge.succ].append(edge)
+        self.succs.setdefault(edge.pred, []).append(edge)
+
+    def preds_of(self, index: int) -> List[Edge]:
+        """Incoming dependences of an operation."""
+        return self.preds.get(index, [])
+
+    def succs_of(self, index: int) -> List[Edge]:
+        """Outgoing dependences of an operation."""
+        return self.succs.get(index, [])
+
+    def edge_count(self) -> int:
+        """Total number of dependence edges."""
+        return sum(len(edges) for edges in self.succs.values())
+
+
+CascadePredicate = Callable[[Operation, Operation], bool]
+LatencyProvider = Callable[[Operation], int]
+FlowLatencyProvider = Callable[[Operation, Operation], int]
+BypassProvider = Callable[[Operation, Operation], Optional[object]]
+
+
+def build_dependence_graph(
+    block: BasicBlock,
+    latency_of: LatencyProvider,
+    cascade_ok: Optional[CascadePredicate] = None,
+    flow_latency_of: Optional[FlowLatencyProvider] = None,
+    bypass_of: Optional[BypassProvider] = None,
+) -> DependenceGraph:
+    """Build flow/anti/output/memory/control dependences for a block.
+
+    Flow latency is the producer's ``latency_of`` value unless
+    ``flow_latency_of`` refines it per pair (the MDES operand-read-time
+    model: a consumer reading its operands during decode sees the
+    producer a cycle later).  Shortcuts come from either ``bypass_of``
+    (MDES forwarding paths carrying a substitute class) or the legacy
+    ``cascade_ok`` predicate (distance 0, no substitute).
+
+    Memory dependences are conservative (no disambiguation): a store
+    serializes against every later memory operation, and a load against
+    every later store.
+    """
+    graph = DependenceGraph(block)
+    last_writer: Dict[str, Operation] = {}
+    readers_since_write: Dict[str, List[Operation]] = {}
+    last_store: Optional[Operation] = None
+    loads_since_store: List[Operation] = []
+
+    for op in block.operations:
+        # Flow dependences: the latest writer of each source.
+        for src in set(op.srcs):
+            producer = last_writer.get(src)
+            if producer is not None:
+                if flow_latency_of is not None:
+                    latency = flow_latency_of(producer, op)
+                else:
+                    latency = latency_of(producer)
+                min_latency = latency
+                bypass_class = ""
+                bypass = (
+                    bypass_of(producer, op)
+                    if bypass_of is not None
+                    else None
+                )
+                if bypass is not None and bypass.latency < latency:
+                    min_latency = bypass.latency
+                    bypass_class = bypass.substitute_class
+                elif cascade_ok is not None and cascade_ok(producer, op):
+                    min_latency = 0
+                graph.add_edge(
+                    Edge(
+                        producer.index, op.index, FLOW, latency,
+                        min_latency, bypass_class,
+                    )
+                )
+            readers_since_write.setdefault(src, []).append(op)
+
+        # Anti and output dependences on each destination.
+        for dest in set(op.dests):
+            for reader in readers_since_write.get(dest, []):
+                if reader.index != op.index:
+                    graph.add_edge(Edge(reader.index, op.index, ANTI, 0, 0))
+            previous = last_writer.get(dest)
+            if previous is not None:
+                graph.add_edge(
+                    Edge(previous.index, op.index, OUTPUT, 1, 1)
+                )
+            last_writer[dest] = op
+            readers_since_write[dest] = []
+
+        # Memory serialization.
+        if op.is_mem:
+            if last_store is not None:
+                graph.add_edge(
+                    Edge(last_store.index, op.index, MEMORY, 1, 1)
+                )
+            if op.is_store:
+                for load in loads_since_store:
+                    graph.add_edge(
+                        Edge(load.index, op.index, MEMORY, 0, 0)
+                    )
+                last_store = op
+                loads_since_store = []
+            else:
+                loads_since_store.append(op)
+
+        # Control: nothing moves below the terminating branch.
+        if op.is_branch:
+            for other in block.operations:
+                if other.index != op.index and other.index < op.index:
+                    graph.add_edge(
+                        Edge(other.index, op.index, CONTROL, 0, 0)
+                    )
+
+    return graph

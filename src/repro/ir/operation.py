@@ -1,0 +1,44 @@
+"""Operations: the units the scheduler places into cycles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One assembly-level operation.
+
+    Attributes:
+        index: Position within its basic block (unique id there).
+        opcode: Platform opcode, e.g. ``"ADD"``; must appear in the
+            machine description's opcode map.
+        dests: Destination register names (empty for stores/branches).
+        srcs: Source register names.
+        is_load / is_store / is_branch: Memory/control classification used
+            by the dependence builder.
+    """
+
+    index: int
+    opcode: str
+    dests: Tuple[str, ...] = ()
+    srcs: Tuple[str, ...] = ()
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+
+    @property
+    def is_mem(self) -> bool:
+        """Whether the operation accesses memory."""
+        return self.is_load or self.is_store
+
+    @property
+    def reg_src_count(self) -> int:
+        """Number of distinct register sources (selects 1-src/2-src forms)."""
+        return len(set(self.srcs))
+
+    def __repr__(self) -> str:
+        dests = ",".join(self.dests)
+        srcs = ",".join(self.srcs)
+        return f"{self.index}: {self.opcode} {dests} <- {srcs}"

@@ -1,0 +1,97 @@
+"""The resource usage map (RU map).
+
+The scheduler tracks which resources are busy in which cycle with one
+bit-vector word per cycle (paper, section 6): bit *i* set means resource
+*i* is in use that cycle.  Packing a cycle into one word lets a single
+AND test (and a single OR) check (and reserve) every usage an option has
+in that cycle.
+
+Python integers serve as arbitrarily wide words, so a machine may declare
+any number of resources.  Cycles are keyed in a dict, which transparently
+supports the negative usage times that decode-stage resources carry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import SchedulingError
+
+
+class RUMap:
+    """Mutable map from cycle to the bit-vector of busy resources."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def is_free(self, cycle: int, mask: int) -> bool:
+        """True when none of the resources in ``mask`` are busy at ``cycle``."""
+        return not (self._words.get(cycle, 0) & mask)
+
+    def reserve(self, cycle: int, mask: int) -> None:
+        """Mark the resources in ``mask`` busy at ``cycle``.
+
+        Raises :class:`SchedulingError` if any of them is already busy --
+        reserving twice is always a checker or scheduler bug.
+        """
+        current = self._words.get(cycle, 0)
+        if current & mask:
+            raise SchedulingError(
+                f"double reservation at cycle {cycle}: "
+                f"mask {mask:#x} overlaps {current:#x}"
+            )
+        self._words[cycle] = current | mask
+
+    def release(self, cycle: int, mask: int) -> None:
+        """Free the resources in ``mask`` at ``cycle``.
+
+        Raises :class:`SchedulingError` if any of them was not busy.
+        Releasing is what lets modulo scheduling unschedule operations
+        (section 10 notes reservation tables support this and automata
+        do not).
+        """
+        current = self._words.get(cycle, 0)
+        if (current & mask) != mask:
+            raise SchedulingError(
+                f"release of unreserved resources at cycle {cycle}: "
+                f"mask {mask:#x} vs busy {current:#x}"
+            )
+        remaining = current & ~mask
+        if remaining:
+            self._words[cycle] = remaining
+        else:
+            del self._words[cycle]
+
+    def clear(self) -> None:
+        """Free every resource (start of a new scheduling region)."""
+        self._words.clear()
+
+    def busy_cycles(self) -> Iterator[Tuple[int, int]]:
+        """Yield (cycle, word) pairs with at least one busy resource."""
+        return iter(sorted(self._words.items()))
+
+    def word(self, cycle: int) -> int:
+        """The busy-resource bit-vector for ``cycle`` (0 when idle)."""
+        return self._words.get(cycle, 0)
+
+    def __bool__(self) -> bool:
+        return bool(self._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RUMap):
+            return NotImplemented
+        return self._words == other._words
+
+    def copy(self) -> "RUMap":
+        """An independent copy (used by what-if scheduling probes)."""
+        duplicate = RUMap()
+        duplicate._words = dict(self._words)
+        return duplicate
+
+    def __repr__(self) -> str:
+        cycles = ", ".join(
+            f"{cycle}:{word:#x}" for cycle, word in sorted(self._words.items())
+        )
+        return f"RUMap({{{cycles}}})"

@@ -1,0 +1,212 @@
+"""Resource-constraint checking.
+
+This module implements the two check algorithms the paper compares:
+
+* **OR-tree**: walk the prioritized option list; the first option whose
+  checks all pass is reserved.
+* **AND/OR-tree**: an outer loop over the tree's OR-trees runs the same
+  OR-tree algorithm on each (section 3); the attempt fails as soon as any
+  OR-tree has no available option (short-circuit), and reserves the chosen
+  option of every OR-tree on success.
+
+Both are instrumented with the statistics the paper's evaluation reports:
+scheduling attempts, reservation table options checked per attempt, and
+individual resource checks per attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.compiled import (
+    CompiledAndOrTree,
+    CompiledConstraint,
+    CompiledOption,
+    CompiledOrTree,
+)
+
+#: Absolute (cycle, mask) reservations made by a successful attempt.
+ReservationHandle = Tuple[Tuple[int, int], ...]
+
+
+@dataclass
+class CheckStats:
+    """Counters for constraint-check activity.
+
+    Attributes:
+        attempts: Scheduling attempts (one per (operation, cycle) trial).
+        successes: Attempts that found every required resource.
+        options_checked: Reservation table options examined, in total.
+        resource_checks: Individual (time, mask) availability tests.
+        options_histogram: attempt count keyed by the number of options
+            that attempt examined (the data behind figure 2).
+        attempts_by_class: attempt count keyed by operation class name
+            (the data behind the tables 1-4 percentage columns).
+    """
+
+    attempts: int = 0
+    successes: int = 0
+    options_checked: int = 0
+    resource_checks: int = 0
+    options_histogram: Dict[int, int] = field(default_factory=dict)
+    attempts_by_class: Dict[str, int] = field(default_factory=dict)
+
+    def record_attempt(
+        self,
+        options: int,
+        checks: int,
+        success: bool,
+        class_name: Optional[str] = None,
+    ) -> None:
+        """Account one scheduling attempt."""
+        self.attempts += 1
+        if success:
+            self.successes += 1
+        self.options_checked += options
+        self.resource_checks += checks
+        self.options_histogram[options] = (
+            self.options_histogram.get(options, 0) + 1
+        )
+        if class_name is not None:
+            self.attempts_by_class[class_name] = (
+                self.attempts_by_class.get(class_name, 0) + 1
+            )
+
+    @property
+    def options_per_attempt(self) -> float:
+        """Average reservation table options checked per attempt."""
+        return self.options_checked / self.attempts if self.attempts else 0.0
+
+    @property
+    def checks_per_attempt(self) -> float:
+        """Average resource checks per attempt."""
+        return self.resource_checks / self.attempts if self.attempts else 0.0
+
+    @property
+    def checks_per_option(self) -> float:
+        """Average resource checks per option checked (Table 12 column)."""
+        if not self.options_checked:
+            return 0.0
+        return self.resource_checks / self.options_checked
+
+    def merge(self, other: "CheckStats") -> None:
+        """Fold another stats object into this one."""
+        self.attempts += other.attempts
+        self.successes += other.successes
+        self.options_checked += other.options_checked
+        self.resource_checks += other.resource_checks
+        for key, value in other.options_histogram.items():
+            self.options_histogram[key] = (
+                self.options_histogram.get(key, 0) + value
+            )
+        for key, value in other.attempts_by_class.items():
+            self.attempts_by_class[key] = (
+                self.attempts_by_class.get(key, 0) + value
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckStats(attempts={self.attempts}, "
+            f"options/attempt={self.options_per_attempt:.2f}, "
+            f"checks/attempt={self.checks_per_attempt:.2f})"
+        )
+
+
+class ConstraintChecker:
+    """Stateful checker: tests, reserves, and releases constraints."""
+
+    def __init__(self, stats: Optional[CheckStats] = None) -> None:
+        self.stats = stats if stats is not None else CheckStats()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _find_option(
+        self,
+        ru_map: RUMap,
+        or_tree: CompiledOrTree,
+        issue_cycle: int,
+        counters: List[int],
+    ) -> Optional[CompiledOption]:
+        """OR-tree algorithm: first available option wins.
+
+        ``counters`` is a two-slot [options, checks] accumulator shared by
+        an enclosing AND-level loop.
+        """
+        for option in or_tree.options:
+            counters[0] += 1
+            available = True
+            for time, mask in option.checks:
+                counters[1] += 1
+                if not ru_map.is_free(issue_cycle + time, mask):
+                    available = False
+                    break
+            if available:
+                return option
+        return None
+
+    @staticmethod
+    def _reservations(
+        options: List[CompiledOption], issue_cycle: int
+    ) -> ReservationHandle:
+        """Absolute (cycle, mask) pairs for the chosen options."""
+        pairs: List[Tuple[int, int]] = []
+        for option in options:
+            for time, mask in option.reserve_mask_by_time:
+                pairs.append((issue_cycle + time, mask))
+        return tuple(pairs)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def try_reserve(
+        self,
+        ru_map: RUMap,
+        constraint: CompiledConstraint,
+        issue_cycle: int,
+        class_name: Optional[str] = None,
+    ) -> Optional[ReservationHandle]:
+        """One scheduling attempt at ``issue_cycle``.
+
+        Returns the reservations made on success (so the caller can later
+        :meth:`release` them, e.g. for modulo-scheduling backtracking), or
+        ``None`` when the operation cannot be placed at this cycle.
+        """
+        counters = [0, 0]
+        chosen: List[CompiledOption] = []
+        if isinstance(constraint, CompiledAndOrTree):
+            for or_tree in constraint.or_trees:
+                option = self._find_option(
+                    ru_map, or_tree, issue_cycle, counters
+                )
+                if option is None:
+                    chosen = []
+                    break
+                chosen.append(option)
+        else:
+            option = self._find_option(
+                ru_map, constraint, issue_cycle, counters
+            )
+            if option is not None:
+                chosen.append(option)
+
+        success = bool(chosen)
+        self.stats.record_attempt(
+            counters[0], counters[1], success, class_name
+        )
+        if not success:
+            return None
+        handle = self._reservations(chosen, issue_cycle)
+        for cycle, mask in handle:
+            ru_map.reserve(cycle, mask)
+        return handle
+
+    @staticmethod
+    def release(ru_map: RUMap, handle: ReservationHandle) -> None:
+        """Undo a successful :meth:`try_reserve` (unscheduling)."""
+        for cycle, mask in handle:
+            ru_map.release(cycle, mask)

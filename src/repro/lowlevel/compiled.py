@@ -1,0 +1,207 @@
+"""Compilation of constraint trees into the low-level query form.
+
+A compiled reservation table option is a flat list of ``(time, mask)``
+checks.  Two compilation modes mirror the paper's section 6 comparison:
+
+* **scalar** -- one check per resource usage (a cycle/resource pair), the
+  form used before bit-vectors are introduced.
+* **bit-vector** -- usages that fall in the same cycle are merged into a
+  single cycle/resource-vector pair, so one check covers all of them.
+
+Check order follows the stored usage order of the source option (merged
+checks take the position of their first usage), so the usage-sorting
+transformation of section 7 directly controls the compiled check order.
+
+Compilation preserves sharing: constraint trees that are the same object in
+the source MDES compile to the same compiled object, which both mirrors the
+paper's pointer-sharing internal representation and is what the layout
+model counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.mdes import Mdes
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+
+
+@dataclass(frozen=True)
+class CompiledOption:
+    """One reservation table option in low-level form.
+
+    Attributes:
+        checks: ``(relative_time, resource_mask)`` pairs in check order.
+        reserve_mask_by_time: The union of masks per relative time, used to
+            reserve (or release) the whole option at once.
+    """
+
+    checks: Tuple[Tuple[int, int], ...]
+    reserve_mask_by_time: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def from_table(table: ReservationTable, bitvector: bool) -> "CompiledOption":
+        """Compile one reservation table option."""
+        if bitvector:
+            order: List[int] = []
+            merged: Dict[int, int] = {}
+            for usage in table.usages:
+                if usage.time not in merged:
+                    merged[usage.time] = 0
+                    order.append(usage.time)
+                merged[usage.time] |= usage.resource.mask
+            checks = tuple((time, merged[time]) for time in order)
+        else:
+            checks = tuple(
+                (usage.time, usage.resource.mask) for usage in table.usages
+            )
+        reserve: Dict[int, int] = {}
+        for time, mask in checks:
+            reserve[time] = reserve.get(time, 0) | mask
+        return CompiledOption(checks, tuple(sorted(reserve.items())))
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+
+@dataclass(frozen=True)
+class CompiledOrTree:
+    """A compiled prioritized option list."""
+
+    options: Tuple[CompiledOption, ...]
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+
+@dataclass(frozen=True)
+class CompiledAndOrTree:
+    """A compiled AND of OR-trees."""
+
+    or_trees: Tuple[CompiledOrTree, ...]
+
+    def __len__(self) -> int:
+        return len(self.or_trees)
+
+
+#: A compiled constraint in either representation.
+CompiledConstraint = Union[CompiledOrTree, CompiledAndOrTree]
+
+
+@dataclass
+class CompiledMdes:
+    """A machine description compiled for constraint checking.
+
+    Attributes:
+        source: The high-level :class:`Mdes` this was compiled from.
+        bitvector: Whether same-cycle usages were merged into one check.
+        constraints: Operation class name -> compiled constraint.
+    """
+
+    source: Mdes
+    bitvector: bool
+    constraints: Dict[str, CompiledConstraint] = field(default_factory=dict)
+    #: Compiled forms of the description's unused (dead) trees.  The
+    #: checker never consults them, but they are loaded into compiler
+    #: memory all the same -- which is why dead-code removal (section 5)
+    #: shrinks the representation.
+    unused: Dict[str, CompiledConstraint] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Machine name of the underlying description."""
+        return self.source.name
+
+    def constraint_for_class(self, class_name: str) -> CompiledConstraint:
+        """Compiled constraint of an operation class."""
+        return self.constraints[class_name]
+
+    def constraint_for_opcode(self, opcode: str) -> CompiledConstraint:
+        """Compiled constraint of the class an opcode maps to."""
+        return self.constraints[self.source.opcode_map[opcode]]
+
+    def class_name_for_opcode(self, opcode: str) -> str:
+        """Operation class name for an opcode."""
+        return self.source.opcode_map[opcode]
+
+    def latency_for_opcode(self, opcode: str) -> int:
+        """Destination latency for an opcode."""
+        return self.source.latency_for_opcode(opcode)
+
+    def unique_objects(self) -> Tuple[List[CompiledConstraint],
+                                      List[CompiledOrTree],
+                                      List[CompiledOption]]:
+        """Distinct (by identity) constraints, OR-trees and options.
+
+        The identity distinction matters: structurally equal but unshared
+        trees occupy memory twice, which is exactly what the redundancy
+        transformation (section 5) eliminates.
+        """
+        constraints: Dict[int, CompiledConstraint] = {}
+        or_trees: Dict[int, CompiledOrTree] = {}
+        options: Dict[int, CompiledOption] = {}
+        for constraint in self.constraints.values():
+            constraints.setdefault(id(constraint), constraint)
+        for constraint in self.unused.values():
+            constraints.setdefault(id(constraint), constraint)
+        for constraint in constraints.values():
+            if isinstance(constraint, CompiledAndOrTree):
+                for tree in constraint.or_trees:
+                    or_trees.setdefault(id(tree), tree)
+            else:
+                or_trees.setdefault(id(constraint), constraint)
+        for tree in or_trees.values():
+            for option in tree.options:
+                options.setdefault(id(option), option)
+        return (
+            list(constraints.values()),
+            list(or_trees.values()),
+            list(options.values()),
+        )
+
+
+def compile_mdes(mdes: Mdes, bitvector: bool = True) -> CompiledMdes:
+    """Compile a machine description for constraint checking.
+
+    Sharing in the source (same tree object reachable from several places)
+    is preserved in the compiled form.
+    """
+    option_cache: Dict[int, CompiledOption] = {}
+    or_cache: Dict[int, CompiledOrTree] = {}
+    constraint_cache: Dict[int, CompiledConstraint] = {}
+
+    def compile_option(table: ReservationTable) -> CompiledOption:
+        key = id(table)
+        if key not in option_cache:
+            option_cache[key] = CompiledOption.from_table(table, bitvector)
+        return option_cache[key]
+
+    def compile_or(tree: OrTree) -> CompiledOrTree:
+        key = id(tree)
+        if key not in or_cache:
+            or_cache[key] = CompiledOrTree(
+                tuple(compile_option(option) for option in tree.options)
+            )
+        return or_cache[key]
+
+    def compile_constraint(constraint: Constraint) -> CompiledConstraint:
+        key = id(constraint)
+        if key not in constraint_cache:
+            if isinstance(constraint, AndOrTree):
+                compiled: CompiledConstraint = CompiledAndOrTree(
+                    tuple(compile_or(tree) for tree in constraint.or_trees)
+                )
+            else:
+                compiled = compile_or(constraint)
+            constraint_cache[key] = compiled
+        return constraint_cache[key]
+
+    compiled = CompiledMdes(source=mdes, bitvector=bitvector)
+    for class_name, op_class in mdes.op_classes.items():
+        compiled.constraints[class_name] = compile_constraint(
+            op_class.constraint
+        )
+    for tree_name, tree in mdes.unused_trees.items():
+        compiled.unused[tree_name] = compile_constraint(tree)
+    return compiled

@@ -1,0 +1,92 @@
+"""Byte-level size model of the compiled representation.
+
+The paper reports the memory its compiler needs to hold each description's
+resource constraints (Tables 6, 7, 9, 11, 14).  We cannot reuse the 1996 C
+struct layout, so this module defines an explicit, documented cost model
+with the same shape:
+
+* every (time, mask) or (cycle, resource) check pair costs two words;
+* every option carries a small header plus its pairs;
+* every OR-tree carries a header plus one pointer word per option;
+* every AND/OR-tree carries a header plus one pointer word per OR-tree.
+
+Shared objects (by identity) are counted once, plus one pointer from each
+referrer -- the paper notes "a small amount of header information per item
+is duplicated to prevent performance degradation", which the per-referrer
+pointer word models.
+
+Absolute byte counts therefore differ from the paper's, but every ratio
+the paper draws conclusions from (OR vs AND/OR, before vs after each
+transformation) is preserved, because both models count the same
+enumerated objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lowlevel.compiled import CompiledMdes
+
+
+@dataclass(frozen=True)
+class LayoutModel:
+    """Cost model parameters, in 4-byte words.
+
+    Attributes:
+        word_bytes: Bytes per machine word.
+        option_header_words: Fixed overhead per option (check count +
+            reservation pointer).
+        pair_words: Words per check pair (time + mask).
+        or_header_words: Fixed overhead per OR-tree (option count + id).
+        and_header_words: Fixed overhead per AND/OR-tree.
+        pointer_words: Words per child pointer.
+    """
+
+    word_bytes: int = 4
+    option_header_words: int = 2
+    pair_words: int = 2
+    or_header_words: int = 2
+    and_header_words: int = 2
+    pointer_words: int = 1
+
+    def option_bytes(self, num_checks: int) -> int:
+        """Size of one stored option with ``num_checks`` check pairs."""
+        words = self.option_header_words + self.pair_words * num_checks
+        return words * self.word_bytes
+
+    def or_tree_bytes(self, num_options: int) -> int:
+        """Size of one OR-tree node (its options counted separately)."""
+        words = self.or_header_words + self.pointer_words * num_options
+        return words * self.word_bytes
+
+    def and_tree_bytes(self, num_or_trees: int) -> int:
+        """Size of one AND/OR-tree node (children counted separately)."""
+        words = self.and_header_words + self.pointer_words * num_or_trees
+        return words * self.word_bytes
+
+
+DEFAULT_LAYOUT = LayoutModel()
+
+
+def mdes_size_bytes(
+    compiled: CompiledMdes, layout: LayoutModel = DEFAULT_LAYOUT
+) -> int:
+    """Total bytes the compiled resource-constraint description occupies.
+
+    Objects shared by identity are counted once.  An AND/OR-tree whose
+    children are plain OR-trees additionally pays the AND-level node, which
+    is why the paper's Pentium AND/OR numbers are slightly *larger* than
+    its OR numbers (Table 6 footnote).
+    """
+    from repro.lowlevel.compiled import CompiledAndOrTree
+
+    constraints, or_trees, options = compiled.unique_objects()
+    total = 0
+    for constraint in constraints:
+        if isinstance(constraint, CompiledAndOrTree):
+            total += layout.and_tree_bytes(len(constraint.or_trees))
+    for tree in or_trees:
+        total += layout.or_tree_bytes(len(tree.options))
+    for option in options:
+        total += layout.option_bytes(len(option.checks))
+    return total

@@ -1,0 +1,153 @@
+"""A constraint-query interface for compiler modules beyond the scheduler.
+
+The paper's introduction argues that ILP transformations -- predication,
+height reduction, and others -- "also need to use execution constraints
+to avoid over-subscription of processor resources", and that most forgo
+it because accessing an accurate description efficiently is hard.  This
+module is that access path: questions other compiler modules ask,
+answered from the same compiled representation the scheduler uses.
+
+All queries are stateless with respect to any particular schedule: they
+probe fresh RU maps, so they characterize the *machine*, not a schedule
+in progress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import ConstraintChecker
+from repro.lowlevel.compiled import CompiledMdes
+
+
+class MdesQuery:
+    """Machine-characterization queries over one compiled description."""
+
+    def __init__(self, compiled: CompiledMdes) -> None:
+        self.compiled = compiled
+        self._bandwidth_cache: Dict[str, int] = {}
+        self._distance_cache: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Same-cycle questions (predication / if-conversion sizing)
+    # ------------------------------------------------------------------
+
+    def can_issue_together(self, class_names: Sequence[str]) -> bool:
+        """Whether one cycle can hold one operation of each class.
+
+        The question an if-converter asks before merging both sides of a
+        branch into one predicated block: do the combined operations
+        over-subscribe any cycle's resources?
+        """
+        ru_map = RUMap()
+        checker = ConstraintChecker()
+        for class_name in class_names:
+            constraint = self.compiled.constraint_for_class(class_name)
+            if checker.try_reserve(ru_map, constraint, 0) is None:
+                return False
+        return True
+
+    def issue_bandwidth(self, class_name: str, limit: int = 64) -> int:
+        """How many operations of one class can issue in one cycle.
+
+        E.g. 2 for SuperSPARC non-cascaded IALU operations (two ALUs),
+        1 for its loads (one memory port).
+        """
+        if class_name not in self._bandwidth_cache:
+            ru_map = RUMap()
+            checker = ConstraintChecker()
+            constraint = self.compiled.constraint_for_class(class_name)
+            count = 0
+            while count < limit:
+                if checker.try_reserve(ru_map, constraint, 0) is None:
+                    break
+                count += 1
+            self._bandwidth_cache[class_name] = count
+        return self._bandwidth_cache[class_name]
+
+    def cycle_capacity(
+        self, class_names: Sequence[str]
+    ) -> Optional[List[str]]:
+        """The prefix of ``class_names`` that fits into one cycle.
+
+        Returns the classes that issued before the first failure --
+        ``None`` if even the first cannot issue (an unsatisfiable class).
+        """
+        ru_map = RUMap()
+        checker = ConstraintChecker()
+        placed: List[str] = []
+        for class_name in class_names:
+            constraint = self.compiled.constraint_for_class(class_name)
+            if checker.try_reserve(ru_map, constraint, 0) is None:
+                return placed if placed else None
+            placed.append(class_name)
+        return placed
+
+    # ------------------------------------------------------------------
+    # Distance questions (height reduction / combining)
+    # ------------------------------------------------------------------
+
+    def min_issue_distance(
+        self, first_class: str, second_class: str, horizon: int = 128
+    ) -> int:
+        """Smallest t >= 0 such that ``second`` may issue t cycles after
+        ``first`` on an otherwise empty machine.
+
+        This is the resource-only component of the pair's cost -- what a
+        height-reduction transformation weighs against the dependence
+        latency when deciding whether restructuring pays.
+        """
+        key = (first_class, second_class)
+        if key not in self._distance_cache:
+            first = self.compiled.constraint_for_class(first_class)
+            second = self.compiled.constraint_for_class(second_class)
+            for distance in range(horizon + 1):
+                ru_map = RUMap()
+                checker = ConstraintChecker()
+                if checker.try_reserve(ru_map, first, 0) is None:
+                    raise ValueError(
+                        f"class {first_class!r} cannot issue on an empty "
+                        "machine"
+                    )
+                if checker.try_reserve(
+                    ru_map, second, distance
+                ) is not None:
+                    self._distance_cache[key] = distance
+                    break
+            else:
+                raise ValueError(
+                    f"no issue distance within {horizon} cycles for "
+                    f"({first_class!r}, {second_class!r})"
+                )
+        return self._distance_cache[key]
+
+    # ------------------------------------------------------------------
+    # Pressure questions (region formation)
+    # ------------------------------------------------------------------
+
+    def steady_state_throughput(
+        self, class_name: str, window: int = 32
+    ) -> float:
+        """Operations of one class sustainable per cycle, long run.
+
+        Greedily issues the class at every cycle of a window (earliest
+        free cycle each time) and reports ops/cycle -- e.g. ~1.0 for a
+        pipelined divide-free unit, well below 1.0 when a multi-cycle
+        usage serializes (the SuperSPARC divide).
+        """
+        ru_map = RUMap()
+        checker = ConstraintChecker()
+        constraint = self.compiled.constraint_for_class(class_name)
+        issued = 0
+        for cycle in range(window):
+            if checker.try_reserve(ru_map, constraint, cycle) is not None:
+                issued += 1
+        return issued / window
+
+    def resource_summary(self) -> Dict[str, int]:
+        """Issue bandwidth of every operation class (a capacity table)."""
+        return {
+            class_name: self.issue_bandwidth(class_name)
+            for class_name in sorted(self.compiled.constraints)
+        }

@@ -1,0 +1,21 @@
+"""Detailed machine descriptions for the paper's four processors.
+
+Each module carries the HMDES source of one machine, opcode tables, the
+dynamic operation-class selection rules (operand-count variants and the
+SuperSPARC cascade), and the workload profile used to synthesize its
+SPEC CINT92-shaped instruction mix:
+
+* :mod:`~repro.machines.pa7100` -- HP PA7100 (2-issue in-order; includes
+  the historically duplicated memory-operation option of Table 8).
+* :mod:`~repro.machines.pentium` -- Intel Pentium (U/V pairing rules; the
+  one description that gains nothing from AND/OR-trees).
+* :mod:`~repro.machines.supersparc` -- Sun SuperSPARC (3-issue, register
+  port modeling, cascaded IALU pairs).
+* :mod:`~repro.machines.amdk5` -- AMD-K5 (4-issue x86, Rop decomposition,
+  multi-cycle dispatch).
+"""
+
+from repro.machines.base import Machine, OpcodeSpec
+from repro.machines.registry import MACHINE_NAMES, get_machine
+
+__all__ = ["MACHINE_NAMES", "Machine", "OpcodeSpec", "get_machine"]

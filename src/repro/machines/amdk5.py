@@ -1,0 +1,307 @@
+"""The AMD-K5 machine description (paper section 4, Table 4).
+
+A four-issue out-of-order x86 that the MDES models as an in-order machine
+which can buffer operations between decode and execution.  Each x86
+operation converts into one or more Rops (internal RISC operations); the
+Rops of one x86 operation may be dispatched in different cycles when
+dispatch slots are short, and accurate modeling lets the scheduler exploit
+that buffering (section 4).
+
+Modeled resources: four decode positions (an x86 op holds one; a bundled
+cmp+branch holds an adjacent pair, with rotation wrap-around), four Rop
+dispatch slots per cycle, and two execution units per Rop type (ALUs and
+load/store units) plus single store-data and branch units.
+
+Option counts per class reproduce every row of Table 4:
+
+=====================================================  =======
+class (Rops / dispatch cycles / unit choices)          options
+=====================================================  =======
+one_rop_1unit (1 Rop, 1 unit)                            16
+two_rop_1cyc_1unit (2 Rops, 1 cycle, fixed units)        24
+one_rop_2unit (1 Rop, 2 units)                           32
+cmp_br_1cyc (2-Rop bundle, 1 cycle)                      48
+cmp_br_3rop_1cyc (3-Rop bundle, 1 cycle)                 64
+two_rop_1cyc_2unit (2 Rops, 1 cycle, 2 units each)       96
+cmp_br_2cyc (2-Rop bundle over 2 cycles)                128
+two_rop_2cyc_subset (subset: first Rop slots 0-2)       192
+two_rop_2cyc (2 Rops over 2 cycles)                     256
+cmp_br_3rop_2cyc (3-Rop bundle over 2 cycles)           384
+three_rop_2cyc (3 Rops over 2 cycles)                   768
+=====================================================  =======
+
+As with real, evolved descriptions, several hot classes carry private
+copies of the decode/dispatch trees rather than referencing the shared
+ones -- food for the redundancy elimination of section 5.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import Operation
+from repro.machines.base import (
+    KIND_BRANCH,
+    KIND_INT,
+    KIND_LOAD,
+    KIND_SERIAL,
+    KIND_STORE,
+    Machine,
+    OpcodeSpec,
+)
+
+HMDES_SOURCE = """
+mdes K5;
+
+section resource {
+    D[0..3];
+    S[0..3];
+    ALU[0..1];
+    LSU[0..1];
+    STU;
+    BRU;
+}
+
+section table {
+    RT_bru0 { use BRU at 0; }
+    RT_bru1 { use BRU at 1; }
+    RT_stu0 { use STU at 0; }
+    RT_lsu_fixed { use LSU[0] at 0; }
+}
+
+section ortree {
+    OT_d  { $for i in 0..3 { option { use D[$i] at -1; } } }
+    OT_dpair {
+        option { use D[0] at -1; use D[1] at -1; }
+        option { use D[1] at -1; use D[2] at -1; }
+        option { use D[2] at -1; use D[3] at -1; }
+        option { use D[3] at -1; use D[0] at -1; }
+    }
+    OT_s0 { $for i in 0..3 { option { use S[$i] at 0; } } }
+    OT_s1 { $for i in 0..3 { option { use S[$i] at 1; } } }
+    OT_s0_first3 { $for i in 0..2 { option { use S[$i] at 0; } } }
+    OT_spair0 {
+        option { use S[0] at 0; use S[1] at 0; }
+        option { use S[0] at 0; use S[2] at 0; }
+        option { use S[0] at 0; use S[3] at 0; }
+        option { use S[1] at 0; use S[2] at 0; }
+        option { use S[1] at 0; use S[3] at 0; }
+        option { use S[2] at 0; use S[3] at 0; }
+    }
+    OT_striple0 {
+        option { use S[0] at 0; use S[1] at 0; use S[2] at 0; }
+        option { use S[0] at 0; use S[1] at 0; use S[3] at 0; }
+        option { use S[0] at 0; use S[2] at 0; use S[3] at 0; }
+        option { use S[1] at 0; use S[2] at 0; use S[3] at 0; }
+    }
+    OT_alu0 { $for u in 0..1 { option { use ALU[$u] at 0; } } }
+    OT_alu1 { $for u in 0..1 { option { use ALU[$u] at 1; } } }
+    OT_lsu0 { $for u in 0..1 { option { use LSU[$u] at 0; } } }
+    OT_lsu1 { $for u in 0..1 { option { use LSU[$u] at 1; } } }
+
+    // Inherited and never referenced (an abandoned FPU-pipe model).
+    OT_legacy_fpu { option { use ALU[0] at 0; } option { use ALU[1] at 0; } }
+}
+
+section andortree {
+    // 16-option classes: one Rop, a single unit choice.
+    AOT_branch { ortree OT_d; ortree OT_s0; ortree RT_bru0; }
+    AOT_store  { ortree OT_d; ortree OT_s0; ortree RT_stu0; }
+
+    // 24 options: two Rops in one cycle, each with a fixed unit.
+    AOT_push { ortree OT_d; ortree OT_spair0; ortree RT_lsu_fixed;
+               ortree RT_stu0; }
+
+    // 32-option classes: one Rop, either of two units.  The mov/lea/shift
+    // entries were cloned from the ALU entry, private trees included.
+    AOT_alu  { ortree OT_d; ortree OT_s0; ortree OT_alu0; }
+    AOT_mov {
+        ortree { $for i in 0..3 { option { use D[$i] at -1; } } }
+        ortree { $for i in 0..3 { option { use S[$i] at 0; } } }
+        ortree { $for u in 0..1 { option { use ALU[$u] at 0; } } }
+    }
+    AOT_lea {
+        ortree { $for i in 0..3 { option { use D[$i] at -1; } } }
+        ortree { $for i in 0..3 { option { use S[$i] at 0; } } }
+        ortree { $for u in 0..1 { option { use ALU[$u] at 0; } } }
+    }
+    AOT_load { ortree OT_d; ortree OT_s0; ortree OT_lsu0; }
+
+    // Shift and compare entries: further private clones of AOT_alu.
+    AOT_shift {
+        ortree { $for i in 0..3 { option { use D[$i] at -1; } } }
+        ortree { $for i in 0..3 { option { use S[$i] at 0; } } }
+        ortree { $for u in 0..1 { option { use ALU[$u] at 0; } } }
+    }
+    AOT_test {
+        ortree { $for i in 0..3 { option { use D[$i] at -1; } } }
+        ortree { $for i in 0..3 { option { use S[$i] at 0; } } }
+        ortree { $for u in 0..1 { option { use ALU[$u] at 0; } } }
+    }
+
+    // 48 options: bundled cmp+br decoded as an adjacent pair, dispatched
+    // in one cycle; the cmp Rop picks an ALU, the branch Rop the BRU.
+    AOT_cmp_br_1cyc {
+        ortree OT_dpair; ortree OT_spair0; ortree OT_alu0; ortree RT_bru0;
+    }
+
+    // 64 options: cmp with a memory operand + br (3 Rops, one cycle).
+    AOT_cmp_br_3rop_1cyc {
+        ortree OT_dpair; ortree OT_striple0; ortree OT_lsu0;
+        ortree OT_alu0; ortree RT_bru0;
+    }
+
+    // 96 options: ALU with a memory operand, both Rops in one cycle.
+    AOT_alu_mem_1cyc {
+        ortree OT_d; ortree OT_spair0; ortree OT_lsu0; ortree OT_alu0;
+    }
+
+    // 128 options: bundled cmp+br whose branch Rop dispatches a cycle
+    // later when slots run short.
+    AOT_cmp_br_2cyc {
+        ortree OT_dpair; ortree OT_s0; ortree OT_s1; ortree OT_alu0;
+        ortree RT_bru1;
+    }
+
+    // 192 options: two Rops over two cycles, first Rop restricted to
+    // dispatch slots 0-2 (a subset of the 256-option set).
+    AOT_two_rop_2cyc_subset {
+        ortree OT_d; ortree OT_s0_first3; ortree OT_s1; ortree OT_lsu0;
+        ortree OT_alu1;
+    }
+
+    // 256 options: two Rops over two cycles, two unit choices each.
+    AOT_two_rop_2cyc {
+        ortree OT_d; ortree OT_s0; ortree OT_s1; ortree OT_lsu0;
+        ortree OT_alu1;
+    }
+
+    // 384 options: 3-Rop cmp+br bundle dispatched over two cycles.
+    AOT_cmp_br_3rop_2cyc {
+        ortree OT_dpair; ortree OT_spair0; ortree OT_s1; ortree OT_lsu0;
+        ortree OT_alu0; ortree RT_bru1;
+    }
+
+    // 768 options: generic 3-Rop read-modify-write over two cycles.
+    AOT_three_rop_2cyc {
+        ortree OT_d; ortree OT_spair0; ortree OT_s1; ortree OT_lsu0;
+        ortree OT_alu0; ortree OT_alu1;
+    }
+}
+
+section opclass {
+    branch { resv AOT_branch; latency 1; }
+    store  { resv AOT_store;  latency 1; }
+    push   { resv AOT_push;   latency 1; }
+    alu    { resv AOT_alu;    latency 1; }
+    shift  { resv AOT_shift;  latency 1; }
+    test   { resv AOT_test;   latency 1; }
+    mov    { resv AOT_mov;    latency 1; }
+    lea    { resv AOT_lea;    latency 1; }
+    load   { resv AOT_load;   latency 2; }
+    cmp_br_1cyc { resv AOT_cmp_br_1cyc; latency 1; }
+    cmp_br_3rop_1cyc { resv AOT_cmp_br_3rop_1cyc; latency 1; }
+    alu_mem_1cyc { resv AOT_alu_mem_1cyc; latency 3; }
+    cmp_br_2cyc { resv AOT_cmp_br_2cyc; latency 2; }
+    two_rop_2cyc_subset { resv AOT_two_rop_2cyc_subset; latency 3; }
+    two_rop_2cyc { resv AOT_two_rop_2cyc; latency 3; }
+    cmp_br_3rop_2cyc { resv AOT_cmp_br_3rop_2cyc; latency 2; }
+    three_rop_2cyc { resv AOT_three_rop_2cyc; latency 4; }
+}
+
+section operation {
+    JMP: branch; CALL: branch; RET: branch;
+    MOV_STORE: store; PUSH: push;
+    ADD: alu; SUB: alu; AND: alu; OR: alu; XOR: alu; INC: alu; DEC: alu;
+    SHL: shift; SHR: shift;
+    TEST: test; CMP: test;
+    MOV_RR: mov; MOV_RI: mov;
+    LEA: lea;
+    MOV_LOAD: load; POP: load;
+    CMPBR: cmp_br_1cyc; TESTBR: cmp_br_1cyc;
+    CMPMBR: cmp_br_3rop_1cyc;
+    ADDM: alu_mem_1cyc; SUBM: alu_mem_1cyc;
+    CMPBR_SLOW: cmp_br_2cyc;
+    MOVM_SLOW: two_rop_2cyc_subset;
+    ADDM_SLOW: two_rop_2cyc;
+    CMPMBR_SLOW: cmp_br_3rop_2cyc;
+    RMW: three_rop_2cyc;
+}
+"""
+
+_BASE_CLASS = {
+    "JMP": "branch", "CALL": "branch", "RET": "branch",
+    "MOV_STORE": "store", "PUSH": "push",
+    "ADD": "alu", "SUB": "alu", "AND": "alu", "OR": "alu", "XOR": "alu",
+    "INC": "alu", "DEC": "alu", "SHL": "shift", "SHR": "shift",
+    "TEST": "test", "CMP": "test",
+    "MOV_RR": "mov", "MOV_RI": "mov",
+    "LEA": "lea",
+    "MOV_LOAD": "load", "POP": "load",
+    "CMPBR": "cmp_br_1cyc", "TESTBR": "cmp_br_1cyc",
+    "CMPMBR": "cmp_br_3rop_1cyc",
+    "ADDM": "alu_mem_1cyc", "SUBM": "alu_mem_1cyc",
+    "CMPBR_SLOW": "cmp_br_2cyc",
+    "MOVM_SLOW": "two_rop_2cyc_subset",
+    "ADDM_SLOW": "two_rop_2cyc",
+    "CMPMBR_SLOW": "cmp_br_3rop_2cyc",
+    "RMW": "three_rop_2cyc",
+}
+
+
+def classify(op: Operation, cascaded: bool) -> str:
+    """K5 class selection: static, one class per opcode."""
+    return _BASE_CLASS[op.opcode]
+
+
+OPCODE_PROFILE = (
+    # Branch-only x86 ops (one Rop): part of the 16-option row.
+    OpcodeSpec("JMP", 1.2, (0,), False, KIND_BRANCH),
+    OpcodeSpec("CALL", 1.0, (0,), False, KIND_BRANCH),
+    OpcodeSpec("RET", 0.6, (0,), False, KIND_BRANCH),
+    OpcodeSpec("MOV_STORE", 11.5, (2,), False, KIND_STORE),
+    # A two-Rop stack op dispatched in one cycle (the 24-option row).
+    OpcodeSpec("PUSH", 0.12, (2,), False, KIND_STORE),
+    # The dominant 32-option row.
+    OpcodeSpec("ADD", 8.5, (1, 2), True, KIND_INT),
+    OpcodeSpec("SUB", 5.0, (1, 2), True, KIND_INT),
+    OpcodeSpec("AND", 2.5, (1,), True, KIND_INT),
+    OpcodeSpec("OR", 2.0, (1,), True, KIND_INT),
+    OpcodeSpec("XOR", 2.0, (1,), True, KIND_INT),
+    OpcodeSpec("INC", 2.0, (1,), True, KIND_INT),
+    OpcodeSpec("DEC", 1.0, (1,), True, KIND_INT),
+    OpcodeSpec("SHL", 2.5, (1,), True, KIND_INT),
+    OpcodeSpec("SHR", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("TEST", 1.5, (2,), True, KIND_INT),
+    OpcodeSpec("CMP", 2.5, (2,), True, KIND_INT),
+    OpcodeSpec("MOV_RR", 5.0, (1,), True, KIND_INT),
+    OpcodeSpec("MOV_RI", 3.5, (0,), True, KIND_INT),
+    OpcodeSpec("LEA", 3.5, (1, 2), True, KIND_INT),
+    OpcodeSpec("MOV_LOAD", 13.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("POP", 1.5, (1,), True, KIND_LOAD),
+    # Bundled compare+branch forms.
+    OpcodeSpec("CMPBR", 5.5, (2,), False, KIND_BRANCH),
+    OpcodeSpec("TESTBR", 2.0, (2,), False, KIND_BRANCH),
+    OpcodeSpec("CMPMBR", 3.5, (1,), False, KIND_BRANCH),
+    OpcodeSpec("CMPBR_SLOW", 1.1, (2,), False, KIND_BRANCH),
+    OpcodeSpec("CMPMBR_SLOW", 0.8, (1,), False, KIND_BRANCH),
+    # Memory-operand ALU forms.
+    OpcodeSpec("ADDM", 0.1, (1,), True, KIND_LOAD),
+    OpcodeSpec("SUBM", 0.05, (1,), True, KIND_LOAD),
+    OpcodeSpec("MOVM_SLOW", 0.12, (1,), True, KIND_LOAD),
+    OpcodeSpec("ADDM_SLOW", 0.3, (1,), True, KIND_LOAD),
+    OpcodeSpec("RMW", 0.12, (1,), True, KIND_STORE),
+)
+
+
+def build_machine() -> Machine:
+    """Construct the K5 machine."""
+    profile = tuple(spec for spec in OPCODE_PROFILE if spec.weight > 0)
+    return Machine(
+        name="K5",
+        hmdes_source=HMDES_SOURCE,
+        opcode_profile=profile,
+        classifier=classify,
+        scheduling_mode="postpass",
+        register_pool=40,
+        block_size_range=(6, 15),
+        flow_probability=0.12,
+    )

@@ -1,0 +1,160 @@
+"""The Machine wrapper: an MDES plus the glue the toolchain needs.
+
+A :class:`Machine` bundles one HMDES source with everything that is not
+expressible in reservation tables: the opcode workload profile, how many
+register sources each opcode shape has, the dynamic operation-class
+selection ("the appropriate set of reservation table options is chosen
+based on an operation's incoming dependence distances", paper section 2),
+and whether the paper scheduled it prepass or postpass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.mdes import Mdes
+from repro.hmdes.translate import load_mdes
+from repro.ir.operation import Operation
+
+#: Workload kinds understood by the generator.
+KIND_INT = "int"
+KIND_LOAD = "load"
+KIND_STORE = "store"
+KIND_BRANCH = "branch"
+KIND_FP = "fp"
+KIND_SERIAL = "serial"
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """One opcode's shape in the synthetic workload.
+
+    Attributes:
+        opcode: Opcode mnemonic (must be in the MDES opcode map).
+        weight: Relative frequency in the generated instruction mix.
+        src_choices: Possible register-source counts for instances.
+        has_dest: Whether instances define a register.
+        kind: Workload kind (drives memory/control dependence creation).
+    """
+
+    opcode: str
+    weight: float
+    src_choices: Tuple[int, ...] = (2,)
+    has_dest: bool = True
+    kind: str = KIND_INT
+
+
+ClassifierFn = Callable[[Operation, bool], str]
+CascadeFn = Callable[[Operation, Operation], bool]
+
+
+@dataclass
+class Machine:
+    """One target processor: description source plus toolchain glue."""
+
+    name: str
+    hmdes_source: str
+    opcode_profile: Tuple[OpcodeSpec, ...]
+    classifier: ClassifierFn
+    #: Optional opcode-level *filter* on the MDES's forwarding paths:
+    #: a bypass applies to a pair only when this returns True.  The MDES
+    #: ``bypass`` section is what declares that a path exists at all.
+    cascade_fn: Optional[CascadeFn] = None
+    scheduling_mode: str = "prepass"
+    register_pool: int = 256
+    block_size_range: Tuple[int, int] = (4, 14)
+    flow_probability: float = 0.55
+    wrap_or_trees: bool = False
+    _mdes: Optional[Mdes] = field(default=None, repr=False)
+    _mdes_andor: Optional[Mdes] = field(default=None, repr=False)
+    _mdes_or: Optional[Mdes] = field(default=None, repr=False)
+
+    def build(self) -> Mdes:
+        """Parse and translate the HMDES source (cached)."""
+        if self._mdes is None:
+            self._mdes = load_mdes(self.hmdes_source)
+        return self._mdes
+
+    def build_andor(self) -> Mdes:
+        """The AND/OR-tree representation of this description.
+
+        For most machines this is the description as written.  The
+        Pentium's description contains no AND/OR-trees (its pairing rules
+        have nothing to factor), so -- as in the paper's tooling -- each
+        flat OR-tree is wrapped in a one-child AND node, which costs a
+        little space (Table 6 footnote).
+        """
+        if self._mdes_andor is None:
+            mdes = self.build()
+            if self.wrap_or_trees:
+                from repro.core.tables import AndOrTree, OrTree
+
+                def wrap(constraint):
+                    if isinstance(constraint, OrTree):
+                        return AndOrTree((constraint,), name=constraint.name)
+                    return constraint
+
+                mdes = mdes.map_constraints(wrap)
+            self._mdes_andor = mdes
+        return self._mdes_andor
+
+    def build_or(self) -> Mdes:
+        """The flat OR-tree representation (AND/OR-trees expanded out).
+
+        This mirrors the paper's preprocessor that expands each AND/OR
+        specification into the corresponding OR-tree for the comparison
+        experiments (section 4).
+        """
+        if self._mdes_or is None:
+            self._mdes_or = self.build().expanded()
+        return self._mdes_or
+
+    def fresh_mdes(self) -> Mdes:
+        """A newly translated, unshared copy of the description."""
+        return load_mdes(self.hmdes_source)
+
+    def classify(self, op: Operation, cascaded: bool = False) -> str:
+        """Operation class for an instance, given its cascade state."""
+        return self.classifier(op, cascaded)
+
+    def bypass(self, producer: Operation, consumer: Operation):
+        """The MDES forwarding path for this flow pair, if allowed.
+
+        Requires both a ``bypass`` entry between the pair's classes in
+        the description and (when present) the machine's opcode-level
+        filter to agree.
+        """
+        mdes = self.build()
+        result = mdes.bypass_for(
+            self.classify(producer, False), self.classify(consumer, False)
+        )
+        if result is None:
+            return None
+        if self.cascade_fn is not None and not self.cascade_fn(
+            producer, consumer
+        ):
+            return None
+        return result
+
+    def cascade_ok(self, producer: Operation, consumer: Operation) -> bool:
+        """Whether this flow-dependent pair has a forwarding shortcut."""
+        return self.bypass(producer, consumer) is not None
+
+    def latency(self, op: Operation) -> int:
+        """Destination latency of an operation (non-cascaded class)."""
+        return self.build().op_class(self.classify(op, False)).latency
+
+    def flow_latency(self, producer: Operation, consumer: Operation) -> int:
+        """Effective flow latency including the consumer's read time."""
+        return self.build().flow_latency(
+            self.classify(producer, False), self.classify(consumer, False)
+        )
+
+    def spec_for_opcode(self, opcode: str) -> OpcodeSpec:
+        """The workload spec of an opcode."""
+        for spec in self.opcode_profile:
+            if spec.opcode == opcode:
+                return spec
+        raise KeyError(opcode)

@@ -1,0 +1,209 @@
+"""The HP PA7100 machine description (paper section 4, Tables 2 and 8).
+
+A 2-issue in-order superscalar: one floating-point operation may execute
+in parallel with one integer or memory operation, in either slot order.
+Branches are modeled as always using the last decoder.  Most operations
+therefore have two reservation table options (either slot) and branches
+have one (Table 2).
+
+The description was derived from an earlier HP PA description, and during
+that retargeting two of the reservation table options for the memory
+operations became identical -- the MDES author never noticed, because
+correct schedules were still generated (section 5).  We reproduce that
+accident: the memory slot OR-tree has three options of which the third
+duplicates the second, and dominated-option removal (Table 8) deletes it.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import Operation
+from repro.machines.base import (
+    KIND_BRANCH,
+    KIND_FP,
+    KIND_INT,
+    KIND_LOAD,
+    KIND_SERIAL,
+    KIND_STORE,
+    Machine,
+    OpcodeSpec,
+)
+
+HMDES_SOURCE = """
+mdes PA7100;
+
+section resource {
+    Slot[0..1];
+    IPIPE;
+    MEM;
+    FPU;
+    FMUL;
+    FDIVU;
+    BRU;
+}
+
+section table {
+    RT_ipipe  { use IPIPE at 0; }
+    RT_mem    { use IPIPE at 0; use MEM at 0; }
+    RT_fpu    { use FPU at 0; }
+    RT_fpmul  { use FPU at 0; use FMUL at 0; }
+    RT_fpdiv  {
+        use FPU at 0;
+        $for c in 0..7 { use FDIVU at $c; }
+    }
+}
+
+section ortree {
+    OT_slots { $for s in 0..1 { option { use Slot[$s] at -1; } } }
+
+    // Retargeting accident: the third option duplicates the second.
+    OT_mem_slots {
+        option { use Slot[0] at -1; }
+        option { use Slot[1] at -1; }
+        option { use Slot[1] at -1; }
+    }
+
+    // Dead entries inherited from the earlier HP PA description.
+    OT_legacy_slots { $for s in 0..1 { option { use Slot[$s] at -1; } } }
+    OT_legacy_fdiv { option { use FDIVU at 0; use FDIVU at 1; } }
+}
+
+section andortree {
+    AOT_int { ortree RT_ipipe; ortree OT_slots; }
+    AOT_mem { ortree RT_mem; ortree OT_mem_slots; }
+
+    // The shift-merge-unit entry was cloned from AOT_int rather than
+    // shared (identical structure, private trees).
+    AOT_smu {
+        ortree { option { use IPIPE at 0; } }
+        ortree { $for s in 0..1 { option { use Slot[$s] at -1; } } }
+    }
+
+    // Indexed-addressing memory forms: another private clone of the
+    // memory entry -- duplicated option included.
+    AOT_mem_indexed {
+        ortree { option { use IPIPE at 0; use MEM at 0; } }
+        ortree {
+            option { use Slot[0] at -1; }
+            option { use Slot[1] at -1; }
+            option { use Slot[1] at -1; }
+        }
+    }
+
+    // FP entries were copied, not refactored: private slot-tree copies.
+    AOT_fp_alu {
+        ortree RT_fpu;
+        ortree { $for s in 0..1 { option { use Slot[$s] at -1; } } }
+    }
+    AOT_fp_mul {
+        ortree RT_fpmul;
+        ortree { $for s in 0..1 { option { use Slot[$s] at -1; } } }
+    }
+    AOT_fp_div {
+        ortree RT_fpdiv;
+        ortree { $for s in 0..1 { option { use Slot[$s] at -1; } } }
+    }
+
+    AOT_legacy_nullify { ortree OT_legacy_slots; ortree RT_ipipe; }
+}
+
+section opclass {
+    branch { resv ortree {
+        option { use Slot[1] at -1; use IPIPE at 0; use BRU at 0; }
+    }; latency 1; }
+    // Nullifying branch forms: an exact private copy of the branch
+    // entry (a section 5 scar: W004 in the linter).
+    branch_n { resv ortree {
+        option { use Slot[1] at -1; use IPIPE at 0; use BRU at 0; }
+    }; latency 1; }
+    int    { resv AOT_int; latency 1; }
+    smu    { resv AOT_smu; latency 1; }
+    load   { resv AOT_mem; latency 2; }
+    load_x { resv AOT_mem_indexed; latency 2; }
+    store  { resv AOT_mem; latency 1; }
+    store_x { resv AOT_mem_indexed; latency 1; }
+    fp_alu { resv AOT_fp_alu; latency 2; }
+    fp_mul { resv AOT_fp_mul; latency 2; }
+    fp_dbl { resv AOT_fp_mul; latency 3; }
+    fp_div { resv AOT_fp_div; latency 8; }
+}
+
+section operation {
+    BB: branch; BV: branch; ADDBT: branch; BL_CALL: branch;
+    COMBT: branch_n; COMBF: branch_n;
+    ADD: int; SUB: int; OR: int; AND: int; XOR: int;
+    SHLADD: int; LDI: int; COPY: int; COMCLR: int;
+    EXTRU: smu; DEPI: smu;
+    LDW: load; LDWM: load;
+    LDB: load_x; LDH: load_x;
+    STW: store; STWM: store;
+    STB: store_x; STH: store_x;
+    FADD: fp_alu; FSUB: fp_alu; FCMP: fp_alu;
+    FMPY: fp_mul; FMPY_D: fp_dbl; FDIV: fp_div;
+}
+"""
+
+_BASE_CLASS = {
+    "BB": "branch", "BV": "branch", "ADDBT": "branch",
+    "BL_CALL": "branch",
+    "COMBT": "branch_n", "COMBF": "branch_n",
+    "ADD": "int", "SUB": "int", "OR": "int", "AND": "int", "XOR": "int",
+    "SHLADD": "int", "LDI": "int", "COPY": "int", "COMCLR": "int",
+    "EXTRU": "smu", "DEPI": "smu",
+    "LDW": "load", "LDWM": "load", "LDB": "load_x", "LDH": "load_x",
+    "STW": "store", "STWM": "store", "STB": "store_x", "STH": "store_x",
+    "FADD": "fp_alu", "FSUB": "fp_alu", "FCMP": "fp_alu",
+    "FMPY": "fp_mul", "FMPY_D": "fp_dbl", "FDIV": "fp_div",
+}
+
+
+def classify(op: Operation, cascaded: bool) -> str:
+    """PA7100 class selection is purely static (no cascade feature)."""
+    return _BASE_CLASS[op.opcode]
+
+
+OPCODE_PROFILE = (
+    OpcodeSpec("COMBT", 4.5, (2,), False, KIND_BRANCH),
+    OpcodeSpec("COMBF", 3.5, (2,), False, KIND_BRANCH),
+    OpcodeSpec("BB", 2.0, (1,), False, KIND_BRANCH),
+    OpcodeSpec("ADDBT", 1.5, (2,), False, KIND_BRANCH),
+    OpcodeSpec("BV", 1.0, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BL_CALL", 1.5, (0,), False, KIND_BRANCH),
+    OpcodeSpec("ADD", 11.0, (1, 2), True, KIND_INT),
+    OpcodeSpec("SUB", 4.5, (1, 2), True, KIND_INT),
+    OpcodeSpec("OR", 4.0, (1,), True, KIND_INT),
+    OpcodeSpec("AND", 2.5, (1,), True, KIND_INT),
+    OpcodeSpec("XOR", 1.0, (2,), True, KIND_INT),
+    OpcodeSpec("SHLADD", 3.0, (2,), True, KIND_INT),
+    OpcodeSpec("EXTRU", 2.5, (1,), True, KIND_INT),
+    OpcodeSpec("DEPI", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("LDI", 5.0, (0,), True, KIND_INT),
+    OpcodeSpec("COPY", 4.5, (1,), True, KIND_INT),
+    OpcodeSpec("COMCLR", 1.0, (2,), True, KIND_INT),
+    OpcodeSpec("LDW", 10.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("LDB", 1.5, (1,), True, KIND_LOAD),
+    OpcodeSpec("LDH", 1.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("LDWM", 0.8, (1,), True, KIND_LOAD),
+    OpcodeSpec("STW", 4.5, (2,), False, KIND_STORE),
+    OpcodeSpec("STB", 0.8, (2,), False, KIND_STORE),
+    OpcodeSpec("STH", 0.5, (2,), False, KIND_STORE),
+    OpcodeSpec("FADD", 0.25, (2,), True, KIND_FP),
+    OpcodeSpec("FSUB", 0.15, (2,), True, KIND_FP),
+    OpcodeSpec("FCMP", 0.1, (2,), True, KIND_FP),
+    OpcodeSpec("FMPY", 0.12, (2,), True, KIND_FP),
+    OpcodeSpec("FMPY_D", 0.08, (2,), True, KIND_FP),
+    OpcodeSpec("FDIV", 0.05, (2,), True, KIND_FP),
+)
+
+
+def build_machine() -> Machine:
+    """Construct the PA7100 machine."""
+    return Machine(
+        name="PA7100",
+        hmdes_source=HMDES_SOURCE,
+        opcode_profile=OPCODE_PROFILE,
+        classifier=classify,
+        scheduling_mode="prepass",
+        register_pool=128,
+        block_size_range=(2, 7),
+        flow_probability=0.68,
+    )

@@ -1,0 +1,239 @@
+"""The Intel Pentium machine description (paper section 4, Table 3).
+
+A 2-issue in-order x86: two execution pipelines (U and V) with a detailed
+set of pairing rules.  Operations either pair in both pipes (two options)
+or are restricted to one pipe / block both (one option) -- Table 3.
+
+Two paper-specific modeling points are reproduced:
+
+* Every option checks several resources in the *same* cycle (pipe, its
+  ALU, and any address/shift/branch unit), which is why the Pentium
+  benefits most from bit-vector packing (Tables 9 and 10).
+* The description uses no AND/OR-trees at all -- the pairing rules have
+  no factorable structure -- so its "AND/OR representation" is just each
+  OR-tree wrapped in a one-child AND node, making it slightly *larger*
+  (Table 6 footnote).  ``Machine.wrap_or_trees`` records this.
+
+Bundling: the compiler bundles each branch with an appropriate
+condition-code-setting operation (section 4); the bundle's reservation
+table models the resources of both operations and is unbundled after
+scheduling.  The ``CMPBR`` opcodes are those bundles.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import Operation
+from repro.machines.base import (
+    KIND_BRANCH,
+    KIND_FP,
+    KIND_INT,
+    KIND_LOAD,
+    KIND_SERIAL,
+    KIND_STORE,
+    Machine,
+    OpcodeSpec,
+)
+
+HMDES_SOURCE = """
+mdes Pentium;
+
+section resource {
+    U;
+    V;
+    ISSUE1;
+    ISSUE2;
+    UALU;
+    VALU;
+    USHIFT;
+    AGU_U;
+    AGU_V;
+    BR_V;
+    CC;
+    FPU;
+    MULU;
+}
+
+section opclass {
+    // Pairable ALU operations: either pipe, with its ALU and issue
+    // position (the U pipe holds the first slot of a pair, V the
+    // second -- the pairing rules are modeled with one resource each).
+    alu_uv { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use UALU at 0; }
+        option { use V at 0; use ISSUE2 at 0; use VALU at 0; }
+    }; latency 1; }
+
+    // A structurally identical private copy (the writer cloned the entry
+    // for register-register moves rather than reuse alu_uv).
+    mov_uv { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use UALU at 0; }
+        option { use V at 0; use ISSUE2 at 0; use VALU at 0; }
+    }; latency 1; }
+
+    // Shifts and rotates pair only in the U pipe (PU class).
+    shift_u { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use UALU at 0;
+                 use USHIFT at 0; }
+    }; latency 1; }
+
+    // Memory loads: either pipe, using the pipe's address unit.
+    load_uv { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use UALU at 0;
+                 use AGU_U at 0; }
+        option { use V at 0; use ISSUE2 at 0; use VALU at 0;
+                 use AGU_V at 0; }
+    }; latency 1; }
+
+    // Stores: cloned from the load entry instead of shared.
+    store_uv { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use UALU at 0;
+                 use AGU_U at 0; }
+        option { use V at 0; use ISSUE2 at 0; use VALU at 0;
+                 use AGU_V at 0; }
+    }; latency 1; }
+
+    // Non-pairable operations block both pipes.
+    np { resv ortree {
+        option { use U at 0; use V at 0; use ISSUE1 at 0;
+                 use ISSUE2 at 0; use UALU at 0; use VALU at 0; }
+    }; latency 1; }
+
+    // Multiply: non-pairable and occupies the multiplier for 4 cycles.
+    imul { resv ortree {
+        option {
+            use U at 0; use V at 0; use ISSUE1 at 0; use ISSUE2 at 0;
+            use UALU at 0; use VALU at 0;
+            $for c in 0..3 { use MULU at $c; }
+        }
+    }; latency 4; }
+
+    // Bundled condition-code setter + conditional branch: the cc op may
+    // execute in U while the branch pairs in V.
+    cmp_br { resv ortree {
+        option {
+            use U at 0; use ISSUE1 at 0; use UALU at 0; use CC at 0;
+            use V at 0; use ISSUE2 at 0; use BR_V at 0;
+        }
+    }; latency 1; }
+
+    // Unconditional jumps pair only in V.
+    jmp_v { resv ortree {
+        option { use V at 0; use ISSUE2 at 0; use VALU at 0;
+                 use BR_V at 0; }
+    }; latency 1; }
+
+    // ALU forms with a memory operand: pairable, 2 cycles; the entry
+    // was cloned from the load entry (identical structure).
+    alu_mem { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use UALU at 0;
+                 use AGU_U at 0; }
+        option { use V at 0; use ISSUE2 at 0; use VALU at 0;
+                 use AGU_V at 0; }
+    }; latency 2; }
+
+    // String/decimal operations: a private copy of the np entry.
+    np_string { resv ortree {
+        option { use U at 0; use V at 0; use ISSUE1 at 0;
+                 use ISSUE2 at 0; use UALU at 0; use VALU at 0; }
+    }; latency 1; }
+
+    // FXCH pairs in V alongside a U-pipe FP operation.
+    fxch_v { resv ortree {
+        option { use V at 0; use ISSUE2 at 0; use FPU at 0; }
+    }; latency 1; }
+
+    // Floating point issues through U and holds the FP unit.
+    fp { resv ortree {
+        option { use U at 0; use ISSUE1 at 0; use FPU at 0;
+                 use FPU at 1; use FPU at 2; }
+    }; latency 3; }
+}
+
+section operation {
+    ADD: alu_uv; SUB: alu_uv; AND: alu_uv; OR: alu_uv; XOR: alu_uv;
+    INC: alu_uv; DEC: alu_uv; LEA: alu_uv;
+    MOV_RR: mov_uv; MOV_RI: mov_uv;
+    SHL: shift_u; SHR: shift_u; SAR: shift_u; ROL: shift_u;
+    MOV_LOAD: load_uv; MOV_STORE: store_uv;
+    PUSH: store_uv; POP: load_uv;
+    ADDM: alu_mem; SUBM: alu_mem;
+    CBW: np; XCHG: np; ADC: np;
+    MOVS: np_string; STOS: np_string;
+    IMUL: imul;
+    CMPBR: cmp_br; TESTBR: cmp_br;
+    JMP: jmp_v; CALL: jmp_v;
+    FADD: fp; FMUL: fp; FXCH: fxch_v;
+}
+"""
+
+_BASE_CLASS = {
+    "ADD": "alu_uv", "SUB": "alu_uv", "AND": "alu_uv", "OR": "alu_uv",
+    "XOR": "alu_uv", "INC": "alu_uv", "DEC": "alu_uv", "LEA": "alu_uv",
+    "MOV_RR": "mov_uv", "MOV_RI": "mov_uv",
+    "SHL": "shift_u", "SHR": "shift_u", "SAR": "shift_u", "ROL": "shift_u",
+    "MOV_LOAD": "load_uv", "MOV_STORE": "store_uv",
+    "PUSH": "store_uv", "POP": "load_uv",
+    "CBW": "np", "XCHG": "np", "ADC": "np",
+    "ADDM": "alu_mem", "SUBM": "alu_mem",
+    "MOVS": "np_string", "STOS": "np_string",
+    "IMUL": "imul",
+    "CMPBR": "cmp_br", "TESTBR": "cmp_br",
+    "JMP": "jmp_v", "CALL": "jmp_v",
+    "FADD": "fp", "FMUL": "fp", "FXCH": "fxch_v",
+}
+
+
+def classify(op: Operation, cascaded: bool) -> str:
+    """Pentium class selection is purely static."""
+    return _BASE_CLASS[op.opcode]
+
+
+OPCODE_PROFILE = (
+    OpcodeSpec("ADD", 4.7, (1, 2), True, KIND_INT),
+    OpcodeSpec("ADDM", 0.5, (1,), True, KIND_LOAD),
+    OpcodeSpec("SUBM", 0.3, (1,), True, KIND_LOAD),
+    OpcodeSpec("SUB", 3.5, (1, 2), True, KIND_INT),
+    OpcodeSpec("AND", 2.0, (1,), True, KIND_INT),
+    OpcodeSpec("OR", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("XOR", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("INC", 2.0, (1,), True, KIND_INT),
+    OpcodeSpec("DEC", 1.0, (1,), True, KIND_INT),
+    OpcodeSpec("LEA", 3.5, (1, 2), True, KIND_INT),
+    OpcodeSpec("MOV_RR", 4.5, (1,), True, KIND_INT),
+    OpcodeSpec("MOV_RI", 4.0, (0,), True, KIND_INT),
+    OpcodeSpec("SHL", 3.5, (1,), True, KIND_INT),
+    OpcodeSpec("SHR", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("SAR", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("ROL", 0.5, (1,), True, KIND_INT),
+    OpcodeSpec("MOV_LOAD", 11.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("POP", 2.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("MOV_STORE", 6.0, (2,), False, KIND_STORE),
+    OpcodeSpec("PUSH", 2.5, (2,), False, KIND_STORE),
+    OpcodeSpec("CBW", 1.2, (1,), True, KIND_INT),
+    OpcodeSpec("MOVS", 0.25, (2,), True, KIND_INT),
+    OpcodeSpec("STOS", 0.15, (2,), False, KIND_STORE),
+    OpcodeSpec("XCHG", 1.6, (2,), True, KIND_INT),
+    OpcodeSpec("ADC", 1.6, (2,), True, KIND_INT),
+    OpcodeSpec("IMUL", 0.8, (2,), True, KIND_SERIAL),
+    OpcodeSpec("CMPBR", 12.0, (2,), False, KIND_BRANCH),
+    OpcodeSpec("TESTBR", 4.5, (2,), False, KIND_BRANCH),
+    OpcodeSpec("JMP", 2.0, (0,), False, KIND_BRANCH),
+    OpcodeSpec("CALL", 2.0, (0,), False, KIND_BRANCH),
+    OpcodeSpec("FADD", 0.35, (2,), True, KIND_FP),
+    OpcodeSpec("FXCH", 0.15, (1,), True, KIND_FP),
+    OpcodeSpec("FMUL", 0.3, (2,), True, KIND_FP),
+)
+
+
+def build_machine() -> Machine:
+    """Construct the Pentium machine."""
+    return Machine(
+        name="Pentium",
+        hmdes_source=HMDES_SOURCE,
+        opcode_profile=OPCODE_PROFILE,
+        classifier=classify,
+        scheduling_mode="postpass",
+        register_pool=8,
+        block_size_range=(3, 12),
+        flow_probability=0.55,
+        wrap_or_trees=True,
+    )

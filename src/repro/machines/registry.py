@@ -1,0 +1,45 @@
+"""Machine registry: look up the paper's four processors by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.machines.base import Machine
+
+#: Canonical machine names, in the order the paper's tables list them.
+MACHINE_NAMES = ("PA7100", "Pentium", "SuperSPARC", "K5")
+
+#: Additional targets beyond the paper's evaluation (retargeting demos).
+EXTRA_MACHINE_NAMES = ("Cydra_lite",)
+
+_BUILDERS: Dict[str, Callable[[], Machine]] = {}
+_CACHE: Dict[str, Machine] = {}
+
+
+def _builders() -> Dict[str, Callable[[], Machine]]:
+    if not _BUILDERS:
+        from repro.machines import amdk5, pa7100, pentium, supersparc, vliw
+
+        _BUILDERS.update(
+            {
+                "PA7100": pa7100.build_machine,
+                "Pentium": pentium.build_machine,
+                "SuperSPARC": supersparc.build_machine,
+                "K5": amdk5.build_machine,
+                "Cydra_lite": vliw.build_machine,
+            }
+        )
+    return _BUILDERS
+
+
+def get_machine(name: str) -> Machine:
+    """Return the named machine (cached); raises KeyError for unknowns."""
+    builders = _builders()
+    if name not in builders:
+        available = ", ".join(MACHINE_NAMES + EXTRA_MACHINE_NAMES)
+        raise KeyError(
+            f"unknown machine {name!r}; available: {available}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = builders[name]()
+    return _CACHE[name]

@@ -1,0 +1,335 @@
+"""The Sun SuperSPARC machine description (paper section 2, Table 1).
+
+A 3-issue in-order superscalar: three decoders, four integer register read
+ports, two write ports, two IALUs, one shifter, one memory unit, one
+branch unit, and one floating-point issue slot per cycle.  Branches are
+modeled as always using the last decoder to maximize scheduling freedom.
+
+Two flow-dependent IALU operations may execute in the same cycle: the
+second (*cascaded*) operation has only one IALU available to it, so its
+classes have half the options of the normal IALU classes.  The scheduler
+selects the cascaded classes based on incoming dependence distances.
+
+Option counts per class reproduce Table 1 exactly:
+
+====================================  =======
+class                                 options
+====================================  =======
+branch, serial, imul, idiv              1
+fp_alu, fp_mul, fp_div                  3
+load                                    6
+store                                  12
+shift_1src, cascade_1src               24
+shift_2src, cascade_2src               36
+ialu_1src                              48
+ialu_2src                              72
+====================================  =======
+
+The description deliberately contains the kind of redundancy real
+descriptions accrete (section 5): the memory/FP classes carry inline
+copies of the decoder OR-tree instead of referencing the shared one, and
+a few trees inherited from an "earlier description" are never referenced.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import Operation
+from repro.machines.base import (
+    KIND_BRANCH,
+    KIND_FP,
+    KIND_INT,
+    KIND_LOAD,
+    KIND_SERIAL,
+    KIND_STORE,
+    Machine,
+    OpcodeSpec,
+)
+
+HMDES_SOURCE = """
+mdes SuperSPARC;
+
+section resource {
+    Decoder[0..2];
+    RP[0..3];
+    IALU[0..1];
+    Shifter;
+    M;
+    WrPt[0..1];
+    FPU;
+    FMUL;
+    FDIVU;
+    DIVU;
+    BRU;
+}
+
+section table {
+    RT_mem    { use M at 0; }
+    RT_shift  { use Shifter at 0; }
+    RT_casc   { use IALU[1] at 0; }
+    RT_fpu    { use FPU at 0; }
+    RT_fpmul  { use FPU at 0; use FMUL at 0; }
+    RT_fpdiv  {
+        use FPU at 0;
+        $for c in 0..5 { use FDIVU at $c; }
+    }
+}
+
+section ortree {
+    OT_decoder { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+    OT_rp1     { $for r in 0..3 { option { use RP[$r] at -1; } } }
+    OT_rp2 {
+        option { use RP[0] at -1; use RP[1] at -1; }
+        option { use RP[0] at -1; use RP[2] at -1; }
+        option { use RP[0] at -1; use RP[3] at -1; }
+        option { use RP[1] at -1; use RP[2] at -1; }
+        option { use RP[1] at -1; use RP[3] at -1; }
+        option { use RP[2] at -1; use RP[3] at -1; }
+    }
+    OT_ialu  { $for u in 0..1 { option { use IALU[$u] at 0; } } }
+    OT_wrpt  { $for w in 0..1 { option { use WrPt[$w] at 1; } } }
+
+    // Inherited from an earlier description; nothing references these.
+    OT_legacy_rp   { $for r in 0..3 { option { use RP[$r] at -1; } } }
+    OT_legacy_wrpt { $for w in 0..1 { option { use WrPt[$w] at 1; } } }
+}
+
+section andortree {
+    // Integer ALU / shifter classes reference the shared trees.
+    AOT_ialu_1src {
+        ortree OT_decoder; ortree OT_rp1; ortree OT_ialu; ortree OT_wrpt;
+    }
+    AOT_ialu_2src {
+        ortree OT_decoder; ortree OT_rp2; ortree OT_ialu; ortree OT_wrpt;
+    }
+    AOT_shift_1src {
+        ortree OT_decoder; ortree OT_rp1; ortree RT_shift; ortree OT_wrpt;
+    }
+    AOT_shift_2src {
+        ortree OT_decoder; ortree OT_rp2; ortree RT_shift; ortree OT_wrpt;
+    }
+    AOT_cascade_1src {
+        ortree OT_decoder; ortree OT_rp1; ortree RT_casc; ortree OT_wrpt;
+    }
+    AOT_cascade_2src {
+        ortree OT_decoder; ortree OT_rp2; ortree RT_casc; ortree OT_wrpt;
+    }
+
+    // The memory and FP classes were copied from older entries: their
+    // decoder trees are private duplicates of OT_decoder.
+    AOT_load {
+        ortree { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+        ortree OT_wrpt;
+        ortree RT_mem;
+    }
+    AOT_store {
+        ortree { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+        ortree OT_rp1;
+        ortree RT_mem;
+    }
+    AOT_fp_alu {
+        ortree { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+        ortree RT_fpu;
+    }
+    AOT_fp_mul {
+        ortree { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+        ortree RT_fpmul;
+    }
+    AOT_fp_div {
+        ortree { $for d in 0..2 { option { use Decoder[$d] at -1; } } }
+        ortree RT_fpdiv;
+    }
+
+    // Dead entry for the never-shipped cascaded-shift experiment.
+    AOT_legacy_cshift {
+        ortree OT_legacy_rp; ortree RT_shift; ortree OT_legacy_wrpt;
+    }
+}
+
+section opclass {
+    branch { resv ortree {
+        option { use Decoder[2] at -1; use BRU at 0; }
+    }; latency 1; }
+    serial { resv ortree {
+        option {
+            use Decoder[0] at -1; use Decoder[1] at -1;
+            use Decoder[2] at -1;
+            use IALU[0] at 0; use IALU[1] at 0;
+        }
+    }; latency 1; }
+    imul { resv ortree {
+        option {
+            use Decoder[0] at -1; use Decoder[1] at -1;
+            use Decoder[2] at -1;
+            use IALU[0] at 0; use IALU[1] at 0;
+            $for c in 0..2 { use DIVU at $c; }
+        }
+    }; latency 4; }
+    idiv { resv ortree {
+        option {
+            use Decoder[0] at -1; use Decoder[1] at -1;
+            use Decoder[2] at -1;
+            use IALU[0] at 0; use IALU[1] at 0;
+            $for c in 0..7 { use DIVU at $c; }
+        }
+    }; latency 9; }
+
+    fp_alu { resv AOT_fp_alu; latency 3; }
+    fp_mul { resv AOT_fp_mul; latency 3; }
+    fp_div { resv AOT_fp_div; latency 6; }
+
+    // Address operands are consumed by the dedicated address
+    // generation unit during decode (read -1): a producer feeding an
+    // address is visible one cycle later -- the address generation
+    // interlock of section 2.
+    load  { resv AOT_load;  latency 1; read -1; }
+    store { resv AOT_store; latency 1; read -1; }
+
+    shift_1src { resv AOT_shift_1src; latency 1; }
+    shift_2src { resv AOT_shift_2src; latency 1; }
+    cascade_1src { resv AOT_cascade_1src; latency 1; }
+    cascade_2src { resv AOT_cascade_2src; latency 1; }
+    ialu_1src { resv AOT_ialu_1src; latency 1; }
+    ialu_2src { resv AOT_ialu_2src; latency 1; }
+}
+
+// Cascaded IALU pairs: the second of two flow-dependent IALU
+// operations may execute in the same cycle (distance 0), but only one
+// IALU serves the cascade path, so the consumer switches to the
+// cascade_* classes with half the options (section 2).
+section bypass {
+    ialu_1src -> ialu_1src: latency 0 class cascade_1src;
+    ialu_1src -> ialu_2src: latency 0 class cascade_2src;
+    ialu_2src -> ialu_1src: latency 0 class cascade_1src;
+    ialu_2src -> ialu_2src: latency 0 class cascade_2src;
+}
+
+section operation {
+    BA: branch; BE: branch; BNE: branch; BG: branch; BLE: branch;
+    BGE: branch; BL: branch; CALL: branch; JMPL: branch;
+    SAVE: serial; RESTORE: serial;
+    UMUL: imul; SMUL: imul; UDIV: idiv; SDIV: idiv;
+    FADD: fp_alu; FSUB: fp_alu; FCMP: fp_alu;
+    FMULS: fp_mul; FDIVS: fp_div;
+    LD: load; LDUB: load; LDSB: load; LDUH: load; LDSH: load; LDD: load;
+    ST: store; STB: store; STH: store; STD: store;
+    SLL: shift_2src; SRL: shift_2src; SRA: shift_2src;
+    ADD: ialu_2src; SUB: ialu_2src; AND: ialu_2src; OR: ialu_2src;
+    XOR: ialu_2src; XNOR: ialu_2src; ADDCC: ialu_2src; SUBCC: ialu_2src;
+    SETHI: ialu_2src; MOV: ialu_2src; CMP: ialu_2src;
+}
+"""
+
+#: Base class per opcode, before operand-count/cascade refinement.
+_BASE_CLASS = {
+    "BA": "branch", "BE": "branch", "BNE": "branch", "BG": "branch",
+    "BLE": "branch", "BGE": "branch", "BL": "branch", "CALL": "branch",
+    "JMPL": "branch",
+    "SAVE": "serial", "RESTORE": "serial",
+    "UMUL": "imul", "SMUL": "imul", "UDIV": "idiv", "SDIV": "idiv",
+    "FADD": "fp_alu", "FSUB": "fp_alu", "FCMP": "fp_alu",
+    "FMULS": "fp_mul", "FDIVS": "fp_div",
+    "LD": "load", "LDUB": "load", "LDSB": "load", "LDUH": "load",
+    "LDSH": "load", "LDD": "load",
+    "ST": "store", "STB": "store", "STH": "store", "STD": "store",
+    "SLL": "shift", "SRL": "shift", "SRA": "shift",
+    "ADD": "ialu", "SUB": "ialu", "AND": "ialu", "OR": "ialu",
+    "XOR": "ialu", "XNOR": "ialu", "ADDCC": "ialu", "SUBCC": "ialu",
+    "SETHI": "ialu", "MOV": "ialu", "CMP": "ialu",
+}
+
+
+def classify(op: Operation, cascaded: bool) -> str:
+    """SuperSPARC dynamic class selection.
+
+    IALU and shifter classes split on register source count (one register
+    read port versus a pair), and flow-dependent IALU pairs issuing in the
+    same cycle use the cascaded classes (section 2).
+    """
+    base = _BASE_CLASS[op.opcode]
+    if base == "ialu":
+        suffix = "_1src" if op.reg_src_count <= 1 else "_2src"
+        return ("cascade" if cascaded else "ialu") + suffix
+    if base == "shift":
+        suffix = "_1src" if op.reg_src_count <= 1 else "_2src"
+        return "shift" + suffix
+    return base
+
+
+#: Only the simple add/logical forms use the cascade path; condition-code
+#: setters, SETHI, and moves through the cascade unit are not supported.
+_CASCADE_OPCODES = frozenset({"ADD", "SUB", "AND", "OR", "XOR"})
+
+
+def cascade_ok(producer: Operation, consumer: Operation) -> bool:
+    """Only simple IALU -> IALU flow pairs may cascade."""
+    return (
+        producer.opcode in _CASCADE_OPCODES
+        and consumer.opcode in _CASCADE_OPCODES
+    )
+
+
+#: Synthetic SPEC CINT92 instruction mix (weights calibrated against the
+#: Table 1 "% of scheduling attempts" column).
+OPCODE_PROFILE = (
+    # Branches (always end a block) and serial operations.
+    OpcodeSpec("BE", 3.4, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BNE", 3.4, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BG", 1.0, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BLE", 1.0, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BGE", 0.6, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BL", 0.6, (1,), False, KIND_BRANCH),
+    OpcodeSpec("BA", 0.8, (0,), False, KIND_BRANCH),
+    OpcodeSpec("CALL", 1.7, (0,), False, KIND_BRANCH),
+    OpcodeSpec("JMPL", 0.4, (1,), False, KIND_BRANCH),
+    OpcodeSpec("SAVE", 1.0, (1,), True, KIND_SERIAL),
+    OpcodeSpec("RESTORE", 1.0, (1,), True, KIND_SERIAL),
+    OpcodeSpec("UMUL", 0.25, (2,), True, KIND_SERIAL),
+    OpcodeSpec("SDIV", 0.1, (2,), True, KIND_SERIAL),
+    # Floating point (CINT92: very little).
+    OpcodeSpec("FADD", 0.2, (2,), True, KIND_FP),
+    OpcodeSpec("FSUB", 0.1, (2,), True, KIND_FP),
+    OpcodeSpec("FCMP", 0.1, (2,), True, KIND_FP),
+    OpcodeSpec("FMULS", 0.15, (2,), True, KIND_FP),
+    OpcodeSpec("FDIVS", 0.05, (2,), True, KIND_FP),
+    # Memory.
+    OpcodeSpec("LD", 9.0, (1, 2), True, KIND_LOAD),
+    OpcodeSpec("LDUB", 1.6, (1,), True, KIND_LOAD),
+    OpcodeSpec("LDSH", 1.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("LDD", 0.6, (1,), True, KIND_LOAD),
+    OpcodeSpec("ST", 3.4, (2,), False, KIND_STORE),
+    OpcodeSpec("STB", 0.7, (2,), False, KIND_STORE),
+    OpcodeSpec("STH", 0.4, (2,), False, KIND_STORE),
+    # Shifts (mostly by-immediate, one register source).
+    OpcodeSpec("SLL", 1.0, (1,), True, KIND_INT),
+    OpcodeSpec("SRL", 0.6, (1,), True, KIND_INT),
+    OpcodeSpec("SRA", 0.5, (1, 2), True, KIND_INT),
+    # Integer ALU: immediate forms dominate (one register source).
+    OpcodeSpec("ADD", 13.0, (1,), True, KIND_INT),
+    OpcodeSpec("SUB", 5.0, (1,), True, KIND_INT),
+    OpcodeSpec("OR", 5.0, (1,), True, KIND_INT),
+    OpcodeSpec("AND", 3.5, (1,), True, KIND_INT),
+    OpcodeSpec("XOR", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("SETHI", 3.0, (0,), True, KIND_INT),
+    OpcodeSpec("MOV", 5.5, (1,), True, KIND_INT),
+    OpcodeSpec("ADDCC", 1.5, (1,), True, KIND_INT),
+    OpcodeSpec("SUBCC", 1.0, (1,), True, KIND_INT),
+    OpcodeSpec("CMP", 2.0, (2,), True, KIND_INT),
+    OpcodeSpec("ADDX", 0.0, (2,), True, KIND_INT),  # placeholder weight
+    OpcodeSpec("XNOR", 0.6, (2,), True, KIND_INT),
+)
+
+
+def build_machine() -> Machine:
+    """Construct the SuperSPARC machine."""
+    profile = tuple(spec for spec in OPCODE_PROFILE if spec.weight > 0)
+    return Machine(
+        name="SuperSPARC",
+        hmdes_source=HMDES_SOURCE,
+        opcode_profile=profile,
+        classifier=classify,
+        cascade_fn=cascade_ok,
+        scheduling_mode="prepass",
+        register_pool=128,
+        block_size_range=(4, 14),
+        flow_probability=0.45,
+    )

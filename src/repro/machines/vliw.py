@@ -1,0 +1,141 @@
+"""A 4-wide VLIW target: the retargeting story, demonstrated.
+
+The paper's introduction motivates the whole MDES model with the promise
+of "a generic, high-quality scheduler and ILP optimizer driven by an
+MDES that can be quickly targeted to a new processor".  This module is
+that exercise: a processor that appears in none of the paper's tables,
+described in an afternoon's worth of HMDES, and immediately schedulable
+by the same toolchain.
+
+The machine ("Cydra-lite", in the spirit of the Cydra 5 the paper's
+reservation-table approach descends from):
+
+* four issue slots per cycle;
+* two integer ALUs with a forwarding path between them (distance-0
+  bypass through the shared forwarding bus, modeled as a substitute
+  class exactly like the SuperSPARC cascade);
+* one pipelined memory port (address operands read during decode, so
+  address producers suffer a one-cycle interlock -- the ``read -1``
+  feature);
+* one two-deep pipelined FP multiply-add unit and a shared writeback
+  bus limited to three results per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import Operation
+from repro.machines.base import (
+    KIND_BRANCH,
+    KIND_FP,
+    KIND_INT,
+    KIND_LOAD,
+    KIND_STORE,
+    Machine,
+    OpcodeSpec,
+)
+
+HMDES_SOURCE = """
+mdes Cydra_lite;
+
+section resource {
+    Slot[0..3];
+    IALU[0..1];
+    FWD;
+    MEM;
+    FPU;
+    FPPIPE;
+    WB[0..2];
+    BRU;
+}
+
+section ortree {
+    OT_slot { $for s in 0..3 { option { use Slot[$s] at 0; } } }
+    OT_ialu { $for u in 0..1 { option { use IALU[$u] at 0; } } }
+    OT_wb1  { $for w in 0..2 { option { use WB[$w] at 1; } } }
+    OT_wb2  { $for w in 0..2 { option { use WB[$w] at 2; } } }
+    OT_wb3  { $for w in 0..2 { option { use WB[$w] at 3; } } }
+}
+
+section table {
+    RT_mem { use MEM at 0; }
+    RT_fwd { use IALU[1] at 0; use FWD at 0; }
+    RT_fp  { use FPU at 0; use FPPIPE at 0; use FPPIPE at 1; }
+    RT_bru { use BRU at 0; }
+}
+
+section andortree {
+    AOT_ialu     { ortree OT_slot; ortree OT_ialu; ortree OT_wb1; }
+    AOT_ialu_fwd { ortree OT_slot; ortree RT_fwd;  ortree OT_wb1; }
+    AOT_load     { ortree OT_slot; ortree RT_mem;  ortree OT_wb2; }
+    AOT_store    { ortree OT_slot; ortree RT_mem; }
+    AOT_fp       { ortree OT_slot; ortree RT_fp;   ortree OT_wb3; }
+    AOT_branch   { ortree OT_slot; ortree RT_bru; }
+}
+
+section opclass {
+    ialu     { resv AOT_ialu;     latency 1; }
+    // Forwarded consumer: only IALU[1] sits on the forwarding bus.
+    ialu_fwd { resv AOT_ialu_fwd; latency 1; }
+    load     { resv AOT_load;     latency 2; read -1; }
+    store    { resv AOT_store;    latency 1; read -1; }
+    fp       { resv AOT_fp;       latency 3; }
+    branch   { resv AOT_branch;   latency 1; }
+}
+
+section bypass {
+    ialu -> ialu: latency 0 class ialu_fwd;
+}
+
+section operation {
+    ADD: ialu; SUB: ialu; AND: ialu; OR: ialu; SHL: ialu; CMP: ialu;
+    LD: load; ST: store;
+    FMAC: fp; FADD: fp;
+    BR: branch; CALL: branch;
+}
+"""
+
+_BASE_CLASS = {
+    "ADD": "ialu", "SUB": "ialu", "AND": "ialu", "OR": "ialu",
+    "SHL": "ialu", "CMP": "ialu",
+    "LD": "load", "ST": "store",
+    "FMAC": "fp", "FADD": "fp",
+    "BR": "branch", "CALL": "branch",
+}
+
+
+def classify(op: Operation, cascaded: bool) -> str:
+    """Static class per opcode; forwarding is bypass-substituted."""
+    base = _BASE_CLASS[op.opcode]
+    if base == "ialu" and cascaded:
+        return "ialu_fwd"
+    return base
+
+
+OPCODE_PROFILE = (
+    OpcodeSpec("ADD", 14.0, (1, 2), True, KIND_INT),
+    OpcodeSpec("SUB", 6.0, (1, 2), True, KIND_INT),
+    OpcodeSpec("AND", 3.0, (1,), True, KIND_INT),
+    OpcodeSpec("OR", 3.0, (1,), True, KIND_INT),
+    OpcodeSpec("SHL", 3.0, (1,), True, KIND_INT),
+    OpcodeSpec("CMP", 4.0, (2,), True, KIND_INT),
+    OpcodeSpec("LD", 12.0, (1,), True, KIND_LOAD),
+    OpcodeSpec("ST", 6.0, (2,), False, KIND_STORE),
+    OpcodeSpec("FMAC", 2.0, (2,), True, KIND_FP),
+    OpcodeSpec("FADD", 1.5, (2,), True, KIND_FP),
+    OpcodeSpec("BR", 5.0, (1,), False, KIND_BRANCH),
+    OpcodeSpec("CALL", 1.0, (0,), False, KIND_BRANCH),
+)
+
+
+def build_machine() -> Machine:
+    """Construct the VLIW machine."""
+    return Machine(
+        name="Cydra_lite",
+        hmdes_source=HMDES_SOURCE,
+        opcode_profile=OPCODE_PROFILE,
+        classifier=classify,
+        scheduling_mode="prepass",
+        register_pool=128,
+        block_size_range=(5, 16),
+        flow_probability=0.45,
+    )

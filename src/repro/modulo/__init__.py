@@ -1,0 +1,29 @@
+"""Iterative modulo scheduling (Rau, MICRO-27) on reservation tables.
+
+The paper notes (section 10) that advanced scheduling techniques such as
+iterative modulo scheduling must *unschedule* operations to clear the
+resource conflicts blocking a placement -- straightforward with
+reservation tables (reserve/release on the RU map) but unclear with the
+finite-state-automata alternative.  This subpackage demonstrates that
+capability: a software pipeliner that searches initiation intervals,
+schedules against a modulo reservation table, and evicts conflicting
+operations when forced.
+"""
+
+from repro.modulo.loop import Loop, LoopEdge, make_recurrence_loop
+from repro.modulo.scheduler import (
+    ModuloRUMap,
+    ModuloSchedule,
+    minimum_initiation_interval,
+    modulo_schedule,
+)
+
+__all__ = [
+    "Loop",
+    "LoopEdge",
+    "ModuloRUMap",
+    "ModuloSchedule",
+    "make_recurrence_loop",
+    "minimum_initiation_interval",
+    "modulo_schedule",
+]

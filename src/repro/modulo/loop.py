@@ -1,0 +1,86 @@
+"""Loop bodies with loop-carried dependences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.ir.operation import Operation
+
+
+@dataclass(frozen=True)
+class LoopEdge:
+    """A dependence within or across loop iterations.
+
+    ``distance`` counts iterations: 0 is an ordinary intra-iteration
+    dependence; 1 means the consumer of iteration ``i+1`` depends on the
+    producer of iteration ``i`` (a recurrence).
+    """
+
+    pred: int
+    succ: int
+    latency: int
+    distance: int = 0
+
+
+@dataclass
+class Loop:
+    """One innermost loop body to be software pipelined."""
+
+    operations: List[Operation]
+    edges: List[LoopEdge] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def make_recurrence_loop(
+    machine, chain_length: int = 3, parallel_work: int = 4
+) -> Loop:
+    """A synthetic loop: an IALU recurrence plus independent load/ALU work.
+
+    The recurrence bounds RecMII; the parallel operations stress ResMII.
+    Used by the modulo-scheduling example and benchmarks.
+    """
+    alu, load = _pick_opcodes(machine)
+    ops: List[Operation] = []
+    edges: List[LoopEdge] = []
+
+    # The recurrence chain: op0 -> op1 -> ... -> op0 (distance 1).
+    for position in range(chain_length):
+        op = Operation(position, alu, (f"c{position}",),
+                       (f"c{(position - 1) % chain_length}",))
+        ops.append(op)
+        if position > 0:
+            edges.append(
+                LoopEdge(position - 1, position, machine.latency(op), 0)
+            )
+    closing = machine.latency(ops[0])
+    edges.append(LoopEdge(chain_length - 1, 0, closing, 1))
+
+    # Independent work: loads feeding single ALU consumers.
+    index = chain_length
+    for unit in range(parallel_work):
+        load_op = Operation(index, load, (f"l{unit}",), (f"p{unit}",),
+                            is_load=True)
+        ops.append(load_op)
+        consumer = Operation(index + 1, alu, (f"x{unit}",), (f"l{unit}",))
+        ops.append(consumer)
+        edges.append(
+            LoopEdge(index, index + 1, machine.latency(load_op), 0)
+        )
+        index += 2
+    return Loop(ops, edges)
+
+
+def _pick_opcodes(machine) -> Tuple[str, str]:
+    """An ALU opcode and a load opcode present on this machine."""
+    alu = load = None
+    for spec in machine.opcode_profile:
+        if spec.kind == "int" and alu is None and spec.has_dest:
+            alu = spec.opcode
+        if spec.kind == "load" and load is None:
+            load = spec.opcode
+    if alu is None or load is None:
+        raise ValueError(f"{machine.name} lacks ALU or load opcodes")
+    return alu, load

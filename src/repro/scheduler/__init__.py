@@ -1,0 +1,27 @@
+"""The MDES-driven multi-platform list scheduler.
+
+The paper validates its transformations by driving a multi-platform list
+scheduler from each machine description and counting the constraint-check
+work per scheduling attempt.  This scheduler plays that role: it is
+operation-driven (each (operation, cycle) trial is one *scheduling
+attempt*), supports forward and backward directions, and understands the
+SuperSPARC's cascaded-IALU class selection via dependence distances.
+"""
+
+from repro.scheduler.priority import compute_heights
+from repro.scheduler.schedule import BlockSchedule, RunResult
+from repro.scheduler.list_scheduler import ListScheduler, schedule_workload
+from repro.scheduler.operation_scheduler import (
+    OperationScheduler,
+    OperationSchedulerResult,
+)
+
+__all__ = [
+    "BlockSchedule",
+    "ListScheduler",
+    "OperationScheduler",
+    "OperationSchedulerResult",
+    "RunResult",
+    "compute_heights",
+    "schedule_workload",
+]

@@ -1,0 +1,275 @@
+"""Operation-driven list scheduling against a compiled MDES.
+
+Forward mode (the paper's default): ready operations are chosen by
+critical-path height; each is tried at its dependence-earliest cycle and
+then at successive cycles until its resource constraint admits it.  Every
+(operation, cycle) trial is one *scheduling attempt* -- the unit all the
+paper's per-attempt statistics are normalized to.
+
+Backward mode schedules consumers before producers and probes cycles
+downward; it exists to exercise the section 7 claim that the usage-time
+transformation retunes a description for backward schedulers by shifting
+each resource's *latest* usage to time zero.
+
+Cascading: when a flow edge is cascade-eligible (SuperSPARC IALU pairs)
+the consumer may issue in the producer's own cycle, but must then use its
+cascaded operation class, which the machine's classifier supplies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.ir.block import BasicBlock
+from repro.ir.dependence import FLOW, DependenceGraph, build_dependence_graph
+from repro.ir.operation import Operation
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import CheckStats, ConstraintChecker
+from repro.lowlevel.compiled import CompiledMdes
+from repro.scheduler.priority import compute_heights
+from repro.scheduler.schedule import BlockSchedule, RunResult
+
+#: Safety bound on how far past the earliest cycle an operation may slide.
+MAX_PROBE_CYCLES = 4096
+
+
+class ListScheduler:
+    """Schedules basic blocks for one machine against one compiled MDES."""
+
+    def __init__(
+        self,
+        machine,
+        compiled: CompiledMdes,
+        stats: Optional[CheckStats] = None,
+        direction: str = "forward",
+    ) -> None:
+        if direction not in ("forward", "backward"):
+            raise SchedulingError(f"unknown direction {direction!r}")
+        self.machine = machine
+        self.compiled = compiled
+        self.checker = ConstraintChecker(stats)
+        self.direction = direction
+
+    # ------------------------------------------------------------------
+    # Forward scheduling
+    # ------------------------------------------------------------------
+
+    def _earliest_cycle(
+        self, graph: DependenceGraph, times: Dict[int, int], index: int
+    ) -> int:
+        earliest = 0
+        for edge in graph.preds_of(index):
+            candidate = times[edge.pred] + edge.min_latency
+            if candidate > earliest:
+                earliest = candidate
+        return earliest
+
+    def _cycle_feasible(
+        self,
+        graph: DependenceGraph,
+        times: Dict[int, int],
+        index: int,
+        cycle: int,
+    ) -> Optional[Tuple[bool, str]]:
+        """Data-dependence feasibility of ``cycle``.
+
+        Returns ``None`` when infeasible, else ``(cascaded,
+        bypass_class)``: whether some flow producer completes only via a
+        forwarding shortcut, and the substitute operation class the
+        shortcut demands (empty when none does).
+        """
+        cascaded = False
+        bypass_class = ""
+        for edge in graph.preds_of(index):
+            produced_at = times[edge.pred]
+            if cycle >= produced_at + edge.latency:
+                continue
+            if (
+                edge.kind == FLOW
+                and edge.is_cascade_eligible
+                and cycle == produced_at + edge.min_latency
+            ):
+                cascaded = True
+                if edge.bypass_class:
+                    bypass_class = edge.bypass_class
+                continue
+            return None
+        return cascaded, bypass_class
+
+    def _schedule_block_forward(self, block: BasicBlock) -> BlockSchedule:
+        graph = build_dependence_graph(
+            block,
+            self.machine.latency,
+            flow_latency_of=self.machine.flow_latency,
+            bypass_of=self.machine.bypass,
+        )
+        heights = compute_heights(graph)
+        remaining_preds = {
+            op.index: len(graph.preds_of(op.index)) for op in block
+        }
+        ready: List[Tuple[int, int]] = [
+            (-heights[op.index], op.index)
+            for op in block
+            if remaining_preds[op.index] == 0
+        ]
+        heapq.heapify(ready)
+        ru_map = RUMap()
+        result = BlockSchedule(block)
+        ops_by_index = {op.index: op for op in block}
+
+        scheduled = 0
+        while ready:
+            _, index = heapq.heappop(ready)
+            op = ops_by_index[index]
+            cycle = self._earliest_cycle(graph, result.times, index)
+            placed = False
+            for probe in range(MAX_PROBE_CYCLES):
+                attempt_cycle = cycle + probe
+                feasible = self._cycle_feasible(
+                    graph, result.times, index, attempt_cycle
+                )
+                if feasible is None:
+                    continue
+                cascaded, bypass_class = feasible
+                if bypass_class:
+                    class_name = bypass_class
+                else:
+                    class_name = self.machine.classify(op, cascaded)
+                handle = self.checker.try_reserve(
+                    ru_map,
+                    self.compiled.constraint_for_class(class_name),
+                    attempt_cycle,
+                    class_name,
+                )
+                if handle is not None:
+                    result.times[index] = attempt_cycle
+                    result.classes[index] = class_name
+                    placed = True
+                    break
+            if not placed:
+                raise SchedulingError(
+                    f"operation {op!r} found no cycle within "
+                    f"{MAX_PROBE_CYCLES} probes"
+                )
+            scheduled += 1
+            for edge in graph.succs_of(index):
+                remaining_preds[edge.succ] -= 1
+                if remaining_preds[edge.succ] == 0:
+                    heapq.heappush(
+                        ready, (-heights[edge.succ], edge.succ)
+                    )
+        if scheduled != len(block):
+            raise SchedulingError(
+                f"dependence cycle: scheduled {scheduled} of {len(block)}"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Backward scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule_block_backward(self, block: BasicBlock) -> BlockSchedule:
+        graph = build_dependence_graph(block, self.machine.latency)
+        remaining_succs = {
+            op.index: len(graph.succs_of(op.index)) for op in block
+        }
+        # Depth = latency-weighted distance from the entry; deeper first
+        # mirrors forward height priority when scheduling bottom-up.
+        depths: Dict[int, int] = {}
+        for op in block.operations:
+            best = 0
+            for edge in graph.preds_of(op.index):
+                candidate = depths[edge.pred] + edge.latency
+                if candidate > best:
+                    best = candidate
+            depths[op.index] = best
+        ready: List[Tuple[int, int]] = [
+            (-depths[op.index], op.index)
+            for op in block
+            if remaining_succs[op.index] == 0
+        ]
+        heapq.heapify(ready)
+        ru_map = RUMap()
+        result = BlockSchedule(block)
+        ops_by_index = {op.index: op for op in block}
+
+        while ready:
+            _, index = heapq.heappop(ready)
+            op = ops_by_index[index]
+            latest = 0
+            for edge in graph.succs_of(index):
+                candidate = result.times[edge.succ] - edge.latency
+                if candidate < latest:
+                    latest = candidate
+            class_name = self.machine.classify(op, False)
+            placed = False
+            for probe in range(MAX_PROBE_CYCLES):
+                attempt_cycle = latest - probe
+                handle = self.checker.try_reserve(
+                    ru_map,
+                    self.compiled.constraint_for_class(class_name),
+                    attempt_cycle,
+                    class_name,
+                )
+                if handle is not None:
+                    result.times[index] = attempt_cycle
+                    result.classes[index] = class_name
+                    placed = True
+                    break
+            if not placed:
+                raise SchedulingError(
+                    f"operation {op!r} found no cycle within "
+                    f"{MAX_PROBE_CYCLES} probes (backward)"
+                )
+            for edge in graph.preds_of(index):
+                remaining_succs[edge.pred] -= 1
+                if remaining_succs[edge.pred] == 0:
+                    heapq.heappush(ready, (-depths[edge.pred], edge.pred))
+
+        # Normalize so the schedule starts at cycle zero.
+        if result.times:
+            base = min(result.times.values())
+            result.times = {
+                index: cycle - base for index, cycle in result.times.items()
+            }
+        return result
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def schedule_block(self, block: BasicBlock) -> BlockSchedule:
+        """Schedule one basic block."""
+        if self.direction == "forward":
+            return self._schedule_block_forward(block)
+        return self._schedule_block_backward(block)
+
+    @property
+    def stats(self) -> CheckStats:
+        """The constraint-check statistics accumulated so far."""
+        return self.checker.stats
+
+
+def schedule_workload(
+    machine,
+    compiled: CompiledMdes,
+    blocks: Iterable[BasicBlock],
+    keep_schedules: bool = False,
+    direction: str = "forward",
+) -> RunResult:
+    """Schedule every block and aggregate the paper's statistics."""
+    scheduler = ListScheduler(machine, compiled, direction=direction)
+    result = RunResult(machine_name=machine.name)
+    if keep_schedules:
+        result.schedules = []
+    for block in blocks:
+        block_schedule = scheduler.schedule_block(block)
+        result.total_ops += len(block)
+        result.total_cycles += block_schedule.length
+        if result.schedules is not None:
+            result.schedules.append(block_schedule)
+    result.stats = scheduler.stats
+    return result

@@ -1,0 +1,216 @@
+"""Operation scheduling: priority-order placement with backtracking.
+
+The paper (section 4) names *operation scheduling* alongside iterative
+modulo scheduling as an advanced technique that raises the number of
+scheduling attempts per operation -- and (section 10) as one that needs
+to "unschedule operations in order to remove the resource conflicts that
+are preventing an operation from being scheduled", which reservation
+tables support directly.
+
+Unlike the cycle/list scheduler, operations are placed strictly in
+priority order, regardless of dependence readiness: a high-priority
+operation claims its preferred slot first, and may *evict* already placed
+lower-priority operations that block it, either through a resource
+conflict or by squeezing its dependence window shut.  Evicted operations
+re-enter the queue.  A budget bounds the total work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.ir.block import BasicBlock
+from repro.ir.dependence import build_dependence_graph
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import CheckStats, ConstraintChecker, ReservationHandle
+from repro.lowlevel.compiled import CompiledMdes
+from repro.scheduler.priority import compute_heights
+from repro.scheduler.schedule import BlockSchedule
+
+#: How many cycles past the window an operation may slide while probing.
+PROBE_WINDOW = 64
+
+
+@dataclass
+class OperationSchedulerResult:
+    """A block schedule plus the backtracking work it took."""
+
+    schedule: BlockSchedule
+    evictions: int
+    stats: CheckStats
+
+
+class OperationScheduler:
+    """Backtracking scheduler over one compiled machine description."""
+
+    def __init__(self, machine, compiled: CompiledMdes,
+                 budget_ratio: int = 12, priority_fn=None) -> None:
+        """``priority_fn(graph, block) -> {index: key}`` overrides the
+        default critical-path priority; *smaller* keys schedule first
+        (keys may be tuples).  With critical-path heights the placement
+        order is topological and backtracking is rare; a non-topological
+        priority (e.g. "memory operations last") is what makes
+        operations fight over slots and triggers eviction."""
+        self.machine = machine
+        self.compiled = compiled
+        self.budget_ratio = budget_ratio
+        self.priority_fn = priority_fn
+
+    def schedule_block(self, block: BasicBlock) -> OperationSchedulerResult:
+        """Schedule one block in pure priority order."""
+        graph = build_dependence_graph(block, self.machine.latency)
+        if self.priority_fn is not None:
+            order_keys = self.priority_fn(graph, block)
+        else:
+            heights = compute_heights(graph)
+            order_keys = {
+                index: (-height, index)
+                for index, height in heights.items()
+            }
+        ops_by_index = {op.index: op for op in block}
+        ru_map = RUMap()
+        checker = ConstraintChecker()
+        times: Dict[int, int] = {}
+        handles: Dict[int, ReservationHandle] = {}
+        previous_time: Dict[int, int] = {}
+        evictions = 0
+
+        def unschedule(index: int) -> None:
+            checker.release(ru_map, handles.pop(index))
+            previous_time[index] = times.pop(index)
+
+        def window(index: int) -> Tuple[int, Optional[int]]:
+            earliest = 0
+            latest: Optional[int] = None
+            for edge in graph.preds_of(index):
+                if edge.pred in times:
+                    earliest = max(
+                        earliest, times[edge.pred] + edge.latency
+                    )
+            for edge in graph.succs_of(index):
+                if edge.succ in times:
+                    bound = times[edge.succ] - edge.latency
+                    latest = bound if latest is None else min(
+                        latest, bound
+                    )
+            return earliest, latest
+
+        queue: List[Tuple[object, int]] = [
+            (order_keys[op.index], op.index) for op in block
+        ]
+        heapq.heapify(queue)
+        budget = self.budget_ratio * len(block)
+        steps = 0
+        while queue:
+            steps += 1
+            if steps > budget:
+                raise SchedulingError(
+                    f"operation scheduler exceeded its budget on "
+                    f"{block!r}"
+                )
+            _, index = heapq.heappop(queue)
+            if index in times:
+                continue
+            op = ops_by_index[index]
+            class_name = self.machine.classify(op, False)
+            constraint = self.compiled.constraint_for_class(class_name)
+            earliest, latest = window(index)
+            if index in previous_time:
+                # Rescheduled operations move strictly later (Rau's
+                # monotonic rule): this is what guarantees progress and
+                # prevents eviction livelock.
+                earliest = max(earliest, previous_time[index] + 1)
+
+            if latest is not None and latest < earliest:
+                # The dependence window is shut: evict exactly the
+                # successors imposing bounds below ``earliest``.  The
+                # surviving successors all allow ``earliest`` or later,
+                # so one pass reopens the window.
+                for edge in graph.succs_of(index):
+                    if edge.succ in times and (
+                        times[edge.succ] - edge.latency < earliest
+                    ):
+                        unschedule(edge.succ)
+                        heapq.heappush(
+                            queue, (order_keys[edge.succ], edge.succ)
+                        )
+                        evictions += 1
+                earliest, latest = window(index)
+
+            placed = False
+            bound = latest if latest is not None else (
+                earliest + PROBE_WINDOW
+            )
+            for cycle in range(earliest, bound + 1):
+                handle = checker.try_reserve(
+                    ru_map, constraint, cycle, class_name
+                )
+                if handle is not None:
+                    times[index] = cycle
+                    handles[index] = handle
+                    placed = True
+                    break
+            if not placed:
+                # Resource-forced: evict everything overlapping the
+                # preferred slot and take it.
+                for other in [i for i in list(times)]:
+                    if self._conflicts(
+                        handles[other], constraint, earliest
+                    ):
+                        unschedule(other)
+                        heapq.heappush(queue, (order_keys[other], other))
+                        evictions += 1
+                handle = checker.try_reserve(
+                    ru_map, constraint, earliest, class_name
+                )
+                if handle is None:
+                    raise SchedulingError(
+                        f"operation {op!r}: eviction failed to free "
+                        f"cycle {earliest}"
+                    )
+                times[index] = earliest
+                handles[index] = handle
+
+        result = BlockSchedule(block)
+        result.times = times
+        result.classes = {
+            index: self.machine.classify(ops_by_index[index], False)
+            for index in times
+        }
+        self._validate(graph, result)
+        return OperationSchedulerResult(result, evictions, checker.stats)
+
+    @staticmethod
+    def _conflicts(
+        handle: ReservationHandle, constraint, issue_cycle: int
+    ) -> bool:
+        """Whether a reservation overlaps *any* option of a constraint."""
+        from repro.lowlevel.compiled import CompiledAndOrTree
+
+        or_trees = (
+            constraint.or_trees
+            if isinstance(constraint, CompiledAndOrTree)
+            else (constraint,)
+        )
+        for or_tree in or_trees:
+            for option in or_tree.options:
+                for time, mask in option.reserve_mask_by_time:
+                    for cycle, held in handle:
+                        if cycle == issue_cycle + time and held & mask:
+                            return True
+        return False
+
+    @staticmethod
+    def _validate(graph, schedule: BlockSchedule) -> None:
+        for edges in graph.succs.values():
+            for edge in edges:
+                if (
+                    schedule.times[edge.succ]
+                    < schedule.times[edge.pred] + edge.latency
+                ):
+                    raise SchedulingError(
+                        f"operation schedule violates {edge}"
+                    )

@@ -1,0 +1,31 @@
+"""Scheduling priorities: critical-path height.
+
+The list scheduler picks among ready operations by dependence height --
+the longest latency-weighted path from the operation to any leaf.  Ties
+break on original program order, which keeps every run deterministic (a
+property the reproduction relies on: the paper's tables compare the same
+schedule across representations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.dependence import DependenceGraph
+
+
+def compute_heights(graph: DependenceGraph) -> Dict[int, int]:
+    """Latency-weighted height of every operation in the block.
+
+    Operations are indexed in program order and edges always point
+    forward, so one reverse sweep suffices.
+    """
+    heights: Dict[int, int] = {}
+    for op in reversed(graph.block.operations):
+        best = 0
+        for edge in graph.succs_of(op.index):
+            candidate = edge.latency + heights[edge.succ]
+            if candidate > best:
+                best = candidate
+        heights[op.index] = best
+    return heights

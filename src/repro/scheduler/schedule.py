@@ -1,0 +1,84 @@
+"""Schedule result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.block import BasicBlock
+from repro.lowlevel.checker import CheckStats
+
+
+@dataclass
+class BlockSchedule:
+    """The placement the scheduler produced for one basic block.
+
+    Attributes:
+        block: The scheduled block.
+        times: Operation index -> issue cycle.
+        classes: Operation index -> the operation class actually used
+            (differs from the static class when e.g. a SuperSPARC IALU
+            operation issues cascaded).
+    """
+
+    block: BasicBlock
+    times: Dict[int, int] = field(default_factory=dict)
+    classes: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        """Schedule length in cycles (0 for an empty block)."""
+        if not self.times:
+            return 0
+        low = min(self.times.values())
+        high = max(self.times.values())
+        return high - low + 1
+
+    def signature(self) -> tuple:
+        """A hashable digest used to assert schedule equality.
+
+        Two runs produced "the exact same schedule" (paper section 4) when
+        every operation landed in the same cycle with the same class.
+        """
+        return tuple(
+            (index, self.times[index], self.classes[index])
+            for index in sorted(self.times)
+        )
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of scheduling a whole workload.
+
+    Attributes:
+        machine_name: Which machine description drove the run.
+        total_ops: Operations scheduled.
+        stats: Constraint-check statistics for the run.
+        total_cycles: Sum of block schedule lengths.
+        schedules: Per-block schedules (kept only when requested).
+    """
+
+    machine_name: str
+    total_ops: int = 0
+    stats: CheckStats = field(default_factory=CheckStats)
+    total_cycles: int = 0
+    schedules: Optional[List[BlockSchedule]] = None
+
+    @property
+    def attempts_per_op(self) -> float:
+        """Average scheduling attempts per operation (Table 5 column)."""
+        return self.stats.attempts / self.total_ops if self.total_ops else 0.0
+
+    def signature(self) -> tuple:
+        """Digest of every block schedule (requires ``schedules`` kept)."""
+        if self.schedules is None:
+            raise ValueError("run was executed without keep_schedules=True")
+        return tuple(schedule.signature() for schedule in self.schedules)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.machine_name!r}, ops={self.total_ops}, "
+            f"attempts/op={self.attempts_per_op:.2f}, "
+            f"options/attempt={self.stats.options_per_attempt:.2f}, "
+            f"checks/attempt={self.stats.checks_per_attempt:.2f})"
+        )

@@ -1,0 +1,50 @@
+"""MDES transformations (paper sections 5-8).
+
+Every transformation consumes an :class:`~repro.core.mdes.Mdes` and
+returns a new one; none mutates its input, and all preserve the produced
+schedule exactly (the paper's section 4 invariant, enforced by the test
+suite).
+
+* :func:`~repro.transforms.redundancy.eliminate_redundancy` --
+  CSE/copy-propagation/dead-code adapted to the MDES domain (section 5).
+* :func:`~repro.transforms.option_elim.remove_dominated_options` --
+  drop options subsumed by a higher-priority option (section 5, Table 8).
+* :func:`~repro.transforms.time_shift.shift_usage_times` --
+  per-resource usage-time shifting toward time zero (section 7).
+* :func:`~repro.transforms.usage_sort.sort_usage_checks` --
+  check time zero first (section 7).
+* :func:`~repro.transforms.factor.factor_common_usages` --
+  hoist usages common to every option of an OR-tree (section 8).
+* :func:`~repro.transforms.tree_sort.sort_and_or_trees` --
+  order sub-OR-trees for early conflict detection (section 8).
+* :mod:`~repro.transforms.pipeline` -- the full paper-order pipeline.
+"""
+
+from repro.transforms.base import TreeRewriter
+from repro.transforms.redundancy import eliminate_redundancy
+from repro.transforms.option_elim import remove_dominated_options
+from repro.transforms.time_shift import compute_shift_constants, shift_usage_times
+from repro.transforms.usage_sort import sort_usage_checks
+from repro.transforms.factor import factor_common_usages
+from repro.transforms.tree_sort import sort_and_or_trees
+from repro.transforms.pipeline import (
+    PIPELINE_STAGES,
+    PipelineResult,
+    optimize,
+    run_pipeline,
+)
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "PipelineResult",
+    "TreeRewriter",
+    "compute_shift_constants",
+    "eliminate_redundancy",
+    "factor_common_usages",
+    "optimize",
+    "remove_dominated_options",
+    "run_pipeline",
+    "shift_usage_times",
+    "sort_and_or_trees",
+    "sort_usage_checks",
+]

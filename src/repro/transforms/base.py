@@ -1,0 +1,114 @@
+"""Shared machinery for MDES tree rewrites.
+
+Constraint trees may be shared between operation classes (and OR-trees
+between AND/OR-trees).  A naive per-class rewrite would silently duplicate
+shared subtrees and inflate the memory numbers, so every transformation
+rebuilds through :class:`TreeRewriter`, which caches by source-object
+identity: a subtree shared in the input is shared in the output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.mdes import Mdes
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+
+OptionHook = Callable[[ReservationTable], ReservationTable]
+OrTreeHook = Callable[[OrTree], OrTree]
+AndOrHook = Callable[[AndOrTree], AndOrTree]
+
+
+def _identity_option(option: ReservationTable) -> ReservationTable:
+    return option
+
+
+def _identity_or(tree: OrTree) -> OrTree:
+    return tree
+
+
+def _identity_andor(tree: AndOrTree) -> AndOrTree:
+    return tree
+
+
+class TreeRewriter:
+    """Rebuild constraint trees bottom-up, preserving identity sharing.
+
+    The three hooks run at their level *after* children have been
+    rewritten: ``option_hook`` receives each reservation table,
+    ``or_tree_hook`` receives each OR-tree already holding rewritten
+    options, and ``and_or_hook`` receives each AND/OR-tree already holding
+    rewritten OR-trees.
+    """
+
+    def __init__(
+        self,
+        option_hook: Optional[OptionHook] = None,
+        or_tree_hook: Optional[OrTreeHook] = None,
+        and_or_hook: Optional[AndOrHook] = None,
+    ) -> None:
+        self._option_hook = option_hook or _identity_option
+        self._or_tree_hook = or_tree_hook or _identity_or
+        self._and_or_hook = and_or_hook or _identity_andor
+        self._option_cache: Dict[int, ReservationTable] = {}
+        self._or_cache: Dict[int, OrTree] = {}
+        self._constraint_cache: Dict[int, Constraint] = {}
+
+    def rewrite_option(self, option: ReservationTable) -> ReservationTable:
+        """Rewrite one reservation table (cached by identity)."""
+        key = id(option)
+        if key not in self._option_cache:
+            self._option_cache[key] = self._option_hook(option)
+        return self._option_cache[key]
+
+    def rewrite_or_tree(self, tree: OrTree) -> OrTree:
+        """Rewrite one OR-tree (cached by identity)."""
+        key = id(tree)
+        if key not in self._or_cache:
+            rebuilt = OrTree(
+                tuple(self.rewrite_option(option) for option in tree.options),
+                name=tree.name,
+            )
+            self._or_cache[key] = self._or_tree_hook(rebuilt)
+        return self._or_cache[key]
+
+    def rewrite_constraint(self, constraint: Constraint) -> Constraint:
+        """Rewrite one constraint tree (cached by identity)."""
+        key = id(constraint)
+        if key not in self._constraint_cache:
+            if isinstance(constraint, AndOrTree):
+                rebuilt = AndOrTree(
+                    tuple(
+                        self.rewrite_or_tree(tree)
+                        for tree in constraint.or_trees
+                    ),
+                    name=constraint.name,
+                )
+                self._constraint_cache[key] = self._and_or_hook(rebuilt)
+            else:
+                self._constraint_cache[key] = self.rewrite_or_tree(constraint)
+        return self._constraint_cache[key]
+
+    def rewrite_mdes(self, mdes: Mdes, drop_unused: bool = False) -> Mdes:
+        """Rewrite every constraint of a description."""
+        new_classes = {
+            name: op_class.with_constraint(
+                self.rewrite_constraint(op_class.constraint)
+            )
+            for name, op_class in mdes.op_classes.items()
+        }
+        if drop_unused:
+            unused: Dict[str, Constraint] = {}
+        else:
+            unused = {
+                name: self.rewrite_constraint(tree)
+                for name, tree in mdes.unused_trees.items()
+            }
+        return Mdes(
+            name=mdes.name,
+            resources=mdes.resources,
+            op_classes=new_classes,
+            opcode_map=dict(mdes.opcode_map),
+            unused_trees=unused,
+            bypasses=dict(mdes.bypasses),
+        )

@@ -1,0 +1,134 @@
+"""Common-usage factoring (paper section 8).
+
+A resource usage present in *every* option of an OR-tree can be hoisted
+out of the options and placed in a one-option OR-tree of the same AND/OR
+tree.  When the common resource is likely to conflict, the conflict is
+then detected before any of the option alternatives are examined.
+
+Hoisting can also *increase* the check count, so the paper applies it only
+under two heuristics, both implemented here:
+
+1. If the AND/OR-tree already has a one-option OR-tree containing a usage
+   with the same usage time, merge the common usage into that option.
+   With bit-vectors the merged usage shares the existing check word, so
+   this can never hurt.
+2. Otherwise, hoist into a *new* one-option OR-tree only when the common
+   usage is the only usage at its time in every option -- each option then
+   loses one check and only one check is added overall.
+
+The same machinery can build simple AND/OR-trees out of flat OR-tree
+descriptions (``convert_or_trees=True``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.mdes import Mdes
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+
+
+def _without_usage(tree: OrTree, usage: ResourceUsage) -> OrTree:
+    """Remove ``usage`` from every option of ``tree``."""
+    options = tuple(
+        ReservationTable(
+            tuple(u for u in option.usages if u != usage), name=option.name
+        )
+        for option in tree.options
+    )
+    return OrTree(options, name=tree.name)
+
+
+def _with_usage(tree: OrTree, usage: ResourceUsage) -> OrTree:
+    """Append ``usage`` to the single option of a one-option ``tree``."""
+    option = tree.options[0]
+    merged = ReservationTable(option.usages + (usage,), name=option.name)
+    return OrTree((merged,), name=tree.name)
+
+
+def _sole_usage_at_time(tree: OrTree, usage: ResourceUsage) -> bool:
+    """True if ``usage`` is the only usage at its time in every option."""
+    for option in tree.options:
+        at_time = [u for u in option.usages if u.time == usage.time]
+        if at_time != [usage]:
+            return False
+    return True
+
+
+def factor_and_or_tree(
+    tree: AndOrTree, allow_new_trees: bool = True
+) -> AndOrTree:
+    """Apply common-usage factoring to one AND/OR-tree."""
+    or_trees: List[OrTree] = list(tree.or_trees)
+    changed = False
+    index = 0
+    while index < len(or_trees):
+        source = or_trees[index]
+        if len(source) <= 1:
+            index += 1
+            continue
+        hoisted_any = False
+        for usage in sorted(source.common_usages()):
+            # Never empty an option by hoisting its last usage.
+            if any(len(option) <= 1 for option in or_trees[index].options):
+                break
+            target_pos = _find_one_option_target(or_trees, index, usage.time)
+            if target_pos is not None:
+                or_trees[index] = _without_usage(or_trees[index], usage)
+                or_trees[target_pos] = _with_usage(
+                    or_trees[target_pos], usage
+                )
+                changed = hoisted_any = True
+            elif allow_new_trees and _sole_usage_at_time(
+                or_trees[index], usage
+            ):
+                or_trees[index] = _without_usage(or_trees[index], usage)
+                or_trees.append(
+                    OrTree((ReservationTable((usage,)),))
+                )
+                changed = hoisted_any = True
+        if not hoisted_any:
+            index += 1
+        # On a hoist, re-examine the same tree: its common set shrank but
+        # other usages may still qualify against the freshly created tree.
+    if not changed:
+        return tree
+    return AndOrTree(tuple(or_trees), name=tree.name)
+
+
+def _find_one_option_target(
+    or_trees: List[OrTree], source_index: int, time: int
+) -> Optional[int]:
+    """Position of a one-option sibling with a usage at ``time``, if any."""
+    for position, candidate in enumerate(or_trees):
+        if position == source_index or len(candidate) != 1:
+            continue
+        if any(usage.time == time for usage in candidate.options[0].usages):
+            return position
+    return None
+
+
+def factor_common_usages(
+    mdes: Mdes,
+    allow_new_trees: bool = True,
+    convert_or_trees: bool = False,
+) -> Mdes:
+    """Apply common-usage factoring to every AND/OR-tree.
+
+    With ``convert_or_trees`` set, flat OR-tree constraints whose options
+    share a usage are first wrapped in a single-child AND/OR-tree so the
+    factoring can create structure from them.
+    """
+
+    def rewrite(constraint: Constraint) -> Constraint:
+        if isinstance(constraint, OrTree):
+            if not convert_or_trees or len(constraint) <= 1:
+                return constraint
+            if not constraint.common_usages():
+                return constraint
+            constraint = AndOrTree((constraint,), name=constraint.name)
+        factored = factor_and_or_tree(constraint, allow_new_trees)
+        return factored
+
+    return mdes.map_constraints(rewrite)

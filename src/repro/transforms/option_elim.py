@@ -1,0 +1,40 @@
+"""Dominated-option removal (paper section 5, Table 8).
+
+An option can be removed from an OR-tree if its resource usages are
+identical to, or a superset of, the usages of a higher-priority option:
+whenever the dominated option's resources are free, so are the dominating
+option's, and priority selects the latter.  Such options arise from
+preprocessor enumeration and from description evolution -- the paper's
+PA7100 description inherited a duplicated memory-operation option from an
+earlier HP PA description without anyone noticing, since schedules stayed
+correct.
+
+Removing a dominated option never changes the chosen option at any cycle,
+so the schedule is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.mdes import Mdes
+from repro.core.tables import OrTree, ReservationTable
+from repro.transforms.base import TreeRewriter
+
+
+def prune_or_tree(tree: OrTree) -> OrTree:
+    """Return ``tree`` without options dominated by a higher priority one."""
+    kept: List[ReservationTable] = []
+    for option in tree.options:
+        if any(higher.dominates(option) for higher in kept):
+            continue
+        kept.append(option)
+    if len(kept) == len(tree.options):
+        return tree
+    return OrTree(tuple(kept), name=tree.name)
+
+
+def remove_dominated_options(mdes: Mdes) -> Mdes:
+    """Prune every OR-tree of the description."""
+    rewriter = TreeRewriter(or_tree_hook=prune_or_tree)
+    return rewriter.rewrite_mdes(mdes)

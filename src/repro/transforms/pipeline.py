@@ -1,0 +1,84 @@
+"""The full transformation pipeline, in paper order.
+
+Section 9 evaluates the aggregate effect of every transformation.  The
+order used here follows the paper's presentation:
+
+1. redundancy elimination (section 5),
+2. dominated-option removal (section 5),
+3. usage-time shifting (section 7),
+4. usage-check sorting (section 7),
+5. common-usage factoring (section 8),
+6. AND/OR sub-tree ordering (section 8),
+7. a final sharing pass, so OR-trees that factoring rebuilt per-parent
+   collapse back to single shared copies.
+
+Bit-vector packing (section 6) is not a tree transformation -- it is a
+compilation mode (see :func:`repro.lowlevel.compile_mdes`), so the
+pipeline leaves it to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.mdes import Mdes
+from repro.transforms.factor import factor_common_usages
+from repro.transforms.option_elim import remove_dominated_options
+from repro.transforms.redundancy import eliminate_redundancy
+from repro.transforms.time_shift import shift_usage_times
+from repro.transforms.tree_sort import sort_and_or_trees
+from repro.transforms.usage_sort import sort_usage_checks
+
+#: The pipeline stages, as (name, transform) pairs in application order.
+PIPELINE_STAGES: Tuple[Tuple[str, Callable[[Mdes], Mdes]], ...] = (
+    ("redundancy-elimination", eliminate_redundancy),
+    ("dominated-option-removal", remove_dominated_options),
+    ("usage-time-shift", shift_usage_times),
+    ("usage-check-sort", sort_usage_checks),
+    ("common-usage-factoring", factor_common_usages),
+    ("and-or-tree-sort", sort_and_or_trees),
+    ("final-sharing", eliminate_redundancy),
+)
+
+
+@dataclass
+class PipelineResult:
+    """The description after each stage (stage 0 is the input)."""
+
+    stage_names: List[str]
+    stages: List[Mdes]
+
+    @property
+    def final(self) -> Mdes:
+        """The fully optimized description."""
+        return self.stages[-1]
+
+    def stage(self, name: str) -> Mdes:
+        """The description as it stood after the named stage."""
+        return self.stages[self.stage_names.index(name)]
+
+
+def run_pipeline(mdes: Mdes, direction: str = "forward") -> PipelineResult:
+    """Run every stage, keeping the intermediate descriptions.
+
+    ``direction`` selects the usage-time shift heuristic (section 7): the
+    same description is automatically tuned for forward or backward list
+    schedulers.
+    """
+    names = ["input"]
+    stages = [mdes]
+    current = mdes
+    for name, transform in PIPELINE_STAGES:
+        if transform is shift_usage_times:
+            current = transform(current, direction)
+        else:
+            current = transform(current)
+        names.append(name)
+        stages.append(current)
+    return PipelineResult(names, stages)
+
+
+def optimize(mdes: Mdes, direction: str = "forward") -> Mdes:
+    """Fully optimize a description (all paper transformations)."""
+    return run_pipeline(mdes, direction).final

@@ -1,0 +1,51 @@
+"""Redundancy elimination (paper section 5).
+
+Machine descriptions accrete duplicated and dead information as they evolve
+-- MDES writers copy blocks rather than refactor.  The paper adapts three
+classical compiler optimizations to clean this up:
+
+* **common-subexpression elimination + copy propagation** (combined in the
+  paper's implementation, as here): find structurally identical
+  information and point every referrer at a single copy;
+* **dead-code removal**: delete information nothing references.
+
+Because tree equality in this library ignores names, interning through a
+structural pool implements CSE+copy-propagation in one pass.  Trees in
+``Mdes.unused_trees`` are the "dead code"; they are dropped.
+
+The AND/OR representation benefits more than the OR representation from
+this pass (the paper's Table 7 observation): its per-OR-tree options carry
+fewer usages, so they collide structurally far more often, and whole
+OR-trees (decoders, write ports) become shareable across AND/OR-trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.mdes import Mdes
+from repro.core.tables import AndOrTree, Constraint, OrTree, ReservationTable
+from repro.transforms.base import TreeRewriter
+
+
+def eliminate_redundancy(mdes: Mdes) -> Mdes:
+    """Share all structurally identical trees and drop unused information."""
+    option_pool: Dict[ReservationTable, ReservationTable] = {}
+    or_pool: Dict[OrTree, OrTree] = {}
+    and_pool: Dict[AndOrTree, AndOrTree] = {}
+
+    def intern_option(option: ReservationTable) -> ReservationTable:
+        return option_pool.setdefault(option, option)
+
+    def intern_or(tree: OrTree) -> OrTree:
+        return or_pool.setdefault(tree, tree)
+
+    def intern_and(tree: AndOrTree) -> AndOrTree:
+        return and_pool.setdefault(tree, tree)
+
+    rewriter = TreeRewriter(
+        option_hook=intern_option,
+        or_tree_hook=intern_or,
+        and_or_hook=intern_and,
+    )
+    return rewriter.rewrite_mdes(mdes, drop_unused=True)

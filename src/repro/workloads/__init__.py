@@ -1,0 +1,15 @@
+"""Synthetic SPEC CINT92-shaped workloads.
+
+The paper schedules 201k-282k static operations of SPEC CINT92 assembly
+per platform.  That corpus is proprietary, so this package synthesizes
+workloads with the same observable shape: each machine's opcode mix is
+calibrated against the per-class "% of scheduling attempts" columns of the
+paper's Tables 1-4, blocks end in branches, and register reuse follows the
+prepass (virtual registers) or postpass (8 physical x86 registers)
+discipline the paper used per platform.  Everything is seeded and
+deterministic.
+"""
+
+from repro.workloads.generator import WorkloadConfig, generate_blocks
+
+__all__ = ["WorkloadConfig", "generate_blocks"]

@@ -1,0 +1,136 @@
+"""A textual trace format for workloads.
+
+The paper schedules platform assembly files; this library's equivalent is
+a simple assembly-like trace format so workloads can be saved, inspected,
+hand-edited, and re-scheduled::
+
+    .machine SuperSPARC
+    .block B0
+      ADD v1 = li0 li1
+      LD v2 = v1 !load
+      ST = v2 v1 !store
+      BE = v2 !branch
+    .end
+
+One operation per line: opcode, destination registers, ``=``, source
+registers, and optional ``!load`` / ``!store`` / ``!branch`` attributes.
+``#`` starts a comment.  :func:`write_trace` and :func:`read_trace`
+round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+
+
+class TraceError(ReproError):
+    """A malformed trace file."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+def write_trace(
+    blocks: Iterable[BasicBlock], machine_name: str = ""
+) -> str:
+    """Serialize blocks to trace text."""
+    lines: List[str] = []
+    if machine_name:
+        lines.append(f".machine {machine_name}")
+    for block in blocks:
+        lines.append(f".block {block.label}")
+        for op in block.operations:
+            attributes = []
+            if op.is_load:
+                attributes.append("!load")
+            if op.is_store:
+                attributes.append("!store")
+            if op.is_branch:
+                attributes.append("!branch")
+            dests = " ".join(op.dests)
+            srcs = " ".join(op.srcs)
+            suffix = (" " + " ".join(attributes)) if attributes else ""
+            lines.append(
+                f"  {op.opcode} {dests} = {srcs}{suffix}".rstrip()
+            )
+        lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_operation(index: int, text: str, line_no: int) -> Operation:
+    tokens = text.split()
+    if "=" not in tokens:
+        raise TraceError(f"operation line lacks '=': {text!r}", line_no)
+    split = tokens.index("=")
+    opcode = tokens[0] if split >= 1 else ""
+    if not opcode:
+        raise TraceError("operation line lacks an opcode", line_no)
+    dests = tuple(tokens[1:split])
+    rest = tokens[split + 1 :]
+    srcs: List[str] = []
+    is_load = is_store = is_branch = False
+    for token in rest:
+        if token == "!load":
+            is_load = True
+        elif token == "!store":
+            is_store = True
+        elif token == "!branch":
+            is_branch = True
+        elif token.startswith("!"):
+            raise TraceError(f"unknown attribute {token!r}", line_no)
+        else:
+            srcs.append(token)
+    return Operation(
+        index=index,
+        opcode=opcode,
+        dests=dests,
+        srcs=tuple(srcs),
+        is_load=is_load,
+        is_store=is_store,
+        is_branch=is_branch,
+    )
+
+
+def read_trace(text: str) -> Tuple[str, List[BasicBlock]]:
+    """Parse trace text into (machine name, blocks)."""
+    machine_name = ""
+    blocks: List[BasicBlock] = []
+    current: Optional[BasicBlock] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".machine"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceError(".machine needs one name", line_no)
+            machine_name = parts[1]
+        elif line.startswith(".block"):
+            if current is not None:
+                raise TraceError("nested .block", line_no)
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceError(".block needs one label", line_no)
+            current = BasicBlock(parts[1])
+        elif line == ".end":
+            if current is None:
+                raise TraceError(".end without .block", line_no)
+            blocks.append(current)
+            current = None
+        else:
+            if current is None:
+                raise TraceError(
+                    f"operation outside a block: {line!r}", line_no
+                )
+            current.operations.append(
+                _parse_operation(len(current.operations), line, line_no)
+            )
+    if current is not None:
+        raise TraceError(f"unterminated block {current.label!r}")
+    return machine_name, blocks

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.core.mdes import Mdes, OperationClass
+
+
+@pytest.fixture
+def resources():
+    """A small resource table: M, two decoders, two write ports."""
+    table = ResourceTable()
+    table.declare_many(["M", "D0", "D1", "W0", "W1"])
+    return table
+
+
+def usage(resource, time):
+    """Shorthand usage constructor."""
+    return ResourceUsage(time, resource)
+
+
+@pytest.fixture
+def load_and_or_tree(resources):
+    """An AND/OR-tree shaped like the paper's integer load (figure 3b)."""
+    m = resources.lookup("M")
+    d0, d1 = resources.lookup("D0"), resources.lookup("D1")
+    w0, w1 = resources.lookup("W0"), resources.lookup("W1")
+    mem_tree = OrTree((ReservationTable((usage(m, 0),)),), name="OT_mem")
+    dec_tree = OrTree(
+        (
+            ReservationTable((usage(d0, -1),)),
+            ReservationTable((usage(d1, -1),)),
+        ),
+        name="OT_dec",
+    )
+    wr_tree = OrTree(
+        (
+            ReservationTable((usage(w0, 1),)),
+            ReservationTable((usage(w1, 1),)),
+        ),
+        name="OT_wr",
+    )
+    return AndOrTree((dec_tree, wr_tree, mem_tree), name="AOT_load")
+
+
+@pytest.fixture
+def toy_mdes(resources, load_and_or_tree):
+    """A one-class machine description around the load tree."""
+    mdes = Mdes(
+        name="Toy",
+        resources=resources,
+        op_classes={
+            "load": OperationClass("load", load_and_or_tree, latency=1)
+        },
+        opcode_map={"LD": "load"},
+    )
+    mdes.validate()
+    return mdes
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """A small-but-real experiment suite shared across analysis tests."""
+    from repro.analysis import ExperimentSuite
+
+    return ExperimentSuite(total_ops=1200, keep_schedules=True)

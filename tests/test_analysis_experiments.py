@@ -1,0 +1,149 @@
+"""Tests for the experiment suite (a small-scale end-to-end pass).
+
+These verify the *structure* of every regenerated table and the paper's
+qualitative claims; the benchmarks regenerate them at full scale.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ANDOR_REP, OR_REP, staged_mdes
+from repro.machines import MACHINE_NAMES, get_machine
+
+
+class TestStaging:
+    def test_stage_bounds(self):
+        base = get_machine("SuperSPARC").build_andor()
+        with pytest.raises(ValueError):
+            staged_mdes(base, 5)
+        with pytest.raises(ValueError):
+            staged_mdes(base, -1)
+
+    def test_stage0_is_input(self):
+        base = get_machine("SuperSPARC").build_andor()
+        assert staged_mdes(base, 0) is base
+
+    def test_stage1_removes_dead_trees(self):
+        base = get_machine("SuperSPARC").build_andor()
+        assert staged_mdes(base, 1).unused_trees == {}
+
+
+class TestTables(object):
+    def test_table1_rows_match_table(self, small_suite):
+        rows = small_suite.option_breakdown("SuperSPARC")
+        option_counts = [row[0] for row in rows]
+        assert option_counts == [1, 3, 6, 12, 24, 36, 48, 72]
+        shares = [row[1] for row in rows]
+        assert abs(sum(shares) - 100.0) < 1e-6
+        # The 48-option IALU row dominates, as in the paper (50.29%).
+        assert max(shares) == shares[option_counts.index(48)]
+
+    def test_table4_rows_match_table(self, small_suite):
+        rows = small_suite.option_breakdown("K5")
+        assert [row[0] for row in rows] == [
+            16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 768
+        ]
+
+    def test_table5_andor_wins_for_complex_machines(self, small_suite):
+        rows = {row[0]: row for row in small_suite.table5_rows()}
+        for name in ("SuperSPARC", "K5"):
+            _, _, _, or_opts, or_checks, ao_opts, ao_checks, _ = rows[name]
+            assert ao_checks < or_checks / 2
+            assert ao_opts < or_opts
+        # Pentium: identical (no AND/OR structure).
+        _, _, _, or_opts, or_checks, ao_opts, ao_checks, _ = rows["Pentium"]
+        assert ao_checks == pytest.approx(or_checks)
+
+    def test_table6_andor_smaller_for_complex_machines(self, small_suite):
+        rows = {row[0]: row for row in small_suite.table6_rows()}
+        for name in ("SuperSPARC", "K5"):
+            assert rows[name][5] < rows[name][3] / 5
+        # Pentium grows slightly (the AND-node overhead).
+        assert rows["Pentium"][5] > rows["Pentium"][3]
+
+    def test_table7_sizes_never_grow(self, small_suite):
+        t6 = {row[0]: row for row in small_suite.table6_rows()}
+        for row in small_suite.table7_rows():
+            name = row[0]
+            assert row[3] <= t6[name][3]  # OR bytes
+            assert row[6] <= t6[name][5]  # AND/OR bytes
+
+    def test_table8_pa7100_options_drop(self, small_suite):
+        rows = small_suite.table8_rows()
+        or_row = rows[0]
+        assert or_row[3] <= or_row[1]  # options/attempt after <= before
+
+    def test_table9_bitvector_never_grows(self, small_suite):
+        for row in small_suite.table9_rows():
+            assert row[2] <= row[1]
+            assert row[5] <= row[4]
+
+    def test_table10_pentium_benefits_most(self, small_suite):
+        rows = {row[0]: row for row in small_suite.table10_rows()}
+        pentium_cut = rows["Pentium"][1] - rows["Pentium"][2]
+        sparc_cut = rows["SuperSPARC"][1] - rows["SuperSPARC"][2]
+        assert pentium_cut / rows["Pentium"][1] > \
+            sparc_cut / rows["SuperSPARC"][1]
+
+    def test_table12_checks_per_option_near_one(self, small_suite):
+        for row in small_suite.table12_rows():
+            assert row[4] <= 1.25  # OR checks/option
+            assert row[8] <= 1.25  # AND/OR checks/option
+
+    def test_table13_reordering_helps_complex_machines(self, small_suite):
+        rows = {row[0]: row for row in small_suite.table13_rows()}
+        for name in ("SuperSPARC", "K5"):
+            assert rows[name][2] < rows[name][1]  # options drop
+        for name in ("PA7100", "Pentium"):
+            assert rows[name][2] == pytest.approx(rows[name][1])
+
+    def test_table14_aggregate_size(self, small_suite):
+        rows = {row[0]: row for row in small_suite.table14_rows()}
+        # Combined transforms + AND/OR: ~100x smaller for the K5.
+        assert rows["K5"][4] < rows["K5"][1] / 50
+        assert rows["SuperSPARC"][4] < rows["SuperSPARC"][1] / 10
+
+    def test_table15_aggregate_checks(self, small_suite):
+        rows = {row[0]: row for row in small_suite.table15_rows()}
+        # Up to a factor of ten fewer checks (paper's headline claim).
+        assert rows["SuperSPARC"][4] < rows["SuperSPARC"][1] / 5
+        assert rows["K5"][4] < rows["K5"][1] / 5
+
+    def test_all_tables_renders(self, small_suite):
+        text = small_suite.all_tables()
+        for number in range(1, 16):
+            assert f"Table {number}" in text
+
+
+class TestFigures:
+    def test_fig1_six_options(self, small_suite):
+        text = small_suite.fig1_load_reservation_tables()
+        assert text.count("Option") == 6
+
+    def test_fig2_histogram(self, small_suite):
+        text = small_suite.fig2_options_distribution()
+        assert "% of attempts" in text
+
+    def test_fig3_both_representations(self, small_suite):
+        text = small_suite.fig3_representations()
+        assert "OR-tree" in text and "AND/OR-tree" in text
+
+    def test_fig4_sharing(self, small_suite):
+        text = small_suite.fig4_sharing()
+        assert "shared" in text
+
+    def test_fig5_shifted_times_nonnegative(self, small_suite):
+        text = small_suite.fig5_shifted_load()
+        assert "-1 |" not in text
+
+    def test_fig6_order_changes(self, small_suite):
+        text = small_suite.fig6_tree_order()
+        assert "original order" in text
+        assert "after optimizing" in text
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_same_schedule_everywhere(self, small_suite, machine_name):
+        """The paper's core invariant (section 4): every representation
+        and every transformation stage produces the exact same schedule."""
+        assert small_suite.verify_schedule_invariance(machine_name)

@@ -1,0 +1,72 @@
+"""Tests for table formatting and figure rendering."""
+
+from repro.analysis.figures import (
+    render_and_or_tree,
+    render_options_histogram,
+    render_or_tree,
+    render_reservation_table,
+)
+from repro.analysis.reporting import format_table, reduction_pct
+from repro.core.expand import expand_to_or_tree
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ("Name", "N"), [("abc", 1), ("d", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        assert "-" in lines[2]
+        assert lines[3].startswith("abc")
+
+    def test_floats_two_decimals(self):
+        text = format_table(("X",), [(1.23456,)])
+        assert "1.23" in text
+
+    def test_numeric_right_aligned(self):
+        text = format_table(("Value",), [(7,), (1234,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("7")
+
+
+class TestReductionPct:
+    def test_standard(self):
+        assert reduction_pct(100, 25) == "75.0%"
+
+    def test_growth_is_negative(self):
+        assert reduction_pct(100, 104) == "-4.0%"
+
+    def test_zero_before(self):
+        assert reduction_pct(0, 10) == "0.0%"
+
+
+class TestFigureRendering:
+    def test_reservation_table_grid(self, load_and_or_tree):
+        flat = expand_to_or_tree(load_and_or_tree)
+        option = flat.options[0]
+        columns = sorted(option.resources(),
+                         key=lambda resource: resource.index)
+        lines = render_reservation_table(option, columns)
+        assert lines[0].startswith("Cycle")
+        assert any("X" in line for line in lines[2:])
+
+    def test_or_tree_rendering_lists_options(self, load_and_or_tree):
+        text = render_or_tree(expand_to_or_tree(load_and_or_tree))
+        assert "4 options" in text
+        assert text.count("Option") == 4
+
+    def test_and_or_tree_rendering(self, load_and_or_tree):
+        text = render_and_or_tree(load_and_or_tree)
+        assert "AND over 3 OR-trees" in text
+        assert "4 flat options" in text
+        assert " OR " in text
+
+    def test_histogram(self):
+        text = render_options_histogram({1: 30, 48: 10})
+        assert "75.00%" in text
+        assert "#" in text
+
+    def test_histogram_empty(self):
+        assert "no attempts" in render_options_histogram({})

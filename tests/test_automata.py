@@ -1,0 +1,139 @@
+"""Tests for the finite-state-automata baseline."""
+
+import pytest
+
+from repro.analysis.experiments import staged_mdes
+from repro.automata import (
+    AutomatonBackend,
+    SchedulingAutomaton,
+    TableBackend,
+    cycle_schedule_workload,
+)
+from repro.automata.collision import (
+    collision_matrix,
+    forbidden_latencies,
+    mdes_options,
+)
+from repro.core.tables import ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.errors import MdesError
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+class TestForbiddenLatencies:
+    def test_same_resource_same_time(self, resources):
+        m = resources.lookup("M")
+        option = ReservationTable((u(m, 0),))
+        assert forbidden_latencies(option, option) == frozenset({0})
+
+    def test_pipeline_distance(self, resources):
+        m = resources.lookup("M")
+        first = ReservationTable((u(m, 3),))
+        second = ReservationTable((u(m, 0),))
+        # second issued t after first collides when 3 - 0 = t.
+        assert forbidden_latencies(first, second) == frozenset({3})
+        assert forbidden_latencies(second, first) == frozenset()
+
+    def test_disjoint_resources_never_collide(self, resources):
+        a = ReservationTable((u(resources.lookup("D0"), 0),))
+        b = ReservationTable((u(resources.lookup("D1"), 0),))
+        assert forbidden_latencies(a, b) == frozenset()
+
+    def test_multi_usage(self, resources):
+        m = resources.lookup("M")
+        busy = ReservationTable((u(m, 0), u(m, 1), u(m, 2)))
+        assert forbidden_latencies(busy, busy) == frozenset({0, 1, 2})
+
+    def test_collision_matrix_covers_all_pairs(self, toy_mdes):
+        options = mdes_options(toy_mdes)
+        matrix = collision_matrix(options)
+        assert len(matrix) == len(options) ** 2
+
+
+@pytest.fixture(scope="module")
+def shifted_compiled():
+    machine = get_machine("SuperSPARC")
+    return machine, compile_mdes(
+        staged_mdes(machine.build_andor(), 4), bitvector=True
+    )
+
+
+class TestAutomaton:
+    def test_rejects_negative_times(self, toy_mdes):
+        with pytest.raises(MdesError, match="non-negative"):
+            SchedulingAutomaton(compile_mdes(toy_mdes))
+
+    def test_issue_and_capacity(self, shifted_compiled):
+        _, compiled = shifted_compiled
+        automaton = SchedulingAutomaton(compiled)
+        state = automaton.start_state
+        # One memory unit: two loads cannot issue in the same cycle.
+        result = automaton.try_issue(state, "load")
+        assert result is not None
+        state = result[0]
+        assert automaton.try_issue(state, "load") is None
+        state = automaton.advance(state)
+        assert automaton.try_issue(state, "load") is not None
+
+    def test_memoization(self, shifted_compiled):
+        _, compiled = shifted_compiled
+        automaton = SchedulingAutomaton(compiled)
+        state = automaton.start_state
+        automaton.try_issue(state, "load")
+        misses_before = automaton.stats.misses
+        automaton.try_issue(state, "load")
+        assert automaton.stats.misses == misses_before
+        assert automaton.stats.hit_ratio > 0
+
+    def test_advance_shifts_window(self, shifted_compiled):
+        _, compiled = shifted_compiled
+        automaton = SchedulingAutomaton(compiled)
+        state, _ = automaton.try_issue(automaton.start_state, "idiv")
+        assert state[0] != 0
+        drained = state
+        for _ in range(automaton.horizon):
+            drained = automaton.advance(drained)
+        assert drained == automaton.start_state
+
+    def test_accounting(self, shifted_compiled):
+        _, compiled = shifted_compiled
+        automaton = SchedulingAutomaton(compiled)
+        automaton.try_issue(automaton.start_state, "load")
+        assert automaton.transition_count == 1
+        assert automaton.state_count() == 2
+        assert automaton.memory_bytes() > 0
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_identical_schedules(self, machine_name):
+        machine = get_machine(machine_name)
+        compiled = compile_mdes(
+            staged_mdes(machine.build_andor(), 4), bitvector=True
+        )
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=400))
+        table_result, table_work = cycle_schedule_workload(
+            machine, TableBackend(compiled), blocks
+        )
+        automaton_result, automaton_lookups = cycle_schedule_workload(
+            machine, AutomatonBackend(compiled), blocks
+        )
+        assert table_result.signature() == automaton_result.signature()
+        assert automaton_lookups <= table_work
+
+    def test_table_backend_counts_checks(self):
+        machine = get_machine("SuperSPARC")
+        compiled = compile_mdes(
+            staged_mdes(machine.build_andor(), 4), bitvector=True
+        )
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=200))
+        backend = TableBackend(compiled)
+        _, work = cycle_schedule_workload(machine, backend, blocks)
+        assert work == backend.stats.resource_checks
+        assert work > 0

@@ -1,0 +1,161 @@
+"""Tests for operand read times and bypass (forwarding) modeling.
+
+The paper's footnote 1 lists operation latencies and the modeling of
+bypassing/forwarding effects as part of real machine descriptions; this
+library models them with per-class ``read`` times and a ``bypass``
+section.
+"""
+
+import pytest
+
+from repro.core.mdes import Bypass
+from repro.errors import HmdesSemanticError, HmdesSyntaxError, MdesError
+from repro.hmdes import load_mdes, write_mdes
+from repro.ir.block import BasicBlock
+from repro.ir.dependence import build_dependence_graph
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.scheduler import ListScheduler
+
+SOURCE = """
+mdes M;
+section resource { A; B; FAST; }
+section opclass {
+    producer { resv ortree { option { use A at 0; } }; latency 3; }
+    consumer { resv ortree { option { use B at 0; } }; latency 1; }
+    consumer_fast { resv ortree { option { use FAST at 0; } };
+                    latency 1; }
+    early_reader { resv ortree { option { use B at 1; } };
+                   latency 1; read -1; }
+}
+section bypass {
+    producer -> consumer: latency 1 class consumer_fast;
+}
+section operation {
+    P: producer; C: consumer; E: early_reader;
+}
+"""
+
+
+class TestLanguage:
+    def test_read_time_parsed(self):
+        mdes = load_mdes(SOURCE)
+        assert mdes.op_class("early_reader").read_time == -1
+        assert mdes.op_class("consumer").read_time == 0
+
+    def test_bypass_parsed(self):
+        mdes = load_mdes(SOURCE)
+        bypass = mdes.bypass_for("producer", "consumer")
+        assert bypass == Bypass(1, "consumer_fast")
+        assert mdes.bypass_for("consumer", "producer") is None
+
+    def test_flow_latency_includes_read_time(self):
+        mdes = load_mdes(SOURCE)
+        assert mdes.flow_latency("producer", "consumer") == 3
+        assert mdes.flow_latency("producer", "early_reader") == 4
+        assert mdes.flow_latency("consumer", "consumer") == 1
+
+    def test_flow_latency_never_negative(self):
+        source = SOURCE.replace("read -1", "read 5")
+        mdes = load_mdes(source)
+        assert mdes.flow_latency("producer", "early_reader") == 0
+
+    def test_roundtrip_preserves_read_and_bypass(self):
+        mdes = load_mdes(SOURCE)
+        again = load_mdes(write_mdes(mdes))
+        assert again.op_class("early_reader").read_time == -1
+        assert again.bypasses == mdes.bypasses
+
+    def test_duplicate_bypass_rejected(self):
+        bad = SOURCE.replace(
+            "section operation",
+            "section bypass { producer -> consumer: latency 0; }\n"
+            "section operation",
+        )
+        with pytest.raises(HmdesSemanticError, match="declared twice"):
+            load_mdes(bad)
+
+    def test_bypass_to_unknown_class_rejected(self):
+        bad = SOURCE.replace(
+            "producer -> consumer: latency 1 class consumer_fast;",
+            "producer -> ghost: latency 1;",
+        )
+        with pytest.raises(MdesError, match="unknown class"):
+            load_mdes(bad)
+
+    def test_non_shortcut_bypass_rejected(self):
+        bad = SOURCE.replace(
+            "producer -> consumer: latency 1 class consumer_fast;",
+            "producer -> consumer: latency 3;",
+        )
+        with pytest.raises(MdesError, match="not a shortcut"):
+            load_mdes(bad)
+
+
+class TestDependenceIntegration:
+    def test_agi_extends_flow_latency(self):
+        """SuperSPARC address generation interlock (section 2)."""
+        machine = get_machine("SuperSPARC")
+        producer = Operation(0, "ADD", ("r1",), ("li0",))
+        load = Operation(1, "LD", ("r2",), ("r1",), is_load=True)
+        block = BasicBlock("B", [producer, load])
+        graph = build_dependence_graph(
+            block,
+            machine.latency,
+            flow_latency_of=machine.flow_latency,
+            bypass_of=machine.bypass,
+        )
+        edge = graph.preds_of(1)[0]
+        assert edge.latency == 2  # 1-cycle ADD + 1-cycle interlock
+
+    def test_bypass_edge_carries_substitute_class(self):
+        machine = get_machine("SuperSPARC")
+        producer = Operation(0, "ADD", ("r1",), ("li0",))
+        consumer = Operation(1, "SUB", ("r2",), ("r1",))
+        block = BasicBlock("B", [producer, consumer])
+        graph = build_dependence_graph(
+            block,
+            machine.latency,
+            flow_latency_of=machine.flow_latency,
+            bypass_of=machine.bypass,
+        )
+        edge = graph.preds_of(1)[0]
+        assert edge.min_latency == 0
+        assert edge.bypass_class == "cascade_1src"
+
+    def test_opcode_filter_gates_bypass(self):
+        machine = get_machine("SuperSPARC")
+        producer = Operation(0, "SETHI", ("r1",), ())
+        consumer = Operation(1, "ADD", ("r2",), ("r1",))
+        # SETHI is outside the cascade opcode subset.
+        assert machine.bypass(producer, consumer) is None
+
+
+class TestSchedulerIntegration:
+    def test_agi_delays_dependent_load(self):
+        machine = get_machine("SuperSPARC")
+        compiled = compile_mdes(machine.build_andor())
+        block = BasicBlock(
+            "B",
+            [
+                Operation(0, "ADD", ("r1",), ("li0",)),
+                Operation(1, "LD", ("r2",), ("r1",), is_load=True),
+            ],
+        )
+        schedule = ListScheduler(machine, compiled).schedule_block(block)
+        assert schedule.times[1] >= schedule.times[0] + 2
+
+    def test_bypass_substitute_class_used_at_distance_zero(self):
+        machine = get_machine("SuperSPARC")
+        compiled = compile_mdes(machine.build_andor())
+        block = BasicBlock(
+            "B",
+            [
+                Operation(0, "ADD", ("r1",), ("li0",)),
+                Operation(1, "SUB", ("r2",), ("r1",)),
+            ],
+        )
+        schedule = ListScheduler(machine, compiled).schedule_block(block)
+        assert schedule.times[1] == schedule.times[0]
+        assert schedule.classes[1] == "cascade_1src"

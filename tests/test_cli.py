@@ -1,0 +1,180 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def run_cli(capsys):
+    def run(*argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    return run
+
+
+SMALL_HMDES = """
+mdes Tiny;
+section resource { A; B; }
+section ortree { O_dead { option { use A at 3; } } }
+section andortree {
+    AO { ortree { option { use A at 0; } }
+         ortree { option { use B at 1; } option { use B at 2; } } }
+}
+section opclass { k { resv AO; latency 1; } }
+section operation { X: k; }
+"""
+
+
+class TestMachines:
+    def test_lists_all_four(self, run_cli):
+        code, out, _ = run_cli("machines")
+        assert code == 0
+        for name in ("PA7100", "Pentium", "SuperSPARC", "K5"):
+            assert name in out
+
+
+class TestTables:
+    def test_single_table(self, run_cli):
+        code, out, _ = run_cli("tables", "--ops", "400", "--table", "6")
+        assert code == 0
+        assert "Table 6" in out
+
+    def test_unknown_table(self, run_cli):
+        code, _, err = run_cli("tables", "--ops", "400", "--table", "99")
+        assert code == 2
+        assert "choose 1-15" in err
+
+
+class TestFigures:
+    def test_single_figure(self, run_cli):
+        code, out, _ = run_cli("figures", "--ops", "400",
+                               "--name", "fig3")
+        assert code == 0
+        assert "AND/OR-tree" in out
+
+    def test_unknown_figure(self, run_cli):
+        code, _, err = run_cli("figures", "--ops", "400",
+                               "--name", "fig9")
+        assert code == 2
+
+
+class TestLint:
+    def test_lint_machine(self, run_cli):
+        code, out, _ = run_cli("lint", "--machine", "SuperSPARC")
+        assert code == 0
+        assert "W001" in out
+
+    def test_lint_file_strict(self, run_cli, tmp_path):
+        path = tmp_path / "tiny.hmdes"
+        path.write_text(SMALL_HMDES)
+        code, out, _ = run_cli("lint", str(path), "--strict")
+        assert code == 1  # the dead tree warning
+        assert "O_dead" in out
+
+    def test_lint_requires_target(self, run_cli):
+        with pytest.raises(SystemExit):
+            run_cli("lint")
+
+
+class TestOptimizeExpand:
+    def test_optimize_writes_parseable_output(self, run_cli, tmp_path):
+        source = tmp_path / "tiny.hmdes"
+        output = tmp_path / "tiny.opt.hmdes"
+        source.write_text(SMALL_HMDES)
+        code, out, _ = run_cli("optimize", str(source), "-o", str(output))
+        assert code == 0
+        assert "smaller" in out
+        from repro.hmdes import load_mdes
+
+        optimized = load_mdes(output.read_text())
+        assert optimized.unused_trees == {}
+
+    def test_expand(self, run_cli, tmp_path):
+        source = tmp_path / "tiny.hmdes"
+        output = tmp_path / "tiny.flat.hmdes"
+        source.write_text(SMALL_HMDES)
+        code, out, _ = run_cli("expand", str(source), "-o", str(output))
+        assert code == 0
+        from repro.core.tables import OrTree
+        from repro.hmdes import load_mdes
+
+        flat = load_mdes(output.read_text())
+        assert isinstance(flat.op_class("k").constraint, OrTree)
+        assert flat.op_class("k").option_count() == 2
+
+
+class TestGenerateSchedule:
+    def test_generate_then_schedule(self, run_cli, tmp_path):
+        trace = tmp_path / "work.trace"
+        code, out, _ = run_cli(
+            "generate", "--machine", "PA7100", "--ops", "300",
+            "-o", str(trace),
+        )
+        assert code == 0
+        assert trace.exists()
+        code, out, _ = run_cli("schedule", "--trace", str(trace))
+        assert code == 0
+        assert "attempts/op" in out
+        assert "PA7100" in out
+
+    def test_schedule_synthetic(self, run_cli):
+        code, out, _ = run_cli(
+            "schedule", "--machine", "K5", "--ops", "400",
+            "--rep", "or", "--stage", "0", "--no-bitvector",
+        )
+        assert code == 0
+        assert "K5 (or, stage 0)" in out
+
+    def test_schedule_without_target(self, run_cli):
+        code, _, err = run_cli("schedule", "--ops", "100")
+        assert code == 2
+
+
+class TestReport:
+    def test_report_generation(self, run_cli, tmp_path):
+        output = tmp_path / "EXP.md"
+        code, out, _ = run_cli(
+            "report", "--ops", "600", "-o", str(output)
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Table 15" in text
+
+
+class TestCompileLmdes:
+    def test_compile_machine_to_lmdes(self, run_cli, tmp_path):
+        output = tmp_path / "ss.lmdes.json"
+        code, out, _ = run_cli(
+            "compile", "--machine", "SuperSPARC", "-o", str(output)
+        )
+        assert code == 0
+        assert "compiled constraints" in out
+        from repro.lowlevel.serialize import load_lmdes
+
+        loaded = load_lmdes(output.read_text())
+        assert loaded.source.name == "SuperSPARC"
+
+    def test_compile_file_to_lmdes(self, run_cli, tmp_path):
+        source = tmp_path / "tiny.hmdes"
+        output = tmp_path / "tiny.lmdes.json"
+        source.write_text(SMALL_HMDES)
+        code, _, _ = run_cli("compile", str(source), "-o", str(output))
+        assert code == 0
+
+    def test_schedule_against_lmdes(self, run_cli, tmp_path):
+        output = tmp_path / "k5.lmdes.json"
+        run_cli("compile", "--machine", "K5", "-o", str(output))
+        code, out, _ = run_cli(
+            "schedule", "--machine", "K5", "--lmdes", str(output),
+            "--ops", "300",
+        )
+        assert code == 0
+        assert "checks/attempt" in out
+
+    def test_compile_needs_target(self, run_cli, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("compile", "-o", str(tmp_path / "x.json"))

@@ -1,0 +1,46 @@
+"""Tests for AND/OR-tree to OR-tree expansion."""
+
+from repro.core.expand import as_or_tree, expand_to_or_tree
+from repro.core.tables import AndOrTree, OrTree
+
+
+class TestExpansion:
+    def test_option_count_is_product(self, load_and_or_tree):
+        flat = expand_to_or_tree(load_and_or_tree)
+        assert len(flat) == load_and_or_tree.option_product() == 4
+
+    def test_each_flat_option_unions_usages(self, load_and_or_tree):
+        flat = expand_to_or_tree(load_and_or_tree)
+        for option in flat.options:
+            # One usage from each of the three sub-OR-trees.
+            assert len(option) == 3
+
+    def test_priority_order_last_tree_fastest(self, load_and_or_tree):
+        # Children order: decoders (2), write ports (2), memory (1).
+        flat = expand_to_or_tree(load_and_or_tree)
+        dec = [
+            next(u for u in option if u.resource.name.startswith("D"))
+            for option in flat.options
+        ]
+        wrs = [
+            next(u for u in option if u.resource.name.startswith("W"))
+            for option in flat.options
+        ]
+        assert [u.resource.name for u in dec] == ["D0", "D0", "D1", "D1"]
+        assert [u.resource.name for u in wrs] == ["W0", "W1", "W0", "W1"]
+
+    def test_flat_options_cover_all_combinations(self, load_and_or_tree):
+        flat = expand_to_or_tree(load_and_or_tree)
+        combos = {
+            frozenset(usage for usage in option)
+            for option in flat.options
+        }
+        assert len(combos) == 4
+
+    def test_as_or_tree_passthrough(self, load_and_or_tree):
+        flat = expand_to_or_tree(load_and_or_tree)
+        assert as_or_tree(flat) is flat
+        assert isinstance(as_or_tree(load_and_or_tree), OrTree)
+
+    def test_name_preserved(self, load_and_or_tree):
+        assert expand_to_or_tree(load_and_or_tree).name == "AOT_load"

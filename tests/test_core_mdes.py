@@ -1,0 +1,131 @@
+"""Tests for the Mdes container."""
+
+import pytest
+
+from repro.core.expand import as_or_tree
+from repro.core.mdes import Mdes, OperationClass
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.errors import MdesError
+
+
+class TestLookups:
+    def test_class_for_opcode(self, toy_mdes):
+        assert toy_mdes.class_for_opcode("LD").name == "load"
+
+    def test_unknown_opcode(self, toy_mdes):
+        with pytest.raises(MdesError, match="no operation class"):
+            toy_mdes.class_for_opcode("NOPE")
+
+    def test_unknown_class(self, toy_mdes):
+        with pytest.raises(MdesError, match="unknown operation class"):
+            toy_mdes.op_class("nope")
+
+    def test_latency_for_opcode(self, toy_mdes):
+        assert toy_mdes.latency_for_opcode("LD") == 1
+
+
+class TestAccounting:
+    def test_option_count_flat_vs_andor(self, toy_mdes):
+        op_class = toy_mdes.op_class("load")
+        assert op_class.option_count() == 4
+        flat = op_class.with_constraint(as_or_tree(op_class.constraint))
+        assert flat.option_count() == 4
+
+    def test_tree_count_dedupes_shared(self, resources, load_and_or_tree):
+        mdes = Mdes(
+            "Toy2",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree),
+                "b": OperationClass("b", load_and_or_tree),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        assert mdes.tree_count() == 1
+
+    def test_stored_option_count_counts_shared_or_trees_once(
+        self, resources, load_and_or_tree
+    ):
+        d0 = resources.lookup("D0")
+        other = AndOrTree(
+            (load_and_or_tree.or_trees[0],),  # shares the decoder tree
+            name="other",
+        )
+        mdes = Mdes(
+            "Toy3",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree),
+                "b": OperationClass("b", other),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        # load: 2 + 2 + 1 options; 'other' shares the 2-option decoder tree.
+        assert mdes.stored_option_count() == 5
+        sharers = mdes.or_tree_sharers()
+        shared_id = id(load_and_or_tree.or_trees[0])
+        assert sharers[shared_id] == 2
+        assert d0 in load_and_or_tree.or_trees[0].resources()
+
+    def test_validate_catches_dangling_opcode(self, resources,
+                                              load_and_or_tree):
+        mdes = Mdes(
+            "Bad",
+            resources,
+            op_classes={"a": OperationClass("a", load_and_or_tree)},
+            opcode_map={"X": "missing"},
+        )
+        with pytest.raises(MdesError, match="missing"):
+            mdes.validate()
+
+    def test_validate_catches_negative_latency(self, resources,
+                                               load_and_or_tree):
+        mdes = Mdes(
+            "Bad",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree, latency=-1)
+            },
+            opcode_map={"A": "a"},
+        )
+        with pytest.raises(MdesError, match="negative"):
+            mdes.validate()
+
+
+class TestDerivation:
+    def test_map_constraints_preserves_sharing(self, resources,
+                                               load_and_or_tree):
+        mdes = Mdes(
+            "Toy4",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree),
+                "b": OperationClass("b", load_and_or_tree),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        rewritten = mdes.map_constraints(lambda c: AndOrTree(c.or_trees))
+        assert (
+            rewritten.op_class("a").constraint
+            is rewritten.op_class("b").constraint
+        )
+
+    def test_expanded_flattens_everything(self, toy_mdes):
+        flat = toy_mdes.expanded()
+        constraint = flat.op_class("load").constraint
+        assert isinstance(constraint, OrTree)
+        assert len(constraint) == 4
+
+    def test_expanded_rewrites_unused_trees(self, toy_mdes,
+                                            load_and_or_tree):
+        toy = Mdes(
+            toy_mdes.name,
+            toy_mdes.resources,
+            dict(toy_mdes.op_classes),
+            dict(toy_mdes.opcode_map),
+            unused_trees={"dead": load_and_or_tree},
+        )
+        flat = toy.expanded()
+        assert isinstance(flat.unused_trees["dead"], OrTree)

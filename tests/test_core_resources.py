@@ -1,0 +1,61 @@
+"""Tests for the resource table and resource masks."""
+
+import pytest
+
+from repro.core.resource import Resource, ResourceTable
+from repro.errors import MdesError
+
+
+class TestResource:
+    def test_mask_is_single_bit(self):
+        assert Resource("X", 0).mask == 1
+        assert Resource("Y", 5).mask == 32
+
+    def test_masks_are_disjoint_across_indices(self):
+        table = ResourceTable()
+        declared = table.declare_many([f"R{i}" for i in range(64)])
+        combined = 0
+        for resource in declared:
+            assert combined & resource.mask == 0
+            combined |= resource.mask
+
+    def test_equality_is_structural(self):
+        assert Resource("A", 1) == Resource("A", 1)
+        assert Resource("A", 1) != Resource("A", 2)
+        assert Resource("A", 1) != Resource("B", 1)
+
+
+class TestResourceTable:
+    def test_declare_assigns_indices_in_order(self):
+        table = ResourceTable()
+        a = table.declare("A")
+        b = table.declare("B")
+        assert (a.index, b.index) == (0, 1)
+
+    def test_duplicate_declaration_rejected(self):
+        table = ResourceTable()
+        table.declare("A")
+        with pytest.raises(MdesError, match="declared twice"):
+            table.declare("A")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(MdesError, match="unknown resource"):
+            ResourceTable().lookup("nope")
+
+    def test_get_returns_none_for_unknown(self):
+        assert ResourceTable().get("nope") is None
+
+    def test_contains_len_iter_names(self):
+        table = ResourceTable()
+        table.declare_many(["A", "B", "C"])
+        assert "B" in table
+        assert "Z" not in table
+        assert len(table) == 3
+        assert [r.name for r in table] == ["A", "B", "C"]
+        assert table.names == ["A", "B", "C"]
+
+    def test_beyond_word_width_supported(self):
+        # Python ints are arbitrary precision: >64 resources must work.
+        table = ResourceTable()
+        table.declare_many([f"R{i}" for i in range(100)])
+        assert table.lookup("R99").mask == 1 << 99

@@ -1,0 +1,136 @@
+"""Tests for reservation tables, OR-trees, and AND/OR-trees."""
+
+import pytest
+
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.errors import MdesError
+
+
+@pytest.fixture
+def res():
+    table = ResourceTable()
+    table.declare_many(["A", "B", "C"])
+    return table
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+class TestResourceUsage:
+    def test_ordering_time_major(self, res):
+        a, b = res.lookup("A"), res.lookup("B")
+        assert u(a, 0) < u(a, 1)
+        assert u(a, 0) < u(b, 0)
+
+    def test_shifted(self, res):
+        a = res.lookup("A")
+        assert u(a, 3).shifted(-3) == u(a, 0)
+        assert u(a, 0).shifted(2).time == 2
+
+
+class TestReservationTable:
+    def test_duplicate_usage_rejected(self, res):
+        a = res.lookup("A")
+        with pytest.raises(MdesError, match="duplicate"):
+            ReservationTable((u(a, 0), u(a, 0)))
+
+    def test_equality_ignores_name(self, res):
+        a = res.lookup("A")
+        assert ReservationTable((u(a, 0),), name="x") == ReservationTable(
+            (u(a, 0),), name="y"
+        )
+
+    def test_equality_respects_usage_order(self, res):
+        # Check order is part of the structure (it matters for cost).
+        a, b = res.lookup("A"), res.lookup("B")
+        t1 = ReservationTable((u(a, 0), u(b, 0)))
+        t2 = ReservationTable((u(b, 0), u(a, 0)))
+        assert t1 != t2
+        assert t1.normalized() == t2.normalized()
+
+    def test_min_max_time(self, res):
+        a, b = res.lookup("A"), res.lookup("B")
+        table = ReservationTable((u(a, -1), u(b, 4)))
+        assert table.min_time() == -1
+        assert table.max_time() == 4
+
+    def test_dominates_subset_and_equal(self, res):
+        a, b = res.lookup("A"), res.lookup("B")
+        small = ReservationTable((u(a, 0),))
+        big = ReservationTable((u(a, 0), u(b, 0)))
+        assert small.dominates(big)
+        assert small.dominates(small)
+        assert not big.dominates(small)
+
+    def test_resources(self, res):
+        a, b = res.lookup("A"), res.lookup("B")
+        table = ReservationTable((u(a, 0), u(b, 2)))
+        assert table.resources() == frozenset({a, b})
+
+
+class TestOrTree:
+    def test_empty_rejected(self):
+        with pytest.raises(MdesError, match="no options"):
+            OrTree(())
+
+    def test_common_usages(self, res):
+        a, b, c = (res.lookup(n) for n in "ABC")
+        tree = OrTree(
+            (
+                ReservationTable((u(a, 0), u(b, 0))),
+                ReservationTable((u(a, 0), u(c, 0))),
+            )
+        )
+        assert tree.common_usages() == frozenset({u(a, 0)})
+
+    def test_usage_pairs_union(self, res):
+        a, b = res.lookup("A"), res.lookup("B")
+        tree = OrTree(
+            (ReservationTable((u(a, 0),)), ReservationTable((u(b, 1),)))
+        )
+        assert tree.usage_pairs() == frozenset({u(a, 0), u(b, 1)})
+
+    def test_min_time(self, res):
+        a, b = res.lookup("A"), res.lookup("B")
+        tree = OrTree(
+            (ReservationTable((u(a, 2),)), ReservationTable((u(b, -1),)))
+        )
+        assert tree.min_time() == -1
+
+
+class TestAndOrTree:
+    def test_empty_rejected(self):
+        with pytest.raises(MdesError, match="no OR-trees"):
+            AndOrTree(())
+
+    def test_option_product_and_total(self, res):
+        a, b, c = (res.lookup(n) for n in "ABC")
+        t1 = OrTree(
+            (ReservationTable((u(a, 0),)), ReservationTable((u(b, 0),)))
+        )
+        t2 = OrTree(
+            (
+                ReservationTable((u(c, 1),)),
+                ReservationTable((u(c, 2),)),
+                ReservationTable((u(c, 3),)),
+            )
+        )
+        tree = AndOrTree((t1, t2))
+        assert tree.option_product() == 6
+        assert tree.total_options() == 5
+
+    def test_validate_disjoint_rejects_overlap(self, res):
+        a = res.lookup("A")
+        t1 = OrTree((ReservationTable((u(a, 0),)),))
+        t2 = OrTree((ReservationTable((u(a, 0),)),))
+        with pytest.raises(MdesError, match="may both reserve"):
+            AndOrTree((t1, t2)).validate_disjoint()
+
+    def test_validate_disjoint_allows_same_resource_other_time(self, res):
+        a = res.lookup("A")
+        t1 = OrTree((ReservationTable((u(a, 0),)),))
+        t2 = OrTree((ReservationTable((u(a, 1),)),))
+        AndOrTree((t1, t2)).validate_disjoint()

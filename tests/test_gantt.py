@@ -1,0 +1,68 @@
+"""Tests for the schedule rendering helpers."""
+
+import pytest
+
+from repro.analysis.gantt import render_schedule, render_utilization
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.scheduler import ListScheduler
+from repro.scheduler.schedule import BlockSchedule
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    machine = get_machine("SuperSPARC")
+    compiled = compile_mdes(machine.build_andor())
+    block = BasicBlock(
+        "B7",
+        [
+            Operation(0, "LD", ("r1",), ("li0",), is_load=True),
+            Operation(1, "ADD", ("r2",), ("r1",)),
+            Operation(2, "BE", (), ("r2",), is_branch=True),
+        ],
+    )
+    schedule = ListScheduler(machine, compiled).schedule_block(block)
+    return machine, compiled, schedule
+
+
+class TestRenderSchedule:
+    def test_header_and_rows(self, scheduled):
+        _, _, schedule = scheduled
+        text = render_schedule(schedule)
+        assert text.startswith("block B7:")
+        assert "LD r1=li0" in text
+        assert "[load]" in text
+
+    def test_every_cycle_rendered(self, scheduled):
+        _, _, schedule = scheduled
+        text = render_schedule(schedule)
+        # One line per cycle plus the header.
+        assert len(text.splitlines()) == schedule.length + 1
+
+    def test_without_classes(self, scheduled):
+        _, _, schedule = scheduled
+        text = render_schedule(schedule, show_classes=False)
+        assert "[load]" not in text
+
+    def test_empty_schedule(self):
+        empty = BlockSchedule(BasicBlock("E"))
+        assert "empty" in render_schedule(empty)
+
+
+class TestRenderUtilization:
+    def test_resources_listed(self, scheduled):
+        machine, compiled, schedule = scheduled
+        text = render_utilization(schedule, compiled, machine)
+        assert "M" in text          # the memory unit
+        assert "Decoder[2]" in text  # the branch decoder
+
+    def test_rejects_inconsistent_schedule(self, scheduled):
+        machine, compiled, schedule = scheduled
+        broken = BlockSchedule(schedule.block)
+        broken.times = dict.fromkeys(schedule.times, 0)  # all in cycle 0
+        # Three loads in one cycle cannot share the single memory unit.
+        broken.classes = dict.fromkeys(schedule.classes, "load")
+        with pytest.raises(ValueError, match="re-simulate"):
+            render_utilization(broken, compiled, machine)

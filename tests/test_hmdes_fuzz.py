@@ -1,0 +1,82 @@
+"""Fuzzing the HMDES front end: malformed input must fail cleanly.
+
+Whatever garbage reaches the preprocessor, lexer, or parser, the only
+acceptable outcomes are success or an ``HmdesError`` subclass with a
+message -- never an unrelated exception or a hang.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HmdesError
+from repro.hmdes.lexer import tokenize
+from repro.hmdes.parser import parse_source
+from repro.hmdes.preprocess import preprocess
+from repro.hmdes.translate import load_mdes
+
+#: Characters that exercise every token class plus invalid ones.
+_ALPHABET = "abAB01 _;:{}[].,$->\n\t@#/*"
+
+
+class TestFrontEndRobustness:
+    @given(st.text(alphabet=_ALPHABET, max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_preprocess_never_crashes_unexpectedly(self, text):
+        try:
+            preprocess(text)
+        except HmdesError:
+            pass
+
+    @given(st.text(alphabet=_ALPHABET, max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_never_crashes_unexpectedly(self, text):
+        try:
+            tokenize(text)
+        except HmdesError:
+            pass
+
+    @given(st.text(alphabet=_ALPHABET, max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_never_crashes_unexpectedly(self, text):
+        try:
+            parse_source(text)
+        except HmdesError:
+            pass
+
+    @given(st.text(alphabet=_ALPHABET, max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_load_never_crashes_unexpectedly(self, text):
+        try:
+            load_mdes(text)
+        except HmdesError:
+            pass
+
+
+class TestStructuredMutations:
+    """Mutations of a valid description must fail with HmdesError."""
+
+    VALID = (
+        "mdes M; section resource { A; }"
+        " section opclass { k { resv ortree { option { use A at 0; } }; } }"
+        " section operation { X: k; }"
+    )
+
+    @given(st.integers(0, len(VALID) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_single_character_deletion(self, position):
+        mutated = self.VALID[:position] + self.VALID[position + 1 :]
+        try:
+            load_mdes(mutated)
+        except HmdesError:
+            pass
+
+    @given(
+        st.integers(0, len(VALID) - 1),
+        st.sampled_from("{};$@"),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_single_character_insertion(self, position, char):
+        mutated = self.VALID[:position] + char + self.VALID[position:]
+        try:
+            load_mdes(mutated)
+        except HmdesError:
+            pass

@@ -1,0 +1,49 @@
+"""Tests for the HMDES tokenizer."""
+
+import pytest
+
+from repro.errors import HmdesSyntaxError
+from repro.hmdes.lexer import EOF, IDENT, INT, PUNCT, TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_kinds(self):
+        tokens = tokenize("abc 12 -3 { } ; .. [ ] : ,")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [IDENT, INT, INT] + [PUNCT] * 8 + [EOF]
+
+    def test_negative_integer_single_token(self):
+        tokens = tokenize("-42")
+        assert tokens[0].kind == INT
+        assert tokens[0].value == "-42"
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 4]
+
+    def test_bad_character_raises_with_line(self):
+        with pytest.raises(HmdesSyntaxError, match="line 2"):
+            tokenize("ok\n@")
+
+    def test_range_vs_punct(self):
+        tokens = tokenize("0..3")
+        assert [t.value for t in tokens[:3]] == ["0", "..", "3"]
+
+
+class TestTokenStream:
+    def test_expect_and_accept(self):
+        stream = TokenStream(tokenize("a ; b"))
+        assert stream.expect(IDENT).value == "a"
+        assert stream.accept(PUNCT, ";")
+        assert not stream.accept(PUNCT, ";")
+        assert stream.at(IDENT, "b")
+
+    def test_expect_mismatch_raises(self):
+        stream = TokenStream(tokenize("a"))
+        with pytest.raises(HmdesSyntaxError, match="expected"):
+            stream.expect(INT)
+
+    def test_eof_is_sticky(self):
+        stream = TokenStream(tokenize(""))
+        assert stream.advance().kind == EOF
+        assert stream.advance().kind == EOF

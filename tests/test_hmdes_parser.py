@@ -1,0 +1,85 @@
+"""Tests for the HMDES parser."""
+
+import pytest
+
+from repro.errors import HmdesSyntaxError
+from repro.hmdes import ast
+from repro.hmdes.parser import parse_source
+
+MINIMAL = """
+mdes M;
+section resource { A; B[0..1]; C[7]; }
+section table { T { use A at 0; use B[1] at -1; } }
+section ortree { O { option { use A at 0; } option T; } }
+section andortree { AO { ortree O; ortree { option { use C[7] at 2; } } } }
+section opclass {
+    k1 { resv AO; latency 3; }
+    k2 { resv O; }
+    k3 { resv ortree { option { use A at 1; } }; }
+}
+section operation { X: k1; Y: k2; Z: k3; }
+"""
+
+
+class TestParser:
+    def test_minimal_file(self):
+        node = parse_source(MINIMAL)
+        assert node.name == "M"
+        assert len(node.resources) == 3
+        assert len(node.tables) == 1
+        assert len(node.or_trees) == 1
+        assert len(node.and_or_trees) == 1
+        assert len(node.op_classes) == 3
+        assert len(node.operations) == 3
+
+    def test_resource_range_and_single_index(self):
+        node = parse_source(MINIMAL)
+        scalar, ranged, indexed = node.resources
+        assert scalar.expanded_names() == ["A"]
+        assert ranged.expanded_names() == ["B[0]", "B[1]"]
+        assert indexed.expanded_names() == ["C[7]"]
+
+    def test_table_usages(self):
+        node = parse_source(MINIMAL)
+        table = node.tables[0]
+        assert [(u.resource, u.time) for u in table.usages] == [
+            ("A", 0), ("B[1]", -1)
+        ]
+
+    def test_option_ref_and_inline(self):
+        node = parse_source(MINIMAL)
+        inline, ref = node.or_trees[0].options
+        assert inline.ref is None and inline.usages is not None
+        assert ref.ref == "T"
+
+    def test_andortree_children(self):
+        node = parse_source(MINIMAL)
+        children = node.and_or_trees[0].children
+        assert isinstance(children[0], ast.OrTreeRef)
+        assert isinstance(children[1], ast.OrTreeNode)
+
+    def test_default_latency_is_one(self):
+        node = parse_source(MINIMAL)
+        by_name = {c.name: c for c in node.op_classes}
+        assert by_name["k1"].latency == 3
+        assert by_name["k2"].latency == 1
+
+    def test_empty_resource_range_rejected(self):
+        with pytest.raises(HmdesSyntaxError, match="empty"):
+            parse_source("mdes M; section resource { A[3..1]; }")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(HmdesSyntaxError, match="unknown section"):
+            parse_source("mdes M; section bogus { }")
+
+    def test_missing_mdes_header_rejected(self):
+        with pytest.raises(HmdesSyntaxError):
+            parse_source("section resource { A; }")
+
+    def test_generative_for_loop_in_section(self):
+        node = parse_source(
+            "mdes M; section resource { R[0..3]; }\n"
+            "section ortree { O { $for i in 0..3 { "
+            "option { use R[$i] at 0; } } } }"
+        )
+        assert len(node.or_trees[0].options) == 4

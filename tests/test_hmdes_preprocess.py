@@ -1,0 +1,69 @@
+"""Tests for the HMDES macro preprocessor."""
+
+import pytest
+
+from repro.errors import HmdesSyntaxError
+from repro.hmdes.preprocess import preprocess, strip_comments
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        assert strip_comments("a // gone\nb").splitlines() == ["a ", "b"]
+
+    def test_block_comment_preserves_lines(self):
+        text = "a /* one\ntwo */ b"
+        assert strip_comments(text).count("\n") == 1
+
+    def test_directive_in_comment_is_inert(self):
+        assert "$define" not in preprocess("// $define X 1\n")
+
+
+class TestDefine:
+    def test_simple_substitution(self):
+        assert preprocess("$define N 3\nx $N y").strip() == "x 3 y"
+
+    def test_define_uses_earlier_define(self):
+        result = preprocess("$define A 2\n$define B $A\n$B")
+        assert result.strip() == "2"
+
+    def test_undefined_macro_raises(self):
+        with pytest.raises(HmdesSyntaxError, match="undefined macro"):
+            preprocess("$NOPE")
+
+
+class TestFor:
+    def test_simple_expansion(self):
+        result = preprocess("$for i in 0..2 { a$i }")
+        assert result.replace(" ", "") == "a0a1a2"
+
+    def test_nested_loops(self):
+        result = preprocess("$for i in 0..1 { $for j in 0..1 { ($i,$j) } }")
+        flat = result.replace(" ", "")
+        assert flat == "(0,0)(0,1)(1,0)(1,1)"
+
+    def test_macro_bound(self):
+        result = preprocess("$define HI 2\n$for i in 0..$HI { $i }")
+        assert result.split() == ["0", "1", "2"]
+
+    def test_negative_bounds(self):
+        result = preprocess("$for i in -2..0 { $i }")
+        assert result.split() == ["-2", "-1", "0"]
+
+    def test_empty_range_raises(self):
+        with pytest.raises(HmdesSyntaxError, match="empty range"):
+            preprocess("$for i in 3..1 { $i }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(HmdesSyntaxError, match="unterminated"):
+            preprocess("$for i in 0..1 { oops")
+
+    def test_non_integer_bound_raises(self):
+        with pytest.raises(HmdesSyntaxError, match="not an integer"):
+            preprocess("$define W xyz\n$for i in 0..$W { $i }")
+
+    def test_inner_variable_not_confused_with_typo(self):
+        # The outer pass must leave $j alone until the inner loop binds it.
+        result = preprocess(
+            "$for i in 0..0 { $for j in 1..1 { $i$j } }"
+        )
+        assert result.strip() == "01"

@@ -1,0 +1,121 @@
+"""Tests for HMDES semantic analysis."""
+
+import pytest
+
+from repro.core.tables import AndOrTree, OrTree
+from repro.errors import HmdesSemanticError
+from repro.hmdes.translate import load_mdes
+
+GOOD = """
+mdes M;
+section resource { A; B[0..1]; }
+section table { T { use A at 0; } }
+section ortree {
+    O { option { use B[0] at -1; } option { use B[1] at -1; } }
+    O_dead { option { use A at 5; } }
+}
+section andortree {
+    AO { ortree T; ortree O; }
+    AO_dead { ortree O_dead; ortree T; }
+}
+section opclass {
+    k1 { resv AO; latency 2; }
+    k2 { resv O; }
+    k3 { resv T; }
+}
+section operation { X: k1; Y: k2; Z: k3; }
+"""
+
+
+class TestTranslate:
+    def test_basic_shape(self):
+        mdes = load_mdes(GOOD)
+        assert mdes.name == "M"
+        assert len(mdes.resources) == 3
+        assert set(mdes.op_classes) == {"k1", "k2", "k3"}
+        assert mdes.opcode_map == {"X": "k1", "Y": "k2", "Z": "k3"}
+
+    def test_named_table_as_ortree_child_is_wrapped(self):
+        mdes = load_mdes(GOOD)
+        constraint = mdes.op_class("k1").constraint
+        assert isinstance(constraint, AndOrTree)
+        first = constraint.or_trees[0]
+        assert len(first) == 1
+        assert first.name == "T"
+
+    def test_named_table_as_resv_is_wrapped(self):
+        constraint = load_mdes(GOOD).op_class("k3").constraint
+        assert isinstance(constraint, OrTree)
+        assert len(constraint) == 1
+
+    def test_sharing_by_name(self):
+        mdes = load_mdes(GOOD)
+        k1 = mdes.op_class("k1").constraint
+        k2 = mdes.op_class("k2").constraint
+        assert k1.or_trees[1] is k2
+
+    def test_unused_trees_collected_transitively(self):
+        mdes = load_mdes(GOOD)
+        # AO_dead is unused; O_dead is referenced only by AO_dead, so it
+        # is dead too.  T is used by k1/k3 and must not be reported.
+        assert set(mdes.unused_trees) == {"AO_dead", "O_dead"}
+
+    def test_latency(self):
+        mdes = load_mdes(GOOD)
+        assert mdes.op_class("k1").latency == 2
+        assert mdes.op_class("k2").latency == 1
+
+
+class TestTranslateErrors:
+    def test_unknown_resource(self):
+        with pytest.raises(HmdesSemanticError, match="unknown resource"):
+            load_mdes(
+                "mdes M; section ortree { O { option { use Z at 0; } } }"
+                " section opclass { k { resv O; } }"
+                " section operation { X: k; }"
+            )
+
+    def test_duplicate_tree_name(self):
+        with pytest.raises(HmdesSemanticError, match="declared twice"):
+            load_mdes(
+                "mdes M; section resource { A; }"
+                " section ortree { O { option { use A at 0; } }"
+                " O { option { use A at 1; } } }"
+            )
+
+    def test_unknown_tree_reference(self):
+        with pytest.raises(HmdesSemanticError, match="unknown"):
+            load_mdes(
+                "mdes M; section resource { A; }"
+                " section opclass { k { resv NOPE; } }"
+                " section operation { X: k; }"
+            )
+
+    def test_opcode_mapped_twice(self):
+        with pytest.raises(HmdesSemanticError, match="mapped twice"):
+            load_mdes(
+                "mdes M; section resource { A; }"
+                " section opclass { k { resv ortree { option "
+                "{ use A at 0; } }; } }"
+                " section operation { X: k; X: k; }"
+            )
+
+    def test_opcode_to_unknown_class(self):
+        with pytest.raises(HmdesSemanticError, match="unknown class"):
+            load_mdes(
+                "mdes M; section resource { A; }"
+                " section operation { X: nothing; }"
+            )
+
+    def test_overlapping_andortree_rejected(self):
+        # Sibling OR-trees that could reserve the same (resource, time)
+        # violate the checker's independence assumption.
+        with pytest.raises(Exception, match="may both reserve"):
+            load_mdes(
+                "mdes M; section resource { A; }"
+                " section andortree { AO {"
+                " ortree { option { use A at 0; } }"
+                " ortree { option { use A at 0; } } } }"
+                " section opclass { k { resv AO; } }"
+                " section operation { X: k; }"
+            )

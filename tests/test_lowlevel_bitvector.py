@@ -1,0 +1,81 @@
+"""Tests for the resource usage map."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.lowlevel.bitvector import RUMap
+
+
+class TestRUMap:
+    def test_initially_free(self):
+        ru = RUMap()
+        assert ru.is_free(0, 0xFF)
+        assert ru.is_free(-5, 1)
+        assert not ru
+
+    def test_reserve_blocks_overlap(self):
+        ru = RUMap()
+        ru.reserve(3, 0b101)
+        assert not ru.is_free(3, 0b001)
+        assert not ru.is_free(3, 0b100)
+        assert ru.is_free(3, 0b010)
+        assert ru.is_free(4, 0b101)
+
+    def test_double_reservation_raises(self):
+        ru = RUMap()
+        ru.reserve(0, 1)
+        with pytest.raises(SchedulingError, match="double reservation"):
+            ru.reserve(0, 1)
+
+    def test_release_roundtrip(self):
+        ru = RUMap()
+        ru.reserve(2, 0b11)
+        ru.release(2, 0b11)
+        assert ru.is_free(2, 0b11)
+        assert not ru  # cycle entry is garbage-collected
+
+    def test_partial_release(self):
+        ru = RUMap()
+        ru.reserve(2, 0b11)
+        ru.release(2, 0b01)
+        assert ru.is_free(2, 0b01)
+        assert not ru.is_free(2, 0b10)
+
+    def test_release_unreserved_raises(self):
+        ru = RUMap()
+        with pytest.raises(SchedulingError, match="release"):
+            ru.release(0, 1)
+
+    def test_negative_cycles(self):
+        ru = RUMap()
+        ru.reserve(-1, 1)
+        assert not ru.is_free(-1, 1)
+        assert ru.is_free(0, 1)
+
+    def test_clear(self):
+        ru = RUMap()
+        ru.reserve(0, 1)
+        ru.clear()
+        assert ru.is_free(0, 1)
+
+    def test_copy_is_independent(self):
+        ru = RUMap()
+        ru.reserve(0, 1)
+        duplicate = ru.copy()
+        duplicate.reserve(0, 2)
+        assert ru.is_free(0, 2)
+        assert ru == RUMap() or not ru.is_free(0, 1)
+
+    def test_word_and_busy_cycles(self):
+        ru = RUMap()
+        ru.reserve(1, 0b10)
+        ru.reserve(0, 0b01)
+        assert ru.word(1) == 0b10
+        assert ru.word(9) == 0
+        assert list(ru.busy_cycles()) == [(0, 0b01), (1, 0b10)]
+
+    def test_wide_masks(self):
+        ru = RUMap()
+        ru.reserve(0, 1 << 200)
+        assert not ru.is_free(0, 1 << 200)
+        assert ru.is_free(0, 1 << 199)

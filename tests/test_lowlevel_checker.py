@@ -1,0 +1,137 @@
+"""Tests for the constraint checker and its statistics."""
+
+import pytest
+
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import CheckStats, ConstraintChecker
+from repro.lowlevel.compiled import compile_mdes
+
+
+@pytest.fixture
+def compiled(toy_mdes):
+    return compile_mdes(toy_mdes)
+
+
+@pytest.fixture
+def flat_compiled(toy_mdes):
+    return compile_mdes(toy_mdes.expanded())
+
+
+class TestAndOrChecker:
+    def test_single_cycle_capacity(self, compiled):
+        """One M unit: only one load may issue per cycle."""
+        ru = RUMap()
+        checker = ConstraintChecker()
+        constraint = compiled.constraint_for_opcode("LD")
+        assert checker.try_reserve(ru, constraint, 0) is not None
+        assert checker.try_reserve(ru, constraint, 0) is None
+        assert checker.try_reserve(ru, constraint, 1) is not None
+
+    def test_priority_picks_first_available(self, compiled, toy_mdes):
+        ru = RUMap()
+        checker = ConstraintChecker()
+        constraint = compiled.constraint_for_opcode("LD")
+        handle = checker.try_reserve(ru, constraint, 0)
+        d0 = toy_mdes.resources.lookup("D0")
+        # Highest-priority decoder (D0, at time -1) must be chosen.
+        assert (-1, d0.mask) in handle
+
+    def test_falls_back_to_lower_priority(self, compiled, toy_mdes):
+        ru = RUMap()
+        d0 = toy_mdes.resources.lookup("D0")
+        d1 = toy_mdes.resources.lookup("D1")
+        ru.reserve(-1, d0.mask)
+        checker = ConstraintChecker()
+        handle = checker.try_reserve(
+            ru, compiled.constraint_for_opcode("LD"), 0
+        )
+        assert (-1, d1.mask) in handle
+
+    def test_failure_reserves_nothing(self, compiled, toy_mdes):
+        ru = RUMap()
+        m = toy_mdes.resources.lookup("M")
+        ru.reserve(0, m.mask)
+        before = ru.copy()
+        checker = ConstraintChecker()
+        assert checker.try_reserve(
+            ru, compiled.constraint_for_opcode("LD"), 0
+        ) is None
+        assert ru == before
+
+    def test_release_undoes_reservation(self, compiled):
+        ru = RUMap()
+        checker = ConstraintChecker()
+        constraint = compiled.constraint_for_opcode("LD")
+        handle = checker.try_reserve(ru, constraint, 0)
+        ConstraintChecker.release(ru, handle)
+        assert not ru
+
+    def test_short_circuit_on_failing_tree(self, compiled, toy_mdes):
+        """Once one OR-tree fails, later trees must not be checked."""
+        ru = RUMap()
+        d0 = toy_mdes.resources.lookup("D0")
+        d1 = toy_mdes.resources.lookup("D1")
+        ru.reserve(-1, d0.mask | d1.mask)  # decoder tree (first) fails
+        checker = ConstraintChecker()
+        assert checker.try_reserve(
+            ru, compiled.constraint_for_opcode("LD"), 0
+        ) is None
+        # 2 decoder options checked, nothing else.
+        assert checker.stats.options_checked == 2
+        assert checker.stats.resource_checks == 2
+
+
+class TestEquivalence:
+    def test_andor_matches_expanded_or(self, compiled, flat_compiled):
+        """Both representations reserve identical resources (section 4)."""
+        ru_a, ru_b = RUMap(), RUMap()
+        checker_a, checker_b = ConstraintChecker(), ConstraintChecker()
+        ca = compiled.constraint_for_opcode("LD")
+        cb = flat_compiled.constraint_for_opcode("LD")
+        for cycle in [0, 0, 0, 1, 1, 1, 2]:
+            ha = checker_a.try_reserve(ru_a, ca, cycle)
+            hb = checker_b.try_reserve(ru_b, cb, cycle)
+            assert (ha is None) == (hb is None)
+            assert ru_a == ru_b
+
+
+class TestCheckStats:
+    def test_counts_options_and_checks(self, flat_compiled):
+        ru = RUMap()
+        checker = ConstraintChecker()
+        constraint = flat_compiled.constraint_for_opcode("LD")
+        checker.try_reserve(ru, constraint, 0, class_name="load")
+        stats = checker.stats
+        assert stats.attempts == 1
+        assert stats.successes == 1
+        assert stats.options_checked == 1  # first option available
+        assert stats.resource_checks == 3  # its three usages
+        assert stats.attempts_by_class == {"load": 1}
+        assert stats.options_histogram == {1: 1}
+
+    def test_averages(self):
+        stats = CheckStats()
+        stats.record_attempt(4, 8, True)
+        stats.record_attempt(2, 2, False)
+        assert stats.options_per_attempt == 3.0
+        assert stats.checks_per_attempt == 5.0
+        assert stats.checks_per_option == pytest.approx(10 / 6)
+
+    def test_empty_averages_are_zero(self):
+        stats = CheckStats()
+        assert stats.options_per_attempt == 0.0
+        assert stats.checks_per_attempt == 0.0
+        assert stats.checks_per_option == 0.0
+
+    def test_merge(self):
+        a, b = CheckStats(), CheckStats()
+        a.record_attempt(1, 1, True, "x")
+        b.record_attempt(2, 3, False, "x")
+        b.record_attempt(1, 1, True, "y")
+        a.merge(b)
+        assert a.attempts == 3
+        assert a.successes == 2
+        assert a.options_checked == 4
+        assert a.resource_checks == 5
+        assert a.attempts_by_class == {"x": 2, "y": 1}
+        assert a.options_histogram == {1: 2, 2: 1}

@@ -1,0 +1,102 @@
+"""Tests for constraint compilation."""
+
+from repro.core.tables import ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.lowlevel.compiled import (
+    CompiledAndOrTree,
+    CompiledOption,
+    CompiledOrTree,
+    compile_mdes,
+)
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+class TestCompiledOption:
+    def test_scalar_one_check_per_usage(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        table = ReservationTable((u(a, 0), u(b, 0), u(a, 1)))
+        option = CompiledOption.from_table(table, bitvector=False)
+        assert len(option.checks) == 3
+
+    def test_bitvector_merges_same_cycle(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        table = ReservationTable((u(a, 0), u(b, 0), u(a, 1)))
+        option = CompiledOption.from_table(table, bitvector=True)
+        assert len(option.checks) == 2
+        assert option.checks[0] == (0, a.mask | b.mask)
+        assert option.checks[1] == (1, a.mask)
+
+    def test_check_order_follows_usage_order(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        table = ReservationTable((u(b, 2), u(a, 0)))
+        option = CompiledOption.from_table(table, bitvector=True)
+        assert [time for time, _ in option.checks] == [2, 0]
+
+    def test_reserve_masks_cover_all_usages(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        table = ReservationTable((u(a, 0), u(b, 0), u(a, 1)))
+        for bitvector in (False, True):
+            option = CompiledOption.from_table(table, bitvector)
+            assert dict(option.reserve_mask_by_time) == {
+                0: a.mask | b.mask,
+                1: a.mask,
+            }
+
+
+class TestCompileMdes:
+    def test_shapes(self, toy_mdes):
+        compiled = compile_mdes(toy_mdes)
+        constraint = compiled.constraint_for_opcode("LD")
+        assert isinstance(constraint, CompiledAndOrTree)
+        assert [len(t) for t in constraint.or_trees] == [2, 2, 1]
+
+    def test_flat_compiles_to_or(self, toy_mdes):
+        compiled = compile_mdes(toy_mdes.expanded())
+        constraint = compiled.constraint_for_opcode("LD")
+        assert isinstance(constraint, CompiledOrTree)
+        assert len(constraint) == 4
+
+    def test_sharing_preserved(self, resources, load_and_or_tree):
+        from repro.core.mdes import Mdes, OperationClass
+
+        mdes = Mdes(
+            "T",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree),
+                "b": OperationClass("b", load_and_or_tree),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        compiled = compile_mdes(mdes)
+        assert compiled.constraints["a"] is compiled.constraints["b"]
+        constraints, or_trees, options = compiled.unique_objects()
+        assert len(constraints) == 1
+        assert len(or_trees) == 3
+        assert len(options) == 5
+
+    def test_unused_trees_compiled(self, toy_mdes, load_and_or_tree):
+        from repro.core.mdes import Mdes
+        from repro.core.tables import AndOrTree
+
+        dead = AndOrTree(load_and_or_tree.or_trees, name="dead")
+        mdes = Mdes(
+            toy_mdes.name,
+            toy_mdes.resources,
+            dict(toy_mdes.op_classes),
+            dict(toy_mdes.opcode_map),
+            unused_trees={"dead": dead},
+        )
+        compiled = compile_mdes(mdes)
+        assert "dead" in compiled.unused
+        constraints, _, _ = compiled.unique_objects()
+        assert len(constraints) == 2
+
+    def test_latency_lookup(self, toy_mdes):
+        assert compile_mdes(toy_mdes).latency_for_opcode("LD") == 1
+
+    def test_class_name_lookup(self, toy_mdes):
+        assert compile_mdes(toy_mdes).class_name_for_opcode("LD") == "load"

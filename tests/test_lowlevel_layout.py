@@ -1,0 +1,70 @@
+"""Tests for the layout (memory size) model."""
+
+from repro.lowlevel.compiled import compile_mdes
+from repro.lowlevel.layout import DEFAULT_LAYOUT, LayoutModel, mdes_size_bytes
+
+
+class TestLayoutModel:
+    def test_option_bytes(self):
+        layout = LayoutModel()
+        assert layout.option_bytes(0) == 8
+        assert layout.option_bytes(3) == (2 + 6) * 4
+
+    def test_or_tree_bytes(self):
+        assert LayoutModel().or_tree_bytes(6) == (2 + 6) * 4
+
+    def test_and_tree_bytes(self):
+        assert LayoutModel().and_tree_bytes(3) == (2 + 3) * 4
+
+
+class TestMdesSize:
+    def test_toy_size_exact(self, toy_mdes):
+        compiled = compile_mdes(toy_mdes, bitvector=False)
+        # 5 options, 1 usage each: 5 * (2+2)*4 = 80
+        # 3 OR-trees with 2,2,1 options: (2+2)+(2+2)+(2+1) = 11 words = 44
+        # 1 AND node with 3 children: (2+3)*4 = 20
+        assert mdes_size_bytes(compiled) == 80 + 44 + 20
+
+    def test_sharing_reduces_size(self, resources, load_and_or_tree):
+        from repro.core.mdes import Mdes, OperationClass
+        from repro.core.tables import AndOrTree
+
+        shared = Mdes(
+            "S",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree),
+                "b": OperationClass("b", load_and_or_tree),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        # Structurally identical but unshared copy for class b.
+        copy = AndOrTree(tuple(load_and_or_tree.or_trees), name="copy")
+        unshared = Mdes(
+            "U",
+            resources,
+            op_classes={
+                "a": OperationClass("a", load_and_or_tree),
+                "b": OperationClass("b", copy),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        shared_size = mdes_size_bytes(compile_mdes(shared))
+        unshared_size = mdes_size_bytes(compile_mdes(unshared))
+        assert shared_size < unshared_size
+
+    def test_expansion_is_much_larger_for_wide_trees(self):
+        from repro.machines import get_machine
+
+        machine = get_machine("K5")
+        andor = mdes_size_bytes(compile_mdes(machine.build_andor()))
+        flat = mdes_size_bytes(compile_mdes(machine.build_or()))
+        assert flat > 20 * andor  # the paper's headline size gap
+
+    def test_bitvector_never_larger(self, toy_mdes):
+        scalar = mdes_size_bytes(compile_mdes(toy_mdes, bitvector=False))
+        packed = mdes_size_bytes(compile_mdes(toy_mdes, bitvector=True))
+        assert packed <= scalar
+
+    def test_default_layout_word_size(self):
+        assert DEFAULT_LAYOUT.word_bytes == 4

@@ -1,0 +1,184 @@
+"""Per-machine invariants: the option counts of Tables 1-4 are exact."""
+
+import pytest
+
+from repro.ir.operation import Operation
+from repro.machines import MACHINE_NAMES, get_machine
+
+#: Exact option counts per class, straight from the paper's tables.
+TABLE1_SUPERSPARC = {
+    "branch": 1, "serial": 1, "imul": 1, "idiv": 1,
+    "fp_alu": 3, "fp_mul": 3, "fp_div": 3,
+    "load": 6, "store": 12,
+    "shift_1src": 24, "cascade_1src": 24,
+    "shift_2src": 36, "cascade_2src": 36,
+    "ialu_1src": 48, "ialu_2src": 72,
+}
+
+TABLE2_PA7100 = {
+    "branch": 1, "branch_n": 1,
+    "int": 2, "smu": 2,
+    "fp_alu": 2, "fp_mul": 2, "fp_dbl": 2, "fp_div": 2,
+    # Memory classes include the duplicated option (Table 8).
+    "load": 3, "load_x": 3, "store": 3, "store_x": 3,
+}
+
+TABLE3_PENTIUM = {
+    "alu_uv": 2, "mov_uv": 2, "load_uv": 2, "store_uv": 2, "alu_mem": 2,
+    "shift_u": 1, "np": 1, "np_string": 1, "imul": 1, "cmp_br": 1,
+    "jmp_v": 1, "fp": 1, "fxch_v": 1,
+}
+
+TABLE4_K5 = {
+    "branch": 16, "store": 16, "push": 24,
+    "alu": 32, "shift": 32, "test": 32, "mov": 32, "lea": 32,
+    "load": 32,
+    "cmp_br_1cyc": 48, "cmp_br_3rop_1cyc": 64, "alu_mem_1cyc": 96,
+    "cmp_br_2cyc": 128, "two_rop_2cyc_subset": 192, "two_rop_2cyc": 256,
+    "cmp_br_3rop_2cyc": 384, "three_rop_2cyc": 768,
+}
+
+EXPECTED = {
+    "SuperSPARC": TABLE1_SUPERSPARC,
+    "PA7100": TABLE2_PA7100,
+    "Pentium": TABLE3_PENTIUM,
+    "K5": TABLE4_K5,
+}
+
+
+class TestOptionCounts:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_exact_table_counts(self, machine_name):
+        mdes = get_machine(machine_name).build()
+        counts = {
+            name: op_class.option_count()
+            for name, op_class in mdes.op_classes.items()
+        }
+        assert counts == EXPECTED[machine_name]
+
+
+class TestMachineStructure:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_description_validates(self, machine_name):
+        get_machine(machine_name).build().validate()
+
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_every_profile_opcode_is_mapped(self, machine_name):
+        machine = get_machine(machine_name)
+        mdes = machine.build()
+        for spec in machine.opcode_profile:
+            assert spec.opcode in mdes.opcode_map, spec.opcode
+
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_classify_returns_known_classes(self, machine_name):
+        machine = get_machine(machine_name)
+        mdes = machine.build()
+        for spec in machine.opcode_profile:
+            for srcs in spec.src_choices:
+                op = Operation(
+                    0,
+                    spec.opcode,
+                    ("d0",) if spec.has_dest else (),
+                    tuple(f"s{i}" for i in range(srcs)),
+                )
+                assert machine.classify(op, False) in mdes.op_classes
+
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_latency_positive(self, machine_name):
+        machine = get_machine(machine_name)
+        for spec in machine.opcode_profile:
+            op = Operation(0, spec.opcode, ("d",), ("s",))
+            assert machine.latency(op) >= 1
+
+    def test_build_is_cached(self):
+        machine = get_machine("SuperSPARC")
+        assert machine.build() is machine.build()
+
+    def test_fresh_mdes_is_new_object(self):
+        machine = get_machine("SuperSPARC")
+        assert machine.fresh_mdes() is not machine.build()
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_machine("i860")
+
+
+class TestSuperSparcSpecifics:
+    def test_cascade_rules(self):
+        machine = get_machine("SuperSPARC")
+        ialu = Operation(0, "ADD", ("r1",), ("r2",))
+        shift = Operation(1, "SLL", ("r3",), ("r1",))
+        load = Operation(2, "LD", ("r4",), ("r1",), is_load=True)
+        assert machine.cascade_ok(ialu, ialu)
+        assert not machine.cascade_ok(shift, ialu)
+        assert not machine.cascade_ok(ialu, shift)
+        assert not machine.cascade_ok(load, ialu)
+
+    def test_classify_source_count_variants(self):
+        machine = get_machine("SuperSPARC")
+        one_src = Operation(0, "ADD", ("r1",), ("r2",))
+        two_src = Operation(0, "ADD", ("r1",), ("r2", "r3"))
+        assert machine.classify(one_src, False) == "ialu_1src"
+        assert machine.classify(two_src, False) == "ialu_2src"
+        assert machine.classify(one_src, True) == "cascade_1src"
+        assert machine.classify(two_src, True) == "cascade_2src"
+
+    def test_cascaded_class_has_half_the_options(self):
+        mdes = get_machine("SuperSPARC").build()
+        assert (
+            mdes.op_class("cascade_2src").option_count() * 2
+            == mdes.op_class("ialu_2src").option_count()
+        )
+
+    def test_branch_uses_last_decoder_only(self):
+        mdes = get_machine("SuperSPARC").build()
+        branch = mdes.op_class("branch").constraint
+        usages = branch.options[0].usages
+        decoder_usages = [
+            u for u in usages if u.resource.name.startswith("Decoder")
+        ]
+        assert [u.resource.name for u in decoder_usages] == ["Decoder[2]"]
+
+
+class TestPentiumSpecifics:
+    def test_wrap_flag_set(self):
+        assert get_machine("Pentium").wrap_or_trees
+
+    def test_andor_form_wraps_or_trees(self):
+        from repro.core.tables import AndOrTree
+
+        mdes = get_machine("Pentium").build_andor()
+        for op_class in mdes.op_classes.values():
+            assert isinstance(op_class.constraint, AndOrTree)
+            assert len(op_class.constraint) == 1
+
+    def test_andor_form_is_larger(self):
+        """Table 6 footnote: the Pentium pays for the AND level."""
+        from repro.lowlevel.compiled import compile_mdes
+        from repro.lowlevel.layout import mdes_size_bytes
+
+        machine = get_machine("Pentium")
+        or_size = mdes_size_bytes(compile_mdes(machine.build_or()))
+        andor_size = mdes_size_bytes(compile_mdes(machine.build_andor()))
+        assert andor_size > or_size
+
+
+class TestK5Specifics:
+    def test_option_products_compose_from_subtrees(self):
+        mdes = get_machine("K5").build()
+        rmw = mdes.op_class("three_rop_2cyc").constraint
+        assert [len(t) for t in rmw.or_trees] == [4, 6, 4, 2, 2, 2]
+
+    def test_two_cycle_dispatch_uses_slot_times_0_and_1(self):
+        mdes = get_machine("K5").build()
+        tree = mdes.op_class("two_rop_2cyc").constraint
+        times = sorted(
+            {
+                usage.time
+                for or_tree in tree.or_trees
+                for option in or_tree.options
+                for usage in option.usages
+                if usage.resource.name.startswith("S")
+            }
+        )
+        assert times == [0, 1]

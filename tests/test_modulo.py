@@ -1,0 +1,147 @@
+"""Tests for the iterative modulo scheduler."""
+
+import pytest
+
+from repro.analysis.experiments import staged_mdes
+from repro.errors import SchedulingError
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.modulo import (
+    Loop,
+    LoopEdge,
+    ModuloRUMap,
+    make_recurrence_loop,
+    minimum_initiation_interval,
+    modulo_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def sparc():
+    machine = get_machine("SuperSPARC")
+    compiled = compile_mdes(
+        staged_mdes(machine.build_andor(), 4), bitvector=True
+    )
+    return machine, compiled
+
+
+class TestModuloRUMap:
+    def test_wraps_cycles(self):
+        mrt = ModuloRUMap(4)
+        mrt.reserve(1, 0b1)
+        assert not mrt.is_free(5, 0b1)
+        assert not mrt.is_free(-3, 0b1)
+        assert mrt.is_free(2, 0b1)
+
+    def test_release_wraps_too(self):
+        mrt = ModuloRUMap(3)
+        mrt.reserve(2, 0b10)
+        mrt.release(5, 0b10)
+        assert mrt.is_free(2, 0b10)
+
+    def test_invalid_ii(self):
+        with pytest.raises(SchedulingError):
+            ModuloRUMap(0)
+
+
+class TestMiiBounds:
+    def test_recurrence_bound(self, sparc):
+        machine, compiled = sparc
+        loop = make_recurrence_loop(machine, chain_length=5,
+                                    parallel_work=0)
+        res_mii, rec_mii = minimum_initiation_interval(
+            loop, machine, compiled
+        )
+        # Five unit-latency ops in a distance-1 cycle: RecMII = 5.
+        assert rec_mii == 5
+        assert res_mii >= 1
+
+    def test_resource_bound_scales_with_parallel_work(self, sparc):
+        machine, compiled = sparc
+        small = make_recurrence_loop(machine, 2, 1)
+        large = make_recurrence_loop(machine, 2, 8)
+        _, compiled = sparc
+        res_small, _ = minimum_initiation_interval(small, machine,
+                                                   compiled)
+        res_large, _ = minimum_initiation_interval(large, machine,
+                                                   compiled)
+        assert res_large > res_small
+
+    def test_zero_distance_cycle_rejected(self, sparc):
+        machine, compiled = sparc
+        ops = [
+            Operation(0, "ADD", ("a",), ("b",)),
+            Operation(1, "ADD", ("b",), ("a",)),
+        ]
+        loop = Loop(ops, [LoopEdge(0, 1, 1, 0), LoopEdge(1, 0, 1, 0)])
+        with pytest.raises(SchedulingError, match="zero distance"):
+            minimum_initiation_interval(loop, machine, compiled)
+
+
+class TestModuloSchedule:
+    @pytest.mark.parametrize("chain,parallel", [(2, 2), (3, 4), (5, 1)])
+    def test_valid_pipelines(self, sparc, chain, parallel):
+        machine, compiled = sparc
+        loop = make_recurrence_loop(machine, chain, parallel)
+        schedule = modulo_schedule(loop, machine, compiled)
+        schedule.validate()
+        assert len(schedule.times) == len(loop)
+
+    def test_achieves_mii_when_unconstrained(self, sparc):
+        machine, compiled = sparc
+        loop = make_recurrence_loop(machine, 3, 2)
+        res_mii, rec_mii = minimum_initiation_interval(
+            loop, machine, compiled
+        )
+        schedule = modulo_schedule(loop, machine, compiled)
+        assert schedule.ii <= max(res_mii, rec_mii) + 2
+
+    def test_modulo_resource_usage_is_conflict_free(self, sparc):
+        """Re-simulate the kernel: every iteration overlay must fit."""
+        machine, compiled = sparc
+        loop = make_recurrence_loop(machine, 2, 4)
+        schedule = modulo_schedule(loop, machine, compiled)
+        from repro.lowlevel.checker import ConstraintChecker
+
+        mrt = ModuloRUMap(schedule.ii)
+        checker = ConstraintChecker()
+        for index in sorted(schedule.times):
+            op = loop.operations[index]
+            constraint = compiled.constraint_for_class(
+                machine.classify(op, False)
+            )
+            handle = checker.try_reserve(
+                mrt, constraint, schedule.times[index]
+            )
+            assert handle is not None, f"kernel overlaps at op {index}"
+
+    def test_unschedulable_raises(self, sparc):
+        machine, compiled = sparc
+        loop = make_recurrence_loop(machine, 3, 1)
+        with pytest.raises(SchedulingError, match="no modulo schedule"):
+            modulo_schedule(loop, machine, compiled, max_ii=1)
+
+    def test_eviction_path_produces_valid_schedule(self, sparc):
+        """A tight recurrence + memory pressure forces unscheduling."""
+        machine, compiled = sparc
+        alu, load = "ADD", "LD"
+        ops = [
+            Operation(0, alu, ("c0",), ("c2",)),
+            Operation(1, alu, ("c1",), ("c0",)),
+            Operation(2, alu, ("c2",), ("c1",)),
+            Operation(3, load, ("l0",), ("p0",), is_load=True),
+            Operation(4, load, ("l1",), ("p1",), is_load=True),
+            Operation(5, load, ("l2",), ("p2",), is_load=True),
+        ]
+        edges = [
+            LoopEdge(0, 1, 1, 0),
+            LoopEdge(1, 2, 1, 0),
+            LoopEdge(2, 0, 1, 1),
+            LoopEdge(3, 0, 1, 0),
+            LoopEdge(4, 1, 1, 0),
+            LoopEdge(5, 2, 1, 0),
+        ]
+        loop = Loop(ops, edges)
+        schedule = modulo_schedule(loop, machine, compiled)
+        schedule.validate()

@@ -1,0 +1,119 @@
+"""Tests for the backtracking operation scheduler."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.scheduler import schedule_workload
+from repro.scheduler.operation_scheduler import OperationScheduler
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+@pytest.fixture(scope="module")
+def sparc():
+    machine = get_machine("SuperSPARC")
+    return machine, compile_mdes(machine.build_andor(), bitvector=True)
+
+
+class TestDefaultPriority:
+    def test_valid_schedules_on_workload(self, sparc):
+        machine, compiled = sparc
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=400))
+        scheduler = OperationScheduler(machine, compiled)
+        for block in blocks:
+            result = scheduler.schedule_block(block)
+            assert len(result.schedule.times) == len(block)
+
+    def test_comparable_quality_to_list_scheduler(self, sparc):
+        machine, compiled = sparc
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=600))
+        scheduler = OperationScheduler(machine, compiled)
+        op_cycles = sum(
+            scheduler.schedule_block(block).schedule.length
+            for block in blocks
+        )
+        list_cycles = schedule_workload(
+            machine, compiled, blocks
+        ).total_cycles
+        assert op_cycles <= list_cycles * 1.2
+
+
+class TestInvertedPriority:
+    @staticmethod
+    def _loads_last(graph, block):
+        """A deliberately bad priority: loads after their consumers.
+
+        Branches stay last: scheduling a block's branch first would pin
+        every other operation's window to the branch cycle (control
+        dependences) and thrash the budget.
+        """
+        def key(op):
+            if op.is_branch:
+                return (2, op.index)
+            if op.is_load:
+                return (1, -op.index)
+            return (0, -op.index)
+
+        return {op.index: key(op) for op in block}
+
+    def test_eviction_occurs_and_schedule_stays_valid(self, sparc):
+        """Consumers placed before producers force dependence evictions."""
+        machine, compiled = sparc
+        block = BasicBlock(
+            "B",
+            [
+                Operation(0, "LD", ("r1",), ("a0",), is_load=True),
+                Operation(1, "ADD", ("r2",), ("r1",)),
+                Operation(2, "LD", ("r3",), ("a1",), is_load=True),
+                Operation(3, "ADD", ("r4",), ("r3",)),
+            ],
+        )
+        scheduler = OperationScheduler(
+            machine, compiled, priority_fn=self._loads_last
+        )
+        result = scheduler.schedule_block(block)
+        assert result.evictions > 0
+        # Validation runs inside schedule_block; re-check key edges.
+        assert result.schedule.times[1] >= result.schedule.times[0] + 1
+        assert result.schedule.times[3] >= result.schedule.times[2] + 1
+
+    def test_attempts_exceed_list_scheduler(self, sparc):
+        """Backtracking inflates attempts/op (the paper's section 4
+        remark about advanced scheduling techniques)."""
+        machine, compiled = sparc
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=500))
+        scheduler = OperationScheduler(
+            machine, compiled, priority_fn=self._loads_last,
+            budget_ratio=64,
+        )
+        total_ops = total_attempts = 0
+        for block in blocks:
+            result = scheduler.schedule_block(block)
+            total_ops += len(block)
+            total_attempts += result.stats.attempts
+        list_run = schedule_workload(machine, compiled, blocks)
+        assert total_attempts / total_ops > list_run.attempts_per_op
+
+
+class TestResourceForcedEviction:
+    def test_single_unit_contention(self, sparc):
+        """Equal-priority loads fighting for one memory unit."""
+        machine, compiled = sparc
+
+        def flat_priority(graph, block):
+            return {op.index: (0, op.index) for op in block}
+
+        loads = [
+            Operation(i, "LD", (f"r{i}",), (f"a{i}",), is_load=True)
+            for i in range(4)
+        ]
+        block = BasicBlock("B", loads)
+        scheduler = OperationScheduler(
+            machine, compiled, priority_fn=flat_priority,
+            budget_ratio=64,
+        )
+        result = scheduler.schedule_block(block)
+        times = sorted(result.schedule.times.values())
+        assert len(set(times)) == 4  # one load per cycle

@@ -1,0 +1,168 @@
+"""The reproduction contract: every headline claim of the paper, asserted.
+
+These tests encode the paper's *conclusions* (not its exact numbers) and
+check them against a small-scale run.  If a refactor breaks any of the
+qualitative results the paper rests on, this module is what fails.
+"""
+
+import pytest
+
+from repro.machines import MACHINE_NAMES
+
+
+@pytest.fixture(scope="module")
+def suite():
+    from repro.analysis import ExperimentSuite
+
+    return ExperimentSuite(total_ops=2500)
+
+
+class TestSection3AndOrTrees:
+    """The AND/OR-tree representation (section 3)."""
+
+    def test_reduces_checks_for_flexible_machines(self, suite):
+        """Up to ~85% fewer checks before any transformation (Table 5)."""
+        for name, minimum in (("SuperSPARC", 0.70), ("K5", 0.70)):
+            or_run = suite.run(name, "or", 0, False)
+            andor_run = suite.run(name, "andor", 0, False)
+            cut = 1 - (
+                andor_run.stats.checks_per_attempt
+                / or_run.stats.checks_per_attempt
+            )
+            assert cut > minimum, name
+
+    def test_no_benefit_without_flexible_constraints(self, suite):
+        """The Pentium gains nothing (Table 5: 0.0%)."""
+        or_run = suite.run("Pentium", "or", 0, False)
+        andor_run = suite.run("Pentium", "andor", 0, False)
+        assert or_run.stats.checks_per_attempt == pytest.approx(
+            andor_run.stats.checks_per_attempt
+        )
+
+    def test_shrinks_representation_two_orders_of_magnitude(self, suite):
+        """K5: ~98.6% smaller before any transformation (Table 6)."""
+        or_size = suite.size("K5", "or", 0, False)
+        andor_size = suite.size("K5", "andor", 0, False)
+        assert andor_size < or_size / 50
+
+    def test_costs_a_little_when_structure_is_flat(self, suite):
+        """Pentium AND/OR is slightly LARGER (Table 6 footnote)."""
+        assert suite.size("Pentium", "andor", 0, False) > suite.size(
+            "Pentium", "or", 0, False
+        )
+
+
+class TestSection5Cleanup:
+    """Redundancy elimination and dominated options (section 5)."""
+
+    def test_every_description_carries_removable_fat(self, suite):
+        for name in MACHINE_NAMES:
+            for rep in ("or", "andor"):
+                assert suite.size(name, rep, 1, False) < suite.size(
+                    name, rep, 0, False
+                ), (name, rep)
+
+    def test_pa7100_duplicate_option_is_dead_weight(self, suite):
+        before = suite.run("PA7100", "or", 0, False)
+        after = suite.run("PA7100", "or", 1, False)
+        assert (
+            after.stats.options_per_attempt
+            < before.stats.options_per_attempt
+        )
+
+
+class TestSection6BitVectors:
+    """Bit-vector packing (section 6)."""
+
+    def test_pentium_benefits_most(self, suite):
+        """Its options check several resources every cycle (Table 10)."""
+        cuts = {}
+        for name in MACHINE_NAMES:
+            before = suite.run(name, "or", 1, False)
+            after = suite.run(name, "or", 1, True)
+            cuts[name] = 1 - (
+                after.stats.checks_per_attempt
+                / before.stats.checks_per_attempt
+            )
+        assert cuts["Pentium"] == max(cuts.values())
+        assert cuts["Pentium"] > 0.35
+
+
+class TestSection7TimeShift:
+    """Usage-time shifting and check sorting (section 7)."""
+
+    def test_checks_per_option_near_one(self, suite):
+        """The paper reaches 1.01-1.12 checks per option (Table 12)."""
+        for name in MACHINE_NAMES:
+            run = suite.run(name, "or", 3, True)
+            assert run.stats.checks_per_option <= 1.15, name
+
+    def test_or_form_sizes_shrink_most(self, suite):
+        """Table 11: up to 37% for the OR form, little for AND/OR."""
+        or_cut = 1 - suite.size("SuperSPARC", "or", 3, True) / suite.size(
+            "SuperSPARC", "or", 1, True
+        )
+        andor_cut = 1 - suite.size(
+            "SuperSPARC", "andor", 3, True
+        ) / suite.size("SuperSPARC", "andor", 1, True)
+        assert or_cut > 0.25
+        assert andor_cut < 0.10
+
+
+class TestSection8TreeOrdering:
+    """AND/OR conflict-detection ordering (section 8)."""
+
+    def test_reorders_only_the_flexible_machines(self, suite):
+        for name in ("SuperSPARC", "K5"):
+            before = suite.run(name, "andor", 3, True)
+            after = suite.run(name, "andor", 4, True)
+            assert (
+                after.stats.options_per_attempt
+                < before.stats.options_per_attempt * 0.85
+            ), name
+        for name in ("PA7100", "Pentium"):
+            before = suite.run(name, "andor", 3, True)
+            after = suite.run(name, "andor", 4, True)
+            assert after.stats.options_per_attempt == pytest.approx(
+                before.stats.options_per_attempt
+            ), name
+
+
+class TestSection9Aggregates:
+    """The paper's two headline aggregates (Tables 14 and 15)."""
+
+    def test_size_reduced_up_to_factor_hundred(self, suite):
+        unopt = suite.size("K5", "or", 0, False)
+        optimized = suite.size("K5", "andor", 4, True)
+        assert optimized < unopt / 50
+
+    def test_or_only_transforms_reach_factor_two_plus(self, suite):
+        unopt = suite.size("K5", "or", 0, False)
+        or_only = suite.size("K5", "or", 4, True)
+        assert or_only < unopt / 2
+
+    def test_checks_reduced_up_to_factor_ten(self, suite):
+        for name in ("SuperSPARC", "K5"):
+            unopt = suite.run(name, "or", 0, False)
+            optimized = suite.run(name, "andor", 4, True)
+            assert (
+                optimized.stats.checks_per_attempt
+                < unopt.stats.checks_per_attempt / 5
+            ), name
+
+    def test_final_representation_under_3_5kb(self, suite):
+        """'requiring less than 3.5k bytes of compiler memory'
+        (conclusions)."""
+        for name in MACHINE_NAMES:
+            assert suite.size(name, "andor", 4, True) < 3500, name
+
+
+class TestSection4Invariant:
+    """Every representation and stage yields the exact same schedule."""
+
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_schedule_invariance(self, machine_name):
+        from repro.analysis import ExperimentSuite
+
+        suite = ExperimentSuite(total_ops=600, keep_schedules=True)
+        assert suite.verify_schedule_invariance(machine_name)

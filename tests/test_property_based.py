@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on the core machinery.
+
+These check the algebraic properties the paper's whole argument rests on,
+over randomly generated constraint trees:
+
+* AND/OR-trees and their flat OR expansions are operationally equivalent
+  (same success/failure and same reservations, state by state);
+* usage-time shifting preserves every pairwise collision vector;
+* the cleanup transformations never change the flat semantics;
+* the RU map is a proper reversible resource ledger.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expand import expand_to_or_tree
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import ConstraintChecker
+from repro.lowlevel.compiled import CompiledOption, compile_mdes
+from repro.transforms.factor import factor_and_or_tree
+from repro.transforms.option_elim import prune_or_tree
+from repro.transforms.usage_sort import sort_option_usages
+
+#: One shared resource table: 4 disjoint pools of 4 resources each.
+_RESOURCES = ResourceTable()
+_RESOURCES.declare_many([f"R{i}" for i in range(16)])
+_POOLS = [
+    [_RESOURCES.lookup(f"R{i}") for i in range(base, base + 4)]
+    for base in (0, 4, 8, 12)
+]
+
+
+@st.composite
+def reservation_tables(draw, pool_index=0):
+    """A random option over one resource pool."""
+    pool = _POOLS[pool_index]
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-1, 3)),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    usages = tuple(
+        ResourceUsage(time, pool[res_index]) for res_index, time in pairs
+    )
+    return ReservationTable(usages)
+
+
+@st.composite
+def or_trees(draw, pool_index=0):
+    """A random OR-tree over one resource pool."""
+    options = draw(
+        st.lists(reservation_tables(pool_index), min_size=1, max_size=4)
+    )
+    return OrTree(tuple(options))
+
+
+@st.composite
+def and_or_trees(draw):
+    """A random AND/OR-tree with disjoint sibling resource pools."""
+    n_trees = draw(st.integers(1, 3))
+    children = tuple(
+        draw(or_trees(pool_index=i)) for i in range(n_trees)
+    )
+    return AndOrTree(children)
+
+
+def make_mdes(constraint):
+    from repro.core.mdes import Mdes, OperationClass
+
+    return Mdes(
+        "P",
+        _RESOURCES,
+        op_classes={"k": OperationClass("k", constraint)},
+        opcode_map={"OP": "k"},
+    )
+
+
+class TestExpansionEquivalence:
+    @given(tree=and_or_trees(), cycles=st.lists(st.integers(0, 3),
+                                                max_size=12))
+    @settings(max_examples=120, deadline=None)
+    def test_andor_equals_expanded_or(self, tree, cycles):
+        """State-by-state operational equivalence of both reps."""
+        tree.validate_disjoint()
+        andor = compile_mdes(make_mdes(tree)).constraints["k"]
+        flat = compile_mdes(
+            make_mdes(expand_to_or_tree(tree))
+        ).constraints["k"]
+        ru_a, ru_b = RUMap(), RUMap()
+        checker_a, checker_b = ConstraintChecker(), ConstraintChecker()
+        for cycle in cycles:
+            result_a = checker_a.try_reserve(ru_a, andor, cycle)
+            result_b = checker_b.try_reserve(ru_b, flat, cycle)
+            assert (result_a is None) == (result_b is None)
+            assert ru_a == ru_b
+
+    @given(tree=and_or_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_flat_option_count_is_product(self, tree):
+        assert len(expand_to_or_tree(tree)) == tree.option_product()
+
+
+class TestTimeShift:
+    @given(tree=and_or_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_collision_vectors_preserved(self, tree):
+        from repro.transforms.time_shift import shift_usage_times
+
+        mdes = make_mdes(expand_to_or_tree(tree))
+        shifted = shift_usage_times(mdes)
+        before = mdes.op_class("k").constraint.options
+        after = shifted.op_class("k").constraint.options
+
+        def collisions(a, b):
+            return {
+                ua.time - ub.time
+                for ua in a.usages
+                for ub in b.usages
+                if ua.resource is ub.resource and ua.time >= ub.time
+            }
+
+        for i in range(len(before)):
+            for j in range(len(before)):
+                assert collisions(before[i], before[j]) == collisions(
+                    after[i], after[j]
+                )
+
+    @given(tree=and_or_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_forward_shift_makes_every_resource_start_at_zero(self, tree):
+        from repro.transforms.time_shift import shift_usage_times
+
+        shifted = shift_usage_times(make_mdes(tree))
+        earliest = {}
+        constraint = shifted.op_class("k").constraint
+        for or_tree in constraint.or_trees:
+            for option in or_tree.options:
+                for usage in option.usages:
+                    current = earliest.get(usage.resource)
+                    if current is None or usage.time < current:
+                        earliest[usage.resource] = usage.time
+        assert all(time == 0 for time in earliest.values())
+
+
+class TestCleanupTransforms:
+    @given(tree=or_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_prune_keeps_reachable_behaviour(self, tree):
+        """At any resource state, both trees choose the same usages."""
+        pruned = prune_or_tree(tree)
+        compiled_full = compile_mdes(make_mdes(tree)).constraints["k"]
+        compiled_pruned = compile_mdes(make_mdes(pruned)).constraints["k"]
+        for busy_mask in range(0, 16):
+            ru = RUMap()
+            if busy_mask:
+                ru.reserve(0, busy_mask)
+            ru2 = ru.copy()
+            full = ConstraintChecker().try_reserve(ru, compiled_full, 0)
+            slim = ConstraintChecker().try_reserve(ru2, compiled_pruned, 0)
+            assert (full is None) == (slim is None)
+            assert ru == ru2
+
+    @given(tree=and_or_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_factoring_preserves_flat_semantics(self, tree):
+        factored = factor_and_or_tree(tree)
+        original = {
+            option.usage_set
+            for option in expand_to_or_tree(tree).options
+        }
+        rewritten = {
+            option.usage_set
+            for option in expand_to_or_tree(factored).options
+        }
+        assert original == rewritten
+
+    @given(table=reservation_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_usage_sort_is_permutation(self, table):
+        ordered = sort_option_usages(table)
+        assert sorted(ordered.usages) == sorted(table.usages)
+        times = [usage.time for usage in ordered.usages]
+        zeros = [t for t in times if t == 0]
+        assert times[: len(zeros)] == zeros
+
+
+class TestRUMapProperties:
+    @given(
+        reservations=st.lists(
+            st.tuples(st.integers(-2, 5), st.integers(1, 255)),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reserve_release_roundtrip(self, reservations):
+        ru = RUMap()
+        done = []
+        for cycle, mask in reservations:
+            if ru.is_free(cycle, mask):
+                ru.reserve(cycle, mask)
+                done.append((cycle, mask))
+        for cycle, mask in reversed(done):
+            ru.release(cycle, mask)
+        assert not ru
+
+    @given(
+        table=reservation_tables(),
+        bitvector=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_compiled_reserve_masks_cover_checks(self, table, bitvector):
+        option = CompiledOption.from_table(table, bitvector)
+        reserve = dict(option.reserve_mask_by_time)
+        for time, mask in option.checks:
+            assert reserve[time] & mask == mask

@@ -1,0 +1,218 @@
+"""Property-based tests over whole randomly generated machines.
+
+These push the paper's invariants through arbitrary small machine
+descriptions and workloads:
+
+* the full transformation pipeline and both representations produce the
+  exact same schedule (section 4);
+* the HMDES writer round-trips any description;
+* LMDES serialization preserves sizes and checker behaviour.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mdes import Mdes, OperationClass
+from repro.core.resource import ResourceTable
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.lowlevel.layout import mdes_size_bytes
+from repro.scheduler import schedule_workload
+from repro.transforms import run_pipeline
+
+
+@st.composite
+def random_mdes(draw):
+    """A small random machine: 1-3 classes of disjoint-pool AND/OR-trees."""
+    resources = ResourceTable()
+    pools = [
+        resources.declare_many([f"P{p}_{i}" for i in range(3)])
+        for p in range(4)
+    ]
+    n_classes = draw(st.integers(1, 3))
+    op_classes = {}
+    opcode_map = {}
+    for class_index in range(n_classes):
+        n_trees = draw(st.integers(1, 3))
+        children = []
+        for tree_index in range(n_trees):
+            pool = pools[tree_index]
+            n_options = draw(st.integers(1, 3))
+            options = []
+            for _ in range(n_options):
+                pairs = draw(
+                    st.lists(
+                        st.tuples(st.integers(0, 2), st.integers(0, 2)),
+                        min_size=1,
+                        max_size=3,
+                        unique=True,
+                    )
+                )
+                options.append(
+                    ReservationTable(
+                        tuple(
+                            ResourceUsage(time, pool[res])
+                            for res, time in pairs
+                        )
+                    )
+                )
+            children.append(OrTree(tuple(options)))
+        name = f"k{class_index}"
+        constraint = AndOrTree(tuple(children), name=name)
+        latency = draw(st.integers(1, 3))
+        op_classes[name] = OperationClass(name, constraint, latency)
+        opcode_map[f"OP{class_index}"] = name
+    mdes = Mdes("Rand", resources, op_classes, opcode_map)
+    mdes.validate()
+    return mdes
+
+
+@st.composite
+def random_block(draw, opcodes):
+    """A random basic block over the machine's opcodes."""
+    n_ops = draw(st.integers(1, 8))
+    operations = []
+    for index in range(n_ops):
+        opcode = draw(st.sampled_from(opcodes))
+        n_srcs = draw(st.integers(0, 2))
+        srcs = tuple(
+            f"r{draw(st.integers(0, max(0, index)))}" for _ in range(n_srcs)
+        )
+        operations.append(
+            Operation(index, opcode, (f"r{index + 1}",), srcs)
+        )
+    return BasicBlock("B", operations)
+
+
+class _RandomMachine:
+    """Just enough Machine surface for the list scheduler."""
+
+    def __init__(self, mdes):
+        self.name = mdes.name
+        self._mdes = mdes
+
+    def build(self):
+        return self._mdes
+
+    def classify(self, op, cascaded=False):
+        return self._mdes.opcode_map[op.opcode]
+
+    def latency(self, op):
+        return self._mdes.latency_for_opcode(op.opcode)
+
+    def flow_latency(self, producer, consumer):
+        return self._mdes.flow_latency(
+            self.classify(producer), self.classify(consumer)
+        )
+
+    def bypass(self, producer, consumer):
+        return self._mdes.bypass_for(
+            self.classify(producer), self.classify(consumer)
+        )
+
+    def cascade_ok(self, producer, consumer):
+        return self.bypass(producer, consumer) is not None
+
+
+class TestPipelineOnRandomMachines:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_schedules_invariant_across_stages_and_reps(self, data):
+        mdes = data.draw(random_mdes())
+        block = data.draw(random_block(sorted(mdes.opcode_map)))
+        machine = _RandomMachine(mdes)
+        signatures = set()
+        for base in (mdes, mdes.expanded()):
+            pipeline = run_pipeline(base)
+            for staged in (pipeline.stages[0], pipeline.final):
+                for bitvector in (False, True):
+                    compiled = compile_mdes(staged, bitvector=bitvector)
+                    run = schedule_workload(
+                        machine, compiled, [block], keep_schedules=True
+                    )
+                    signatures.add(run.signature())
+        assert len(signatures) == 1
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cleanup_stages_never_grow_the_representation(self, data):
+        """Redundancy elimination and option removal only delete.
+
+        The later stages carry small caveats this suite documents
+        elsewhere: usage-time shifting moves resources *independently*
+        and can split usages that used to share a cycle (it concentrated
+        usages on the paper's machines but is not a guaranteed shrink),
+        and common-usage factoring pays a node overhead per hoist.
+        """
+        mdes = data.draw(random_mdes())
+        pipeline = run_pipeline(mdes)
+        before = mdes_size_bytes(compile_mdes(mdes, bitvector=True))
+        cleaned = pipeline.stage("dominated-option-removal")
+        after = mdes_size_bytes(compile_mdes(cleaned, bitvector=True))
+        assert after <= before
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_size_invariant_under_shift_and_sort(self, data):
+        """Without bit-vector packing, time shifting and check sorting
+        are pure permutations of the same pairs: size cannot change."""
+        mdes = data.draw(random_mdes())
+        pipeline = run_pipeline(mdes)
+        cleaned = mdes_size_bytes(
+            compile_mdes(pipeline.stage("dominated-option-removal"),
+                         bitvector=False)
+        )
+        sorted_stage = mdes_size_bytes(
+            compile_mdes(pipeline.stage("usage-check-sort"),
+                         bitvector=False)
+        )
+        assert sorted_stage == cleaned
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_factoring_overhead_is_bounded(self, data):
+        """Factoring may add at most one small node per hoisted usage."""
+        mdes = data.draw(random_mdes())
+        pipeline = run_pipeline(mdes)
+        pre = mdes_size_bytes(
+            compile_mdes(pipeline.stage("usage-check-sort"),
+                         bitvector=True)
+        )
+        post = mdes_size_bytes(
+            compile_mdes(pipeline.stage("common-usage-factoring"),
+                         bitvector=True)
+        )
+        # New one-option tree: tree node (12B) + option (16B) + pointer
+        # (4B) minus at least one removed pair; bound loosely.
+        n_trees = len(mdes.op_classes) * 4
+        assert post <= pre + 32 * n_trees
+
+
+class TestWriterOnRandomMachines:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_hmdes_roundtrip(self, data):
+        from repro.hmdes import load_mdes, write_mdes
+
+        mdes = data.draw(random_mdes())
+        again = load_mdes(write_mdes(mdes))
+        assert set(again.op_classes) == set(mdes.op_classes)
+        for name in mdes.op_classes:
+            original = mdes.op_class(name)
+            recovered = again.op_class(name)
+            assert recovered.constraint == original.constraint
+            assert recovered.latency == original.latency
+
+
+class TestLmdesOnRandomMachines:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_lmdes_roundtrip_size(self, data):
+        from repro.lowlevel.serialize import load_lmdes, save_lmdes
+
+        mdes = data.draw(random_mdes())
+        compiled = compile_mdes(mdes, bitvector=True)
+        loaded = load_lmdes(save_lmdes(compiled))
+        assert mdes_size_bytes(loaded) == mdes_size_bytes(compiled)

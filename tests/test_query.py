@@ -1,0 +1,100 @@
+"""Tests for the MDES query interface."""
+
+import pytest
+
+from repro.lowlevel.compiled import compile_mdes
+from repro.lowlevel.query import MdesQuery
+from repro.machines import get_machine
+
+
+@pytest.fixture(scope="module")
+def sparc_query():
+    machine = get_machine("SuperSPARC")
+    return MdesQuery(compile_mdes(machine.build_andor()))
+
+
+@pytest.fixture(scope="module")
+def pa_query():
+    machine = get_machine("PA7100")
+    return MdesQuery(compile_mdes(machine.build_andor()))
+
+
+class TestIssueBandwidth:
+    def test_supersparc_capacities(self, sparc_query):
+        assert sparc_query.issue_bandwidth("load") == 1      # one M unit
+        assert sparc_query.issue_bandwidth("ialu_1src") == 2  # two IALUs
+        assert sparc_query.issue_bandwidth("branch") == 1
+        assert sparc_query.issue_bandwidth("serial") == 1
+
+    def test_pa7100_single_int_pipe(self, pa_query):
+        assert pa_query.issue_bandwidth("int") == 1
+        assert pa_query.issue_bandwidth("fp_alu") == 1
+
+    def test_bandwidth_cached(self, sparc_query):
+        assert sparc_query.issue_bandwidth(
+            "load"
+        ) == sparc_query.issue_bandwidth("load")
+
+
+class TestCanIssueTogether:
+    def test_int_plus_fp_dual_issue(self, pa_query):
+        """The PA7100's defining pairing rule."""
+        assert pa_query.can_issue_together(["int", "fp_alu"])
+        assert not pa_query.can_issue_together(["int", "int"])
+        assert not pa_query.can_issue_together(["int", "load"])
+        assert not pa_query.can_issue_together(["fp_alu", "fp_mul"])
+
+    def test_supersparc_triple_issue(self, sparc_query):
+        assert sparc_query.can_issue_together(
+            ["ialu_1src", "load", "branch"]
+        )
+        assert not sparc_query.can_issue_together(
+            ["ialu_1src", "ialu_1src", "ialu_1src"]
+        )
+
+    def test_serial_blocks_everything(self, sparc_query):
+        assert not sparc_query.can_issue_together(["serial", "branch"])
+        assert not sparc_query.can_issue_together(["serial", "load"])
+
+
+class TestCycleCapacity:
+    def test_prefix_reported(self, sparc_query):
+        placed = sparc_query.cycle_capacity(
+            ["load", "load", "ialu_1src"]
+        )
+        assert placed == ["load"]
+
+    def test_full_list_fits(self, sparc_query):
+        classes = ["ialu_1src", "ialu_1src", "branch"]
+        assert sparc_query.cycle_capacity(classes) == classes
+
+
+class TestMinIssueDistance:
+    def test_pipelined_unit_distance_zero_next_cycle(self, sparc_query):
+        # Two loads: second must wait one cycle for the memory unit.
+        assert sparc_query.min_issue_distance("load", "load") == 1
+        # An IALU op after a load: different resources, same cycle fine
+        # (decoders and write ports have spare capacity).
+        assert sparc_query.min_issue_distance("load", "ialu_1src") == 0
+
+    def test_divide_serializes(self, sparc_query):
+        # The divide unit is busy for 8 cycles (usages at 0..7).
+        assert sparc_query.min_issue_distance("idiv", "idiv") == 8
+
+    def test_caching(self, sparc_query):
+        first = sparc_query.min_issue_distance("load", "load")
+        assert sparc_query.min_issue_distance("load", "load") == first
+
+
+class TestThroughput:
+    def test_pipelined_load_throughput_is_one(self, sparc_query):
+        assert sparc_query.steady_state_throughput("load") == 1.0
+
+    def test_divide_throughput_fractional(self, sparc_query):
+        throughput = sparc_query.steady_state_throughput("idiv", 32)
+        assert throughput <= 0.25
+
+    def test_summary_covers_all_classes(self, sparc_query):
+        summary = sparc_query.resource_summary()
+        assert set(summary) == set(sparc_query.compiled.constraints)
+        assert all(value >= 1 for value in summary.values())

@@ -1,0 +1,80 @@
+"""Tests for the EXPERIMENTS.md report builder and paper data."""
+
+import pytest
+
+from repro.analysis import paperdata
+from repro.analysis.paperdata import PaperValue
+from repro.analysis.report import ReportBuilder, generate_report
+from repro.machines import MACHINE_NAMES
+
+
+class TestPaperData:
+    def test_paper_value_str(self):
+        assert str(PaperValue(3.99)) == "3.99"
+        assert str(PaperValue(2504)) == "2504"
+        assert str(PaperValue(1.95, approx=True)) == "~1.95"
+
+    def test_table1_shares_sum_to_100(self):
+        total = sum(
+            value.value for value in
+            paperdata.TABLE1_ATTEMPT_SHARES.values()
+        )
+        assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_table4_shares_sum_to_100(self):
+        total = sum(
+            value.value for value in
+            paperdata.TABLE4_ATTEMPT_SHARES.values()
+        )
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_every_machine_covered_in_every_table(self):
+        for table in (
+            paperdata.TABLE5, paperdata.TABLE6, paperdata.TABLE7,
+            paperdata.TABLE9, paperdata.TABLE10, paperdata.TABLE11,
+            paperdata.TABLE12, paperdata.TABLE13, paperdata.TABLE14,
+            paperdata.TABLE15,
+        ):
+            assert set(MACHINE_NAMES) <= set(table)
+
+    def test_aggregates_consistent_with_components(self):
+        """Table 14's K5 numbers agree with Tables 6/9/11 chains."""
+        assert (
+            paperdata.TABLE14["K5"]["unopt_or"].value
+            == paperdata.TABLE6["K5"]["or_bytes"].value
+        )
+        assert (
+            paperdata.TABLE14["K5"]["opt_or"].value
+            == paperdata.TABLE11["K5"]["or_after"].value
+        )
+
+
+class TestReportBuilder:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return generate_report(total_ops=800)
+
+    def test_every_table_present(self, report_text):
+        for number in (5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15):
+            assert f"Table {number}" in report_text
+
+    def test_breakdown_tables_present(self, report_text):
+        for fragment in (
+            "Table 1: SuperSPARC", "Table 2: PA7100",
+            "Table 3: Pentium", "Table 4: K5",
+        ):
+            assert fragment in report_text
+
+    def test_figures_section(self, report_text):
+        assert "Figure 2" in report_text
+        assert "Figures 1, 3, 4, 5, 6" in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        lines = report_text.splitlines()
+        for position, line in enumerate(lines):
+            if line.startswith("|---"):
+                header = lines[position - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_approx_markers_propagate(self, report_text):
+        assert "~" in report_text  # hard-to-read scan values flagged

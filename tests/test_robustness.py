@@ -1,0 +1,56 @@
+"""Robustness: conclusions do not depend on the workload seed.
+
+The synthetic workload substitutes for the paper's SPEC CINT92 corpus
+(DESIGN.md section 2).  If the headline ratios moved materially between
+seeds, that substitution would be suspect; these tests pin them down.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentSuite
+
+
+def headline_reduction(suite, machine_name):
+    """Table 15's reduction: unoptimized OR -> fully optimized AND/OR."""
+    unopt = suite.run(machine_name, "or", 0, False)
+    optimized = suite.run(machine_name, "andor", 4, True)
+    return 1 - (
+        optimized.stats.checks_per_attempt
+        / unopt.stats.checks_per_attempt
+    )
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("machine_name", ["SuperSPARC", "K5"])
+    def test_headline_ratio_stable_across_seeds(self, machine_name):
+        reductions = [
+            headline_reduction(
+                ExperimentSuite(total_ops=1500, seed=seed), machine_name
+            )
+            for seed in (1, 99, 20161202)
+        ]
+        assert max(reductions) - min(reductions) < 0.05
+        assert min(reductions) > 0.75
+
+    def test_attempts_per_op_stable_across_seeds(self):
+        values = [
+            ExperimentSuite(total_ops=1500, seed=seed)
+            .run("SuperSPARC", "andor", 0, False)
+            .attempts_per_op
+            for seed in (7, 1234)
+        ]
+        assert abs(values[0] - values[1]) < 0.25
+
+    def test_option_breakdown_rows_stable(self):
+        """The set of option-count rows is seed-independent (it is a
+        property of the description, not the workload)."""
+        rows = [
+            [
+                options
+                for options, _, _ in ExperimentSuite(
+                    total_ops=1200, seed=seed
+                ).option_breakdown("K5")
+            ]
+            for seed in (3, 77)
+        ]
+        assert rows[0] == rows[1]

@@ -1,0 +1,161 @@
+"""Tests for the list scheduler."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.dependence import build_dependence_graph
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.scheduler import ListScheduler, compute_heights, schedule_workload
+from repro.scheduler.priority import compute_heights as heights_fn
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+@pytest.fixture(scope="module")
+def sparc():
+    machine = get_machine("SuperSPARC")
+    return machine, compile_mdes(machine.build_andor())
+
+
+def sparc_block(*ops):
+    return BasicBlock("B", list(ops))
+
+
+class TestHeights:
+    def test_chain_heights(self, sparc):
+        machine, _ = sparc
+        a = Operation(0, "LD", ("r1",), ("r9",), is_load=True)
+        b = Operation(1, "ADD", ("r2",), ("r1",))
+        c = Operation(2, "ST", (), ("r2", "r3"), is_store=True)
+        graph = build_dependence_graph(sparc_block(a, b, c),
+                                       machine.latency)
+        heights = heights_fn(graph)
+        assert heights[2] == 0
+        assert heights[1] > heights[2]
+        assert heights[0] > heights[1]
+
+
+class TestForwardScheduling:
+    def test_dependences_respected(self, sparc):
+        machine, compiled = sparc
+        a = Operation(0, "LD", ("r1",), ("r9",), is_load=True)
+        b = Operation(1, "ADD", ("r2",), ("r1",))
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(a, b)
+        )
+        assert schedule.times[1] >= schedule.times[0] + 1
+
+    def test_resource_conflict_forces_delay(self, sparc):
+        """Two loads cannot share the single memory unit."""
+        machine, compiled = sparc
+        l1 = Operation(0, "LD", ("r1",), ("a1",), is_load=True)
+        l2 = Operation(1, "LD", ("r2",), ("a2",), is_load=True)
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(l1, l2)
+        )
+        assert schedule.times[0] != schedule.times[1]
+
+    def test_independent_ialu_ops_pack_two_wide(self, sparc):
+        machine, compiled = sparc
+        ops = [
+            Operation(i, "ADD", (f"r{i}",), (f"li{i}",)) for i in range(2)
+        ]
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(*ops)
+        )
+        assert schedule.times[0] == schedule.times[1]
+
+    def test_cascaded_ialu_same_cycle(self, sparc):
+        """A flow-dependent IALU pair issues in one cycle via cascading."""
+        machine, compiled = sparc
+        a = Operation(0, "ADD", ("r1",), ("li0",))
+        b = Operation(1, "SUB", ("r2",), ("r1",))
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(a, b)
+        )
+        assert schedule.times[1] == schedule.times[0]
+        assert schedule.classes[1].startswith("cascade")
+
+    def test_cascade_not_used_for_shift_producer(self, sparc):
+        machine, compiled = sparc
+        a = Operation(0, "SLL", ("r1",), ("li0",))
+        b = Operation(1, "ADD", ("r2",), ("r1",))
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(a, b)
+        )
+        assert schedule.times[1] > schedule.times[0]
+        assert schedule.classes[1].startswith("ialu")
+
+    def test_branch_last_decoder_shares_cycle(self, sparc):
+        machine, compiled = sparc
+        a = Operation(0, "ADD", ("r1",), ("li0",))
+        br = Operation(1, "BE", (), (), is_branch=True)
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(a, br)
+        )
+        assert schedule.times[1] >= schedule.times[0]
+
+    def test_schedule_length(self, sparc):
+        machine, compiled = sparc
+        ops = [Operation(0, "ADD", ("r1",), ("li0",)),
+               Operation(1, "BE", (), (), is_branch=True)]
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            sparc_block(*ops)
+        )
+        assert schedule.length >= 1
+
+
+class TestBackwardScheduling:
+    def test_backward_respects_dependences(self, sparc):
+        machine, compiled = sparc
+        a = Operation(0, "LD", ("r1",), ("a0",), is_load=True)
+        b = Operation(1, "ADD", ("r2",), ("r1",))
+        scheduler = ListScheduler(machine, compiled, direction="backward")
+        schedule = scheduler.schedule_block(sparc_block(a, b))
+        assert schedule.times[1] >= schedule.times[0] + 1
+        assert min(schedule.times.values()) == 0
+
+    def test_backward_resource_constraints(self, sparc):
+        machine, compiled = sparc
+        loads = [
+            Operation(i, "LD", (f"r{i}",), (f"a{i}",), is_load=True)
+            for i in range(3)
+        ]
+        scheduler = ListScheduler(machine, compiled, direction="backward")
+        schedule = scheduler.schedule_block(sparc_block(*loads))
+        assert len(set(schedule.times.values())) == 3
+
+    def test_unknown_direction_rejected(self, sparc):
+        machine, compiled = sparc
+        with pytest.raises(Exception, match="direction"):
+            ListScheduler(machine, compiled, direction="diagonal")
+
+
+class TestScheduleWorkload:
+    def test_aggregates(self, sparc):
+        machine, compiled = sparc
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=300))
+        result = schedule_workload(machine, compiled, blocks,
+                                   keep_schedules=True)
+        assert result.total_ops == sum(len(b) for b in blocks)
+        assert result.stats.attempts >= result.total_ops
+        assert result.total_cycles > 0
+        assert len(result.schedules) == len(blocks)
+
+    def test_signature_requires_schedules(self, sparc):
+        machine, compiled = sparc
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=60))
+        result = schedule_workload(machine, compiled, blocks)
+        with pytest.raises(ValueError):
+            result.signature()
+
+    def test_deterministic(self, sparc):
+        machine, compiled = sparc
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=200))
+        r1 = schedule_workload(machine, compiled, blocks,
+                               keep_schedules=True)
+        r2 = schedule_workload(machine, compiled, blocks,
+                               keep_schedules=True)
+        assert r1.signature() == r2.signature()
+        assert r1.stats.attempts == r2.stats.attempts

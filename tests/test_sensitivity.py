@@ -1,0 +1,54 @@
+"""Tests for the sensitivity sweeps (small scale)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SweepPoint,
+    block_size_sweep,
+    ilp_sweep,
+    scale_sweep,
+)
+
+
+class TestSweepPoint:
+    def test_reduction_pct(self):
+        point = SweepPoint("x", 2.0, 10.0, 2.5)
+        assert point.reduction_pct == 75.0
+
+    def test_zero_guard(self):
+        assert SweepPoint("x", 0.0, 0.0, 0.0).reduction_pct == 0.0
+
+
+class TestSweeps:
+    def test_ilp_sweep_monotone_pressure(self):
+        points = ilp_sweep(
+            "SuperSPARC", flow_probabilities=(0.2, 0.8), total_ops=1200
+        )
+        assert len(points) == 2
+        assert points[0].attempts_per_op > points[1].attempts_per_op
+
+    def test_block_size_sweep_shapes(self):
+        points = block_size_sweep(
+            "SuperSPARC", size_ranges=((2, 5), (8, 20)), total_ops=1200
+        )
+        assert points[0].label == "block=2-5"
+        assert points[1].attempts_per_op > points[0].attempts_per_op
+
+    def test_scale_sweep_is_intensive(self):
+        points = scale_sweep("SuperSPARC", op_counts=(800, 3200))
+        checks = [point.unopt_checks for point in points]
+        assert abs(checks[0] - checks[1]) < 0.2 * max(checks)
+
+    def test_reduction_always_large_for_supersparc(self):
+        for point in ilp_sweep(
+            "SuperSPARC", flow_probabilities=(0.5,), total_ops=1200
+        ):
+            assert point.reduction_pct > 70.0
+
+    def test_variants_do_not_mutate_registry_machine(self):
+        from repro.machines import get_machine
+
+        machine = get_machine("SuperSPARC")
+        before = machine.flow_probability
+        ilp_sweep("SuperSPARC", flow_probabilities=(0.9,), total_ops=600)
+        assert get_machine("SuperSPARC").flow_probability == before

@@ -1,0 +1,96 @@
+"""Tests for the workload trace format."""
+
+import pytest
+
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.workloads import WorkloadConfig, generate_blocks
+from repro.workloads.trace import TraceError, read_trace, write_trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_generated_workload_roundtrips(self, machine_name):
+        machine = get_machine(machine_name)
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=200))
+        text = write_trace(blocks, machine.name)
+        name, parsed = read_trace(text)
+        assert name == machine.name
+        assert len(parsed) == len(blocks)
+        for original, recovered in zip(blocks, parsed):
+            assert original.label == recovered.label
+            assert original.operations == recovered.operations
+
+    def test_twice_serialized_is_identical(self):
+        machine = get_machine("SuperSPARC")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=100))
+        text = write_trace(blocks, machine.name)
+        _, parsed = read_trace(text)
+        assert write_trace(parsed, machine.name) == text
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a trace
+        .machine X
+
+        .block B0
+          ADD r1 = r2   # trailing comment
+        .end
+        """
+        name, blocks = read_trace(text)
+        assert name == "X"
+        assert blocks[0].operations[0].opcode == "ADD"
+
+    def test_attributes(self):
+        text = ".block B\n LD r1 = r2 !load\n ST = r1 !store\n" \
+               " BR = !branch\n.end\n"
+        _, blocks = read_trace(text)
+        ops = blocks[0].operations
+        assert ops[0].is_load and not ops[0].is_store
+        assert ops[1].is_store
+        assert ops[2].is_branch and ops[2].srcs == ()
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(TraceError, match="lacks '='"):
+            read_trace(".block B\n ADD r1 r2\n.end\n")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(TraceError, match="unknown attribute"):
+            read_trace(".block B\n ADD r1 = r2 !weird\n.end\n")
+
+    def test_op_outside_block_rejected(self):
+        with pytest.raises(TraceError, match="outside a block"):
+            read_trace("ADD r1 = r2\n")
+
+    def test_nested_block_rejected(self):
+        with pytest.raises(TraceError, match="nested"):
+            read_trace(".block A\n.block B\n.end\n")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(TraceError, match="unterminated"):
+            read_trace(".block A\n ADD r1 = r2\n")
+
+    def test_end_without_block_rejected(self):
+        with pytest.raises(TraceError, match=".end without"):
+            read_trace(".end\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(TraceError, match="line 3"):
+            read_trace(".block B\n ADD r1 = r2\n BAD LINE\n.end\n")
+
+
+class TestScheduleFromTrace:
+    def test_trace_drives_scheduler(self):
+        from repro.lowlevel import compile_mdes
+        from repro.scheduler import schedule_workload
+
+        machine = get_machine("SuperSPARC")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=150))
+        _, parsed = read_trace(write_trace(blocks, machine.name))
+        compiled = compile_mdes(machine.build_andor())
+        direct = schedule_workload(machine, compiled, blocks,
+                                   keep_schedules=True)
+        via_trace = schedule_workload(machine, compiled, parsed,
+                                      keep_schedules=True)
+        assert direct.signature() == via_trace.signature()

@@ -1,0 +1,112 @@
+"""Tests for common-usage factoring (section 8)."""
+
+from repro.core.expand import expand_to_or_tree
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.transforms.factor import factor_and_or_tree, factor_common_usages
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+def make_tree(resources, with_one_option_sibling):
+    """An AND/OR-tree whose second OR-tree has a common usage (M@0)."""
+    m = resources.lookup("M")
+    d0, d1 = resources.lookup("D0"), resources.lookup("D1")
+    w0 = resources.lookup("W0")
+    source = OrTree(
+        (
+            ReservationTable((u(d0, -1), u(m, 0))),
+            ReservationTable((u(d1, -1), u(m, 0))),
+        ),
+        name="src",
+    )
+    children = [source]
+    if with_one_option_sibling:
+        children.insert(0, OrTree((ReservationTable((u(w0, 0),)),),
+                                  name="sib"))
+    return AndOrTree(tuple(children), name="AOT")
+
+
+class TestFactorAndOrTree:
+    def test_rule1_merge_into_same_time_sibling(self, resources):
+        tree = make_tree(resources, with_one_option_sibling=True)
+        factored = factor_and_or_tree(tree)
+        sibling = factored.or_trees[0]
+        assert len(sibling) == 1
+        names = {usage.resource.name for usage in sibling.options[0]}
+        assert names == {"W0", "M"}
+        source = factored.or_trees[1]
+        for option in source.options:
+            assert all(usage.resource.name != "M" for usage in option)
+
+    def test_rule2_new_tree_when_sole_usage_at_time(self, resources):
+        tree = make_tree(resources, with_one_option_sibling=False)
+        factored = factor_and_or_tree(tree)
+        # M@0 is the only usage at time 0 in each option -> new tree.
+        assert len(factored) == 2
+        new_tree = factored.or_trees[-1]
+        assert len(new_tree) == 1
+        assert new_tree.options[0].usages[0].resource.name == "M"
+
+    def test_rule2_suppressed_when_not_sole(self, resources):
+        m = resources.lookup("M")
+        d0, d1 = resources.lookup("D0"), resources.lookup("D1")
+        source = OrTree(
+            (
+                ReservationTable((u(d0, 0), u(m, 0))),
+                ReservationTable((u(d1, 0), u(m, 0))),
+            )
+        )
+        tree = AndOrTree((source,))
+        factored = factor_and_or_tree(tree)
+        assert factored is tree  # heuristics forbid the hoist
+
+    def test_semantics_preserved(self, resources):
+        tree = make_tree(resources, with_one_option_sibling=True)
+        factored = factor_and_or_tree(tree)
+        original_flat = {
+            option.usage_set
+            for option in expand_to_or_tree(tree).options
+        }
+        factored_flat = {
+            option.usage_set
+            for option in expand_to_or_tree(factored).options
+        }
+        assert original_flat == factored_flat
+
+    def test_never_empties_an_option(self, resources):
+        m = resources.lookup("M")
+        w0 = resources.lookup("W0")
+        source = OrTree(
+            (
+                ReservationTable((u(m, 0),)),
+                ReservationTable((u(m, 0), u(w0, 0))),
+            )
+        )
+        tree = AndOrTree((source,))
+        factored = factor_and_or_tree(tree)
+        for or_tree in factored.or_trees:
+            for option in or_tree.options:
+                assert len(option) >= 1
+
+
+class TestFactorMdes:
+    def test_or_constraints_untouched_by_default(self, toy_mdes):
+        flat = toy_mdes.expanded()
+        result = factor_common_usages(flat)
+        assert result.op_class("load").constraint is flat.op_class(
+            "load"
+        ).constraint
+
+    def test_convert_or_trees_creates_structure(self, toy_mdes):
+        flat = toy_mdes.expanded()
+        result = factor_common_usages(flat, convert_or_trees=True)
+        constraint = result.op_class("load").constraint
+        # M@0 is common to all four flat options -> factored out.
+        assert isinstance(constraint, AndOrTree)
+        assert len(constraint) == 2
+
+    def test_schedule_preserved(self, small_suite):
+        assert small_suite.verify_schedule_invariance("Pentium")

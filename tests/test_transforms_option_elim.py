@@ -1,0 +1,71 @@
+"""Tests for dominated-option removal (section 5, Table 8)."""
+
+from repro.core.tables import OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.transforms.option_elim import prune_or_tree, remove_dominated_options
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+class TestPruneOrTree:
+    def test_identical_duplicate_removed(self, resources):
+        a = resources.lookup("D0")
+        option = ReservationTable((u(a, 0),))
+        duplicate = ReservationTable((u(a, 0),))
+        pruned = prune_or_tree(OrTree((option, duplicate)))
+        assert len(pruned) == 1
+
+    def test_superset_removed(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        small = ReservationTable((u(a, 0),))
+        superset = ReservationTable((u(a, 0), u(b, 0)))
+        pruned = prune_or_tree(OrTree((small, superset)))
+        assert pruned.options == (small,)
+
+    def test_subset_below_is_kept(self, resources):
+        """A lower-priority *subset* is reachable and must survive."""
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        superset = ReservationTable((u(a, 0), u(b, 0)))
+        small = ReservationTable((u(a, 0),))
+        pruned = prune_or_tree(OrTree((superset, small)))
+        assert len(pruned) == 2
+
+    def test_unrelated_options_kept(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        tree = OrTree(
+            (ReservationTable((u(a, 0),)), ReservationTable((u(b, 0),)))
+        )
+        assert prune_or_tree(tree) is tree
+
+    def test_dominance_chain(self, resources):
+        a, b, c = (resources.lookup(n) for n in ("D0", "D1", "M"))
+        base = ReservationTable((u(a, 0),))
+        mid = ReservationTable((u(a, 0), u(b, 0)))
+        big = ReservationTable((u(a, 0), u(b, 0), u(c, 0)))
+        pruned = prune_or_tree(OrTree((base, mid, big)))
+        assert pruned.options == (base,)
+
+    def test_priority_order_preserved(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        first = ReservationTable((u(a, 0),))
+        second = ReservationTable((u(b, 0),))
+        duplicate = ReservationTable((u(a, 0),))
+        pruned = prune_or_tree(OrTree((first, second, duplicate)))
+        assert pruned.options == (first, second)
+
+
+class TestPA7100Accident:
+    def test_duplicate_memory_option_removed(self):
+        """The paper's retargeting accident disappears (Table 8)."""
+        from repro.machines import get_machine
+
+        mdes = get_machine("PA7100").build_andor()
+        load = mdes.op_class("load")
+        assert load.option_count() == 3  # with the duplicate
+        cleaned = remove_dominated_options(mdes)
+        assert cleaned.op_class("load").option_count() == 2
+
+    def test_schedule_preserved(self, small_suite):
+        assert small_suite.verify_schedule_invariance("PA7100")

@@ -1,0 +1,126 @@
+"""Tests for redundancy elimination (section 5)."""
+
+from repro.core.mdes import Mdes, OperationClass
+from repro.core.tables import AndOrTree, OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.lowlevel.compiled import compile_mdes
+from repro.lowlevel.layout import mdes_size_bytes
+from repro.transforms.redundancy import eliminate_redundancy
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+def duplicated_mdes(resources):
+    """Two classes with structurally identical but unshared trees."""
+    m = resources.lookup("M")
+    d0, d1 = resources.lookup("D0"), resources.lookup("D1")
+
+    def make_tree(name):
+        dec = OrTree(
+            (
+                ReservationTable((u(d0, -1),)),
+                ReservationTable((u(d1, -1),)),
+            )
+        )
+        mem = OrTree((ReservationTable((u(m, 0),)),))
+        return AndOrTree((dec, mem), name=name)
+
+    dead = OrTree((ReservationTable((u(m, 7),)),), name="dead")
+    return Mdes(
+        "Dup",
+        resources,
+        op_classes={
+            "a": OperationClass("a", make_tree("a")),
+            "b": OperationClass("b", make_tree("b")),
+        },
+        opcode_map={"A": "a", "B": "b"},
+        unused_trees={"dead": dead},
+    )
+
+
+class TestEliminateRedundancy:
+    def test_structural_duplicates_become_shared(self, resources):
+        result = eliminate_redundancy(duplicated_mdes(resources))
+        assert result.op_class("a").constraint is result.op_class(
+            "b"
+        ).constraint
+
+    def test_dead_trees_removed(self, resources):
+        result = eliminate_redundancy(duplicated_mdes(resources))
+        assert result.unused_trees == {}
+
+    def test_size_shrinks(self, resources):
+        mdes = duplicated_mdes(resources)
+        before = mdes_size_bytes(compile_mdes(mdes))
+        after = mdes_size_bytes(compile_mdes(eliminate_redundancy(mdes)))
+        assert after < before
+
+    def test_semantics_unchanged(self, resources):
+        mdes = duplicated_mdes(resources)
+        result = eliminate_redundancy(mdes)
+        for name in mdes.op_classes:
+            assert (
+                result.op_class(name).constraint
+                == mdes.op_class(name).constraint
+            )
+
+    def test_idempotent(self, resources):
+        once = eliminate_redundancy(duplicated_mdes(resources))
+        twice = eliminate_redundancy(once)
+        assert mdes_size_bytes(compile_mdes(twice)) == mdes_size_bytes(
+            compile_mdes(once)
+        )
+
+    def test_partial_sharing_of_or_trees(self, resources):
+        """Identical sub-OR-trees merge even when parents differ."""
+        m = resources.lookup("M")
+        d0, d1 = resources.lookup("D0"), resources.lookup("D1")
+
+        def dec_tree():
+            return OrTree(
+                (
+                    ReservationTable((u(d0, -1),)),
+                    ReservationTable((u(d1, -1),)),
+                )
+            )
+
+        a = AndOrTree(
+            (dec_tree(), OrTree((ReservationTable((u(m, 0),)),))), name="a"
+        )
+        b = AndOrTree(
+            (dec_tree(), OrTree((ReservationTable((u(m, 1),)),))), name="b"
+        )
+        mdes = Mdes(
+            "P",
+            resources,
+            op_classes={
+                "a": OperationClass("a", a),
+                "b": OperationClass("b", b),
+            },
+            opcode_map={"A": "a", "B": "b"},
+        )
+        result = eliminate_redundancy(mdes)
+        tree_a = result.op_class("a").constraint
+        tree_b = result.op_class("b").constraint
+        assert tree_a is not tree_b
+        assert tree_a.or_trees[0] is tree_b.or_trees[0]
+
+    def test_supersparc_gains_match_paper_shape(self):
+        """AND/OR form benefits from sharing whole OR-trees (Table 7)."""
+        from repro.machines import get_machine
+
+        machine = get_machine("SuperSPARC")
+        mdes = machine.build_andor()
+        before = mdes_size_bytes(compile_mdes(mdes))
+        after = mdes_size_bytes(compile_mdes(eliminate_redundancy(mdes)))
+        assert after < before
+        # The duplicated inline decoder trees must now be shared.
+        result = eliminate_redundancy(mdes)
+        load = result.op_class("load").constraint
+        ialu = result.op_class("ialu_2src").constraint
+        shared = {id(t) for t in load.or_trees} & {
+            id(t) for t in ialu.or_trees
+        }
+        assert shared  # figure 4's sharing

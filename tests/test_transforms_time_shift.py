@@ -1,0 +1,113 @@
+"""Tests for usage-time shifting (section 7).
+
+The transformation's correctness argument is that forbidden latencies --
+and therefore collision vectors -- are invariant under adding a
+per-resource constant to all usage times of that resource.  The tests
+check both the mechanics and that invariant.
+"""
+
+import pytest
+
+from repro.core.expand import as_or_tree
+from repro.core.tables import OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.errors import MdesError
+from repro.machines import get_machine
+from repro.transforms.time_shift import (
+    compute_shift_constants,
+    shift_usage_times,
+)
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+def forbidden_latencies(option_a, option_b):
+    """Forbidden issue distances between two options (section 7)."""
+    forbidden = set()
+    for usage_a in option_a.usages:
+        for usage_b in option_b.usages:
+            if usage_a.resource is usage_b.resource:
+                distance = usage_a.time - usage_b.time
+                if distance >= 0:
+                    forbidden.add(distance)
+    return forbidden
+
+
+class TestShiftConstants:
+    def test_forward_uses_earliest(self, toy_mdes):
+        constants = compute_shift_constants(toy_mdes, "forward")
+        by_name = {r.name: c for r, c in constants.items()}
+        assert by_name == {"M": 0, "D0": -1, "D1": -1, "W0": 1, "W1": 1}
+
+    def test_backward_uses_latest(self, toy_mdes):
+        constants = compute_shift_constants(toy_mdes, "backward")
+        by_name = {r.name: c for r, c in constants.items()}
+        assert by_name == {"M": 0, "D0": -1, "D1": -1, "W0": 1, "W1": 1}
+
+    def test_unknown_direction_rejected(self, toy_mdes):
+        with pytest.raises(MdesError, match="direction"):
+            compute_shift_constants(toy_mdes, "sideways")
+
+
+class TestShiftUsageTimes:
+    def test_forward_shift_zeroes_earliest_usage(self, toy_mdes):
+        shifted = shift_usage_times(toy_mdes)
+        flat = as_or_tree(shifted.op_class("load").constraint)
+        for option in flat.options:
+            for usage in option.usages:
+                assert usage.time == 0  # every resource had one time
+
+    def test_supersparc_concentrates_at_zero(self):
+        mdes = get_machine("SuperSPARC").build_or()
+        shifted = shift_usage_times(mdes)
+        zero_usages = total_usages = 0
+        for constraint in shifted.constraints():
+            for option in as_or_tree(constraint).options:
+                for usage in option.usages:
+                    total_usages += 1
+                    zero_usages += usage.time == 0
+        assert zero_usages / total_usages > 0.8
+
+    def test_no_negative_times_after_forward_shift(self):
+        mdes = get_machine("SuperSPARC").build_or()
+        shifted = shift_usage_times(mdes)
+        for constraint in shifted.constraints():
+            for option in as_or_tree(constraint).options:
+                assert option.min_time() >= 0
+
+    def test_collision_vectors_preserved(self):
+        """The transformation's soundness condition, checked exhaustively
+        on the PA7100 (small enough for all pairs)."""
+        mdes = get_machine("PA7100").build_or()
+        shifted = shift_usage_times(mdes)
+        originals, shifteds = [], []
+        for name in sorted(mdes.op_classes):
+            originals.extend(
+                as_or_tree(mdes.op_class(name).constraint).options
+            )
+            shifteds.extend(
+                as_or_tree(shifted.op_class(name).constraint).options
+            )
+        assert len(originals) == len(shifteds)
+        for a_index in range(len(originals)):
+            for b_index in range(len(originals)):
+                assert forbidden_latencies(
+                    originals[a_index], originals[b_index]
+                ) == forbidden_latencies(
+                    shifteds[a_index], shifteds[b_index]
+                ), (a_index, b_index)
+
+    def test_sharing_preserved(self):
+        mdes = get_machine("SuperSPARC").build_andor()
+        shifted = shift_usage_times(mdes)
+        ialu1 = shifted.op_class("ialu_1src").constraint
+        ialu2 = shifted.op_class("ialu_2src").constraint
+        shared = {id(t) for t in ialu1.or_trees} & {
+            id(t) for t in ialu2.or_trees
+        }
+        assert len(shared) == 3
+
+    def test_schedule_preserved(self, small_suite):
+        assert small_suite.verify_schedule_invariance("SuperSPARC")

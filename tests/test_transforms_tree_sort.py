@@ -1,0 +1,92 @@
+"""Tests for AND/OR sub-tree ordering (section 8)."""
+
+from repro.core.tables import AndOrTree
+from repro.machines import get_machine
+from repro.transforms.pipeline import run_pipeline
+from repro.transforms.time_shift import shift_usage_times
+from repro.transforms.tree_sort import sort_and_or_trees, sort_key
+
+
+class TestSortKey:
+    def test_orders_by_min_time_then_options(self, load_and_or_tree):
+        dec, wr, mem = load_and_or_tree.or_trees
+        # dec has min_time -1 -> first before shifting.
+        keys = [
+            sort_key(tree, 1, index)
+            for index, tree in enumerate(load_and_or_tree.or_trees)
+        ]
+        assert sorted(keys)[0] == keys[0]
+
+    def test_after_shift_fewest_options_first(self, toy_mdes):
+        shifted = shift_usage_times(toy_mdes)
+        result = sort_and_or_trees(shifted)
+        constraint = result.op_class("load").constraint
+        assert [len(t) for t in constraint.or_trees] == [1, 2, 2]
+        assert constraint.or_trees[0].name == "OT_mem"
+
+
+class TestSortMdes:
+    def test_supersparc_load_reordered(self):
+        """Figure 6: after shifting, the one-option memory tree leads."""
+        machine = get_machine("SuperSPARC")
+        shifted = shift_usage_times(machine.build_andor())
+        result = sort_and_or_trees(shifted)
+        load = result.op_class("load").constraint
+        assert [len(t) for t in load.or_trees] == [1, 2, 3]
+
+    def test_sharing_breaks_ties(self):
+        """Among equal-size trees, the more widely shared one leads."""
+        machine = get_machine("SuperSPARC")
+        shifted = shift_usage_times(machine.build_andor())
+        result = sort_and_or_trees(shifted)
+        ialu = result.op_class("ialu_1src").constraint
+        sizes = [len(t) for t in ialu.or_trees]
+        assert sizes == sorted(sizes)
+
+    def test_or_constraints_untouched(self, toy_mdes):
+        flat = toy_mdes.expanded()
+        result = sort_and_or_trees(flat)
+        assert result.op_class("load").constraint is flat.op_class(
+            "load"
+        ).constraint
+
+    def test_children_keep_identity(self, toy_mdes):
+        shifted = shift_usage_times(toy_mdes)
+        result = sort_and_or_trees(shifted)
+        before = {id(t) for t in shifted.op_class("load")
+                  .constraint.or_trees}
+        after = {id(t) for t in result.op_class("load")
+                 .constraint.or_trees}
+        assert before == after
+
+
+class TestPipeline:
+    def test_stages_in_paper_order(self, toy_mdes):
+        result = run_pipeline(toy_mdes)
+        assert result.stage_names == [
+            "input",
+            "redundancy-elimination",
+            "dominated-option-removal",
+            "usage-time-shift",
+            "usage-check-sort",
+            "common-usage-factoring",
+            "and-or-tree-sort",
+            "final-sharing",
+        ]
+        assert isinstance(
+            result.final.op_class("load").constraint, AndOrTree
+        )
+
+    def test_stage_lookup(self, toy_mdes):
+        result = run_pipeline(toy_mdes)
+        assert result.stage("input") is toy_mdes
+        assert result.stage("final-sharing") is result.final
+
+    def test_backward_direction_shifts_latest_to_zero(self, toy_mdes):
+        from repro.core.expand import as_or_tree
+        from repro.transforms.pipeline import optimize
+
+        backward = optimize(toy_mdes, direction="backward")
+        flat = as_or_tree(backward.op_class("load").constraint)
+        for option in flat.options:
+            assert option.max_time() <= 0

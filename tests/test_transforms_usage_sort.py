@@ -1,0 +1,52 @@
+"""Tests for zero-first usage-check sorting (section 7)."""
+
+from repro.core.tables import ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.transforms.usage_sort import sort_option_usages, sort_usage_checks
+
+
+def u(resource, time):
+    return ResourceUsage(time, resource)
+
+
+class TestSortOptionUsages:
+    def test_zero_first(self, resources):
+        a, b, c = (resources.lookup(n) for n in ("D0", "D1", "M"))
+        option = ReservationTable((u(a, 2), u(b, 0), u(c, 1)))
+        ordered = sort_option_usages(option)
+        assert [usage.time for usage in ordered.usages] == [0, 1, 2]
+
+    def test_stable_within_time(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        option = ReservationTable((u(b, 0), u(a, 0)))
+        ordered = sort_option_usages(option)
+        assert [usage.resource.name for usage in ordered.usages] == [
+            "D1", "D0"
+        ]
+
+    def test_unchanged_option_is_same_object(self, resources):
+        a = resources.lookup("D0")
+        option = ReservationTable((u(a, 0), u(a, 1)))
+        assert sort_option_usages(option) is option
+
+    def test_custom_preferred_time(self, resources):
+        a, b = resources.lookup("D0"), resources.lookup("D1")
+        option = ReservationTable((u(a, 0), u(b, 3)))
+        ordered = sort_option_usages(option, preferred_time=3)
+        assert [usage.time for usage in ordered.usages] == [3, 0]
+
+
+class TestSortUsageChecks:
+    def test_whole_mdes(self, toy_mdes):
+        from repro.core.expand import as_or_tree
+        from repro.transforms.time_shift import shift_usage_times
+
+        shifted = sort_usage_checks(shift_usage_times(toy_mdes))
+        for constraint in shifted.constraints():
+            for option in as_or_tree(constraint).options:
+                times = [usage.time for usage in option.usages]
+                zero_prefix = [t for t in times if t == 0]
+                assert times[: len(zero_prefix)] == zero_prefix
+
+    def test_schedule_preserved(self, small_suite):
+        assert small_suite.verify_schedule_invariance("K5")

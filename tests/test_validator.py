@@ -1,0 +1,124 @@
+"""Tests for the MDES linter."""
+
+import pytest
+
+from repro.hmdes.validator import lint_mdes, lint_source
+from repro.machines import get_machine
+
+
+def codes(diagnostics):
+    return {diagnostic.code for diagnostic in diagnostics}
+
+
+class TestLintChecks:
+    def test_clean_description_is_quiet(self):
+        source = """
+        mdes Clean;
+        section resource { A; B; }
+        section opclass {
+            k { resv ortree { option { use A at 0; }
+                              option { use B at 0; } }; }
+        }
+        section operation { X: k; }
+        """
+        diagnostics = lint_source(source)
+        assert not [d for d in diagnostics if d.severity == "warning"]
+
+    def test_w001_dead_tree(self):
+        source = """
+        mdes M;
+        section resource { A; }
+        section ortree { O_dead { option { use A at 5; } } }
+        section opclass {
+            k { resv ortree { option { use A at 0; } }; }
+        }
+        section operation { X: k; }
+        """
+        diagnostics = lint_source(source)
+        assert "W001" in codes(diagnostics)
+
+    def test_w002_dominated_option(self):
+        source = """
+        mdes M;
+        section resource { A; B; }
+        section opclass {
+            k { resv ortree { option { use A at 0; }
+                              option { use A at 0; use B at 0; } }; }
+        }
+        section operation { X: k; }
+        """
+        findings = [d for d in lint_source(source) if d.code == "W002"]
+        assert len(findings) == 1
+        assert "superset" in findings[0].message
+
+    def test_w002_duplicate_option(self):
+        source = """
+        mdes M;
+        section resource { A; }
+        section opclass {
+            k { resv ortree { option { use A at 0; }
+                              option { use A at 0; } }; }
+        }
+        section operation { X: k; }
+        """
+        findings = [d for d in lint_source(source) if d.code == "W002"]
+        assert "duplicates" in findings[0].message
+
+    def test_w003_unused_resource(self):
+        source = """
+        mdes M;
+        section resource { A; GHOST; }
+        section opclass {
+            k { resv ortree { option { use A at 0; } }; }
+        }
+        section operation { X: k; }
+        """
+        findings = [d for d in lint_source(source) if d.code == "W003"]
+        assert len(findings) == 1
+        assert "GHOST" in findings[0].message
+
+    def test_w004_unshared_duplicate_constraints(self):
+        source = """
+        mdes M;
+        section resource { A; B; }
+        section opclass {
+            k1 { resv ortree { option { use A at 0; use B at 1; } }; }
+            k2 { resv ortree { option { use A at 0; use B at 1; } }; }
+        }
+        section operation { X: k1; Y: k2; }
+        """
+        assert "W004" in codes(lint_source(source))
+
+    def test_w006_unshared_or_tree_copies(self):
+        diagnostics = lint_mdes(get_machine("SuperSPARC").build())
+        findings = [d for d in diagnostics if d.code == "W006"]
+        # The inline decoder-tree copies in the memory/FP classes.
+        assert findings
+
+    def test_i101_expansion_pressure(self):
+        mdes = get_machine("K5").build_or()
+        findings = [d for d in lint_mdes(mdes) if d.code == "I101"]
+        assert findings
+        assert any("768" in d.message for d in findings)
+
+    def test_i102_shift_potential(self):
+        diagnostics = lint_mdes(get_machine("SuperSPARC").build())
+        assert "I102" in codes(diagnostics)
+
+    def test_fully_optimized_description_is_mostly_clean(self):
+        from repro.transforms import optimize
+
+        optimized = optimize(get_machine("SuperSPARC").build())
+        warnings = [
+            d for d in lint_mdes(optimized) if d.severity == "warning"
+        ]
+        assert not warnings
+
+
+class TestDiagnosticFormat:
+    def test_str(self):
+        diagnostics = lint_mdes(get_machine("PA7100").build())
+        assert all(
+            str(d).startswith(("warning: [", "info: ["))
+            for d in diagnostics
+        )

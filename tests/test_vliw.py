@@ -1,0 +1,153 @@
+"""Tests for the VLIW retargeting demo machine (Cydra_lite)."""
+
+import pytest
+
+from repro.analysis.experiments import staged_mdes
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+from repro.lowlevel.compiled import compile_mdes
+from repro.machines import get_machine
+from repro.machines.registry import EXTRA_MACHINE_NAMES
+from repro.scheduler import ListScheduler, schedule_workload
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+@pytest.fixture(scope="module")
+def vliw():
+    machine = get_machine("Cydra_lite")
+    return machine, compile_mdes(machine.build_andor(), bitvector=True)
+
+
+class TestDescription:
+    def test_registered_as_extra(self):
+        assert "Cydra_lite" in EXTRA_MACHINE_NAMES
+
+    def test_validates(self, vliw):
+        machine, _ = vliw
+        machine.build().validate()
+
+    def test_option_counts(self, vliw):
+        machine, _ = vliw
+        mdes = machine.build()
+        assert mdes.op_class("ialu").option_count() == 4 * 2 * 3
+        assert mdes.op_class("ialu_fwd").option_count() == 4 * 3
+        assert mdes.op_class("load").option_count() == 4 * 3
+        assert mdes.op_class("branch").option_count() == 4
+
+    def test_forwarding_bypass_declared(self, vliw):
+        machine, _ = vliw
+        bypass = machine.build().bypass_for("ialu", "ialu")
+        assert bypass is not None
+        assert bypass.latency == 0
+        assert bypass.substitute_class == "ialu_fwd"
+
+
+class TestScheduling:
+    def test_four_wide_issue(self, vliw):
+        machine, compiled = vliw
+        ops = [
+            Operation(i, "ADD", (f"r{i}",), (f"li{i}",)) for i in range(2)
+        ] + [
+            Operation(2, "LD", ("r2",), ("li9",), is_load=True),
+            Operation(3, "FADD", ("f0",), ("li3", "li4")),
+        ]
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            BasicBlock("B", ops)
+        )
+        assert len(set(schedule.times.values())) == 1  # all in cycle 0
+
+    def test_writeback_bus_limits_results(self, vliw):
+        """Only three results per cycle despite four issue slots."""
+        machine, compiled = vliw
+        ops = [
+            Operation(i, "ADD", (f"r{i}",), (f"li{i}",)) for i in range(4)
+        ]
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            BasicBlock("B", ops)
+        )
+        # Two ALUs anyway; but even with slots free, at most 3 WBs/cycle:
+        from collections import Counter
+
+        per_cycle = Counter(schedule.times.values())
+        assert max(per_cycle.values()) <= 3
+
+    def test_forwarded_pair_same_cycle(self, vliw):
+        machine, compiled = vliw
+        ops = [
+            Operation(0, "ADD", ("r1",), ("li0",)),
+            Operation(1, "SUB", ("r2",), ("r1",)),
+        ]
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            BasicBlock("B", ops)
+        )
+        assert schedule.times[1] == schedule.times[0]
+        assert schedule.classes[1] == "ialu_fwd"
+
+    def test_address_interlock(self, vliw):
+        machine, compiled = vliw
+        ops = [
+            Operation(0, "ADD", ("r1",), ("li0",)),
+            Operation(1, "LD", ("r2",), ("r1",), is_load=True),
+        ]
+        schedule = ListScheduler(machine, compiled).schedule_block(
+            BasicBlock("B", ops)
+        )
+        assert schedule.times[1] >= schedule.times[0] + 2
+
+
+class TestToolchain:
+    def test_full_pipeline_preserves_schedules(self, vliw):
+        machine, _ = vliw
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=500))
+        signatures = set()
+        for stage, bitvector in ((0, False), (4, True)):
+            compiled = compile_mdes(
+                staged_mdes(machine.build_andor(), stage),
+                bitvector=bitvector,
+            )
+            run = schedule_workload(machine, compiled, blocks,
+                                    keep_schedules=True)
+            signatures.add(run.signature())
+        assert len(signatures) == 1
+
+    def test_andor_advantage_holds_on_new_target(self, vliw):
+        machine, _ = vliw
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=800))
+        or_run = schedule_workload(
+            machine, compile_mdes(machine.build_or(), bitvector=False),
+            blocks,
+        )
+        andor_run = schedule_workload(
+            machine,
+            compile_mdes(
+                staged_mdes(machine.build_andor(), 4), bitvector=True
+            ),
+            blocks,
+        )
+        assert (
+            andor_run.stats.checks_per_attempt
+            < or_run.stats.checks_per_attempt / 2
+        )
+
+    def test_lint_is_clean(self, vliw):
+        from repro.hmdes.validator import lint_mdes
+
+        machine, _ = vliw
+        warnings = [
+            d for d in lint_mdes(machine.build())
+            if d.severity == "warning"
+        ]
+        assert not warnings  # a freshly written description has no scars
+
+    def test_hmdes_roundtrip(self, vliw):
+        from repro.hmdes import load_mdes, write_mdes
+
+        machine, _ = vliw
+        mdes = machine.build()
+        again = load_mdes(write_mdes(mdes))
+        assert again.bypasses == mdes.bypasses
+        for name in mdes.op_classes:
+            assert (
+                again.op_class(name).constraint
+                == mdes.op_class(name).constraint
+            )

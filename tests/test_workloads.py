@@ -1,0 +1,90 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_blocks_end_in_branches(self, machine_name):
+        machine = get_machine(machine_name)
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=400))
+        for block in blocks:
+            assert block.operations[-1].is_branch
+            for op in block.operations[:-1]:
+                assert not op.is_branch
+
+    def test_deterministic_for_same_seed(self):
+        machine = get_machine("SuperSPARC")
+        config = WorkloadConfig(total_ops=300, seed=7)
+        a = generate_blocks(machine, config)
+        b = generate_blocks(machine, config)
+        assert [block.operations for block in a] == [
+            block.operations for block in b
+        ]
+
+    def test_different_seeds_differ(self):
+        machine = get_machine("SuperSPARC")
+        a = generate_blocks(machine, WorkloadConfig(total_ops=300, seed=1))
+        b = generate_blocks(machine, WorkloadConfig(total_ops=300, seed=2))
+        assert [blk.operations for blk in a] != [
+            blk.operations for blk in b
+        ]
+
+    def test_total_ops_reached(self):
+        machine = get_machine("K5")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=500))
+        total = sum(len(block) for block in blocks)
+        assert total >= 500
+        assert total <= 500 + machine.block_size_range[1] + 1
+
+    def test_block_sizes_within_range(self):
+        machine = get_machine("SuperSPARC")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=600))
+        low, high = machine.block_size_range
+        for block in blocks:
+            assert low + 1 <= len(block) <= high + 1  # body + branch
+
+    def test_opcodes_from_profile(self):
+        machine = get_machine("Pentium")
+        allowed = {spec.opcode for spec in machine.opcode_profile}
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=400))
+        for block in blocks:
+            for op in block.operations:
+                assert op.opcode in allowed
+
+    def test_postpass_uses_physical_pool(self):
+        machine = get_machine("K5")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=300))
+        dests = {
+            dest
+            for block in blocks
+            for op in block
+            for dest in op.dests
+        }
+        assert dests  # some ops define registers
+        assert all(dest.startswith("r") for dest in dests)
+        assert len(dests) <= machine.register_pool
+
+    def test_prepass_uses_virtual_registers(self):
+        machine = get_machine("SuperSPARC")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=300))
+        dests = [
+            dest for block in blocks for op in block for dest in op.dests
+        ]
+        assert all(dest.startswith("v") for dest in dests)
+        assert len(set(dests)) == len(dests)  # never reused
+
+    def test_mix_tracks_weights(self):
+        """The dominant opcode in the profile dominates the stream."""
+        machine = get_machine("SuperSPARC")
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=4000))
+        from collections import Counter
+
+        counts = Counter(
+            op.opcode for block in blocks for op in block
+        )
+        assert counts["ADD"] > counts["XNOR"]
+        assert counts["LD"] > counts["LDD"]
