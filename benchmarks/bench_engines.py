@@ -1,0 +1,107 @@
+"""Cross-backend comparison through the unified query-engine layer.
+
+Every registered backend schedules the same seeded workload on every
+machine through the same :class:`QueryEngine` protocol, so the paper's
+per-attempt statistics and wall-clock time are directly comparable --
+the comparison sections 6 and 10 make by hand, regenerated in one table.
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.analysis.reporting import format_table
+from repro.engine import create_engine, engine_names
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import schedule_workload
+from repro.workloads import WorkloadConfig, generate_blocks
+
+BENCH_OPS = 4000
+
+
+def test_engines_regenerate(results_dir, benchmark):
+    def build_rows():
+        rows = []
+        for machine_name in MACHINE_NAMES:
+            machine = get_machine(machine_name)
+            blocks = generate_blocks(
+                machine, WorkloadConfig(total_ops=BENCH_OPS)
+            )
+            for backend in engine_names():
+                engine = create_engine(backend, machine)
+                started = time.perf_counter()
+                run = schedule_workload(
+                    machine, None, blocks, engine=engine
+                )
+                elapsed = time.perf_counter() - started
+                rows.append(
+                    (
+                        machine_name,
+                        backend,
+                        run.total_ops,
+                        run.stats.options_per_attempt,
+                        run.stats.checks_per_attempt,
+                        elapsed,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ("MDES", "Backend", "Ops", "Opt/Att", "Chk/Att", "Seconds"),
+        [
+            (name, backend, ops, opt, chk, f"{seconds:.3f}")
+            for name, backend, ops, opt, chk, seconds in rows
+        ],
+        title=(
+            "Cross-backend scheduling characteristics through the "
+            "query-engine layer"
+        ),
+    )
+    payload = [
+        {
+            "machine": name,
+            "backend": backend,
+            "ops": ops,
+            "options_per_attempt": opt,
+            "checks_per_attempt": chk,
+            "wall_seconds": seconds,
+        }
+        for name, backend, ops, opt, chk, seconds in rows
+    ]
+    write_result(results_dir, "engines.txt", text, payload=payload)
+    # Protocol sanity: every backend scheduled the full workload, and
+    # every backend saw the same ops for one machine.
+    assert len(rows) == len(MACHINE_NAMES) * len(engine_names())
+    for machine_name in MACHINE_NAMES:
+        per_machine = {
+            ops for name, _, ops, _, _, _ in rows if name == machine_name
+        }
+        assert len(per_machine) == 1
+
+
+def test_engines_bench_automata_warm(benchmark, kernel_workloads):
+    """Steady-state automaton engine: every attempt is a DFA hit."""
+    machine = get_machine("SuperSPARC")
+    blocks = kernel_workloads("SuperSPARC")
+    engine = create_engine("automata", machine)
+    schedule_workload(machine, None, blocks, engine=engine)  # warm up
+
+    def run():
+        return schedule_workload(machine, None, blocks, engine=engine)
+
+    result = benchmark(run)
+    assert result.total_ops == sum(len(block) for block in blocks)
+
+
+def test_engines_bench_table_bitvector(benchmark, kernel_workloads):
+    """The paper's stage-4 bit-vector tables, same workload as above."""
+    machine = get_machine("SuperSPARC")
+    blocks = kernel_workloads("SuperSPARC")
+    engine = create_engine("bitvector", machine)
+
+    def run():
+        return schedule_workload(machine, None, blocks, engine=engine)
+
+    result = benchmark(run)
+    assert result.total_ops == sum(len(block) for block in blocks)

@@ -7,13 +7,14 @@ default 20000 operations per machine) and writes the artifact to
 ``pytest benchmarks/ --benchmark-only`` stays fast.
 """
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import ExperimentSuite
-from repro.lowlevel.compiled import compile_mdes
+from repro.engine.cache import GLOBAL_CACHE
 from repro.machines import get_machine
 from repro.workloads import WorkloadConfig, generate_blocks
 
@@ -24,6 +25,25 @@ BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "20000"))
 KERNEL_OPS = int(os.environ.get("REPRO_KERNEL_OPS", "2000"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+_EMIT_JSON = False
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help=(
+            "also write each benchmark's machine-readable payload to "
+            "benchmarks/results/BENCH_<name>.json"
+        ),
+    )
+
+
+def pytest_configure(config):
+    global _EMIT_JSON
+    _EMIT_JSON = config.getoption("--json", default=False)
 
 
 @pytest.fixture(scope="session")
@@ -39,11 +59,19 @@ def results_dir():
     return RESULTS_DIR
 
 
-def write_result(results_dir, name, text):
-    """Persist one artifact and echo it for ``-s`` runs."""
+def write_result(results_dir, name, text, payload=None):
+    """Persist one artifact and echo it for ``-s`` runs.
+
+    With ``--json`` and a ``payload``, a machine-readable twin is
+    written next to the text artifact as ``BENCH_<stem>.json``.
+    """
     path = results_dir / name
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    if _EMIT_JSON and payload is not None:
+        json_path = results_dir / f"BENCH_{Path(name).stem}.json"
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[json written to {json_path}]")
 
 
 @pytest.fixture(scope="session")
@@ -64,21 +92,15 @@ def kernel_workloads():
 
 @pytest.fixture(scope="session")
 def kernel_compiled():
-    """Compiled descriptions for the timed kernels, keyed by config."""
-    cache = {}
+    """Compiled descriptions for the timed kernels, keyed by config.
+
+    Delegates to the process-wide LRU description cache, so kernels
+    share compilations with every other consumer in the process.
+    """
 
     def get(machine_name, rep, stage, bitvector):
-        from repro.analysis.experiments import staged_mdes
-
-        key = (machine_name, rep, stage, bitvector)
-        if key not in cache:
-            machine = get_machine(machine_name)
-            base = (
-                machine.build_or() if rep == "or" else machine.build_andor()
-            )
-            cache[key] = compile_mdes(
-                staged_mdes(base, stage), bitvector=bitvector
-            )
-        return cache[key]
+        return GLOBAL_CACHE.compiled(
+            get_machine(machine_name), rep, stage, bitvector
+        )
 
     return get

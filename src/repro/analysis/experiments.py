@@ -32,46 +32,25 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.reporting import format_table, reduction_pct
 from repro.core.expand import as_or_tree
 from repro.core.mdes import Mdes
-from repro.lowlevel.compiled import CompiledMdes, compile_mdes
+from repro.engine.cache import GLOBAL_CACHE, DescriptionCache
+from repro.lowlevel.compiled import CompiledMdes
 from repro.lowlevel.layout import mdes_size_bytes
 from repro.machines import MACHINE_NAMES, get_machine
 from repro.scheduler import RunResult, schedule_workload
-from repro.transforms import (
-    eliminate_redundancy,
-    factor_common_usages,
-    remove_dominated_options,
-    shift_usage_times,
-    sort_and_or_trees,
-    sort_usage_checks,
-)
+from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
 from repro.workloads import WorkloadConfig, generate_blocks
+
+__all__ = [
+    "ANDOR_REP",
+    "ExperimentSuite",
+    "FINAL_STAGE",  # re-exported from repro.transforms.pipeline
+    "OR_REP",
+    "staged_mdes",  # re-exported from repro.transforms.pipeline
+]
 
 #: Representations compared throughout the paper.
 OR_REP = "or"
 ANDOR_REP = "andor"
-
-#: Largest transformation stage.
-FINAL_STAGE = 4
-
-
-def staged_mdes(base: Mdes, stage: int) -> Mdes:
-    """Apply the transformations up to ``stage`` (see module docstring).
-
-    Stage 2 equals stage 1 as a tree (bit-vector packing is a compile
-    mode); it exists so run keys can name it.
-    """
-    if stage < 0 or stage > FINAL_STAGE:
-        raise ValueError(f"stage must be 0..{FINAL_STAGE}, got {stage}")
-    mdes = base
-    if stage >= 1:
-        mdes = remove_dominated_options(eliminate_redundancy(mdes))
-    if stage >= 3:
-        mdes = sort_usage_checks(shift_usage_times(mdes))
-    if stage >= 4:
-        mdes = eliminate_redundancy(
-            sort_and_or_trees(factor_common_usages(mdes))
-        )
-    return mdes
 
 
 @dataclass
@@ -81,13 +60,11 @@ class ExperimentSuite:
     total_ops: int = 20000
     seed: int = 20161202
     keep_schedules: bool = False
+    #: Staged trees and compilations come from the process-wide LRU
+    #: description cache, so repeated suites (and the CLI, and the
+    #: benchmarks) share one set of compiled descriptions.
+    cache: DescriptionCache = field(default=GLOBAL_CACHE, repr=False)
     _workloads: Dict[str, list] = field(default_factory=dict, repr=False)
-    _mdes: Dict[Tuple[str, str, int], Mdes] = field(
-        default_factory=dict, repr=False
-    )
-    _compiled: Dict[Tuple[str, str, int, bool], CompiledMdes] = field(
-        default_factory=dict, repr=False
-    )
     _runs: Dict[Tuple[str, str, int, bool], RunResult] = field(
         default_factory=dict, repr=False
     )
@@ -108,27 +85,15 @@ class ExperimentSuite:
 
     def mdes(self, machine_name: str, rep: str, stage: int) -> Mdes:
         """The staged description in one representation (cached)."""
-        key = (machine_name, rep, stage)
-        if key not in self._mdes:
-            machine = get_machine(machine_name)
-            base = (
-                machine.build_or()
-                if rep == OR_REP
-                else machine.build_andor()
-            )
-            self._mdes[key] = staged_mdes(base, stage)
-        return self._mdes[key]
+        return self.cache.mdes(get_machine(machine_name), rep, stage)
 
     def compiled(
         self, machine_name: str, rep: str, stage: int, bitvector: bool
     ) -> CompiledMdes:
         """The compiled staged description (cached)."""
-        key = (machine_name, rep, stage, bitvector)
-        if key not in self._compiled:
-            self._compiled[key] = compile_mdes(
-                self.mdes(machine_name, rep, stage), bitvector=bitvector
-            )
-        return self._compiled[key]
+        return self.cache.compiled(
+            get_machine(machine_name), rep, stage, bitvector
+        )
 
     def size(
         self, machine_name: str, rep: str, stage: int, bitvector: bool

@@ -25,12 +25,14 @@ from repro.automata.collision import (
 from repro.automata.automaton import SchedulingAutomaton
 from repro.automata.cycle_scheduler import (
     AutomatonBackend,
+    EngineBackend,
     TableBackend,
     cycle_schedule_workload,
 )
 
 __all__ = [
     "AutomatonBackend",
+    "EngineBackend",
     "SchedulingAutomaton",
     "TableBackend",
     "collision_vector",

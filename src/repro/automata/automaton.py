@@ -20,7 +20,7 @@ that unschedule operations -- iterative modulo scheduling in particular
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MdesError
 from repro.lowlevel.compiled import (
@@ -57,6 +57,9 @@ class SchedulingAutomaton:
         self._transitions: Dict[
             Tuple[State, str], Optional[Tuple[State, Tuple[Tuple[int, int], ...]]]
         ] = {}
+        #: (state, class) -> (options walked, checks done) while the
+        #: transition was first computed; zero for memoized hits.
+        self._edge_costs: Dict[Tuple[State, str], Tuple[int, int]] = {}
         self.stats = AutomatonStats()
 
     @staticmethod
@@ -84,9 +87,10 @@ class SchedulingAutomaton:
         return (0,) * self.horizon
 
     def _try_option(
-        self, state: State, option: CompiledOption
+        self, state: State, option: CompiledOption, counters: List[int]
     ) -> Optional[State]:
         for time, mask in option.checks:
+            counters[1] += 1
             if state[time] & mask:
                 return None
         updated = list(state)
@@ -95,7 +99,7 @@ class SchedulingAutomaton:
         return tuple(updated)
 
     def _compute_issue(
-        self, state: State, class_name: str
+        self, state: State, class_name: str, counters: List[int]
     ) -> Optional[Tuple[State, Tuple[Tuple[int, int], ...]]]:
         constraint = self._compiled.constraint_for_class(class_name)
         if isinstance(constraint, CompiledAndOrTree):
@@ -107,7 +111,8 @@ class SchedulingAutomaton:
         for or_tree in or_trees:
             chosen = None
             for option in or_tree.options:
-                next_state = self._try_option(current, option)
+                counters[0] += 1
+                next_state = self._try_option(current, option, counters)
                 if next_state is not None:
                     chosen = option
                     current = next_state
@@ -129,8 +134,20 @@ class SchedulingAutomaton:
         self.stats.lookups += 1
         if key not in self._transitions:
             self.stats.misses += 1
-            self._transitions[key] = self._compute_issue(state, class_name)
+            counters = [0, 0]
+            self._transitions[key] = self._compute_issue(
+                state, class_name, counters
+            )
+            self._edge_costs[key] = (counters[0], counters[1])
         return self._transitions[key]
+
+    def edge_cost(self, state: State, class_name: str) -> Tuple[int, int]:
+        """(options walked, checks done) when the edge was constructed.
+
+        Zero for edges never computed; memoized hits cost nothing, which
+        is exactly the advantage the automata papers claim.
+        """
+        return self._edge_costs.get((state, class_name), (0, 0))
 
     @staticmethod
     def advance(state: State) -> State:

@@ -16,39 +16,41 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.automata.automaton import SchedulingAutomaton
+from repro.engine.base import QueryEngine
+from repro.engine.table import TableEngine
 from repro.errors import SchedulingError
 from repro.ir.block import BasicBlock
 from repro.ir.dependence import build_dependence_graph
-from repro.lowlevel.bitvector import RUMap
-from repro.lowlevel.checker import CheckStats, ConstraintChecker
+from repro.lowlevel.checker import CheckStats
 from repro.lowlevel.compiled import CompiledMdes
 from repro.scheduler.priority import compute_heights
 from repro.scheduler.schedule import BlockSchedule, RunResult
 
 
-class TableBackend:
-    """Reservation tables + RU map, for the cycle-driven scheduler."""
+class EngineBackend:
+    """Any query engine, driven cycle by cycle.
 
-    def __init__(self, compiled: CompiledMdes) -> None:
-        self._compiled = compiled
-        self._checker = ConstraintChecker()
-        self._ru_map = RUMap()
+    Adapts the random-access engine protocol to the automaton papers'
+    issue/advance interface; with a table engine this reproduces the
+    historical ``TableBackend`` behaviour exactly.
+    """
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+        self._state = engine.new_state()
         self._cycle = 0
 
     def reset(self) -> None:
         """Start a new scheduling region."""
-        self._ru_map.clear()
+        self._state = self.engine.new_state()
         self._cycle = 0
 
     def try_issue(self, class_name: str) -> bool:
         """Issue test at the current cycle."""
-        handle = self._checker.try_reserve(
-            self._ru_map,
-            self._compiled.constraint_for_class(class_name),
-            self._cycle,
-            class_name,
+        return (
+            self.engine.try_reserve(self._state, class_name, self._cycle)
+            is not None
         )
-        return handle is not None
 
     def advance(self) -> None:
         """Move to the next cycle."""
@@ -57,11 +59,18 @@ class TableBackend:
     @property
     def stats(self) -> CheckStats:
         """Constraint-check statistics."""
-        return self._checker.stats
+        return self.engine.stats
 
     def work_units(self) -> int:
         """Cost measure: individual resource checks."""
-        return self._checker.stats.resource_checks
+        return self.engine.stats.resource_checks
+
+
+class TableBackend(EngineBackend):
+    """Reservation tables + RU map, for the cycle-driven scheduler."""
+
+    def __init__(self, compiled: CompiledMdes) -> None:
+        super().__init__(TableEngine(compiled))
 
 
 class AutomatonBackend:
@@ -150,6 +159,7 @@ def cycle_schedule_workload(
         result.total_ops += len(block)
         result.total_cycles += schedule.length
         result.schedules.append(schedule)
-    if isinstance(backend, TableBackend):
-        result.stats = backend.stats
+    stats = getattr(backend, "stats", None)
+    if stats is not None:
+        result.stats = stats
     return result, backend.work_units()

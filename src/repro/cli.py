@@ -188,13 +188,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.engine import engine_names, get_engine_spec
+
+    for name in engine_names():
+        spec = get_engine_spec(name)
+        packing = "bitvector" if spec.bitvector else "scalar"
+        print(
+            f"{name:13s} {spec.rep:5s} {packing:9s} "
+            f"min-stage {spec.min_stage}  {spec.description}"
+        )
+    return 0
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import staged_mdes
+    from repro.errors import MdesError
     from repro.lowlevel import compile_mdes
     from repro.scheduler import schedule_workload
     from repro.workloads import WorkloadConfig, generate_blocks
     from repro.workloads.trace import read_trace
 
+    if args.backend and args.lmdes:
+        print("schedule --backend and --lmdes are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.trace:
         with open(args.trace) as handle:
             machine_name, blocks = read_trace(handle.read())
@@ -216,22 +234,35 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         blocks = generate_blocks(
             machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
         )
-    if args.lmdes:
-        from repro.lowlevel.serialize import load_lmdes
+    if args.backend:
+        from repro.engine import create_engine
 
-        with open(args.lmdes) as handle:
-            compiled = load_lmdes(handle.read())
+        try:
+            engine = create_engine(args.backend, machine, stage=args.stage)
+        except MdesError as exc:
+            print(f"schedule --backend {args.backend}: {exc}",
+                  file=sys.stderr)
+            return 2
+        result = schedule_workload(machine, None, blocks, engine=engine)
+        configuration = f"backend {args.backend}"
     else:
-        base = (
-            machine.build_or()
-            if args.rep == "or"
-            else machine.build_andor()
-        )
-        mdes = staged_mdes(base, args.stage)
-        compiled = compile_mdes(mdes, bitvector=not args.no_bitvector)
-    result = schedule_workload(machine, compiled, blocks)
+        if args.lmdes:
+            from repro.lowlevel.serialize import load_lmdes
+
+            with open(args.lmdes) as handle:
+                compiled = load_lmdes(handle.read())
+        else:
+            base = (
+                machine.build_or()
+                if args.rep == "or"
+                else machine.build_andor()
+            )
+            mdes = staged_mdes(base, args.stage)
+            compiled = compile_mdes(mdes, bitvector=not args.no_bitvector)
+        result = schedule_workload(machine, compiled, blocks)
+        configuration = args.rep
     stats = result.stats
-    print(f"machine:             {machine.name} ({args.rep}, "
+    print(f"machine:             {machine.name} ({configuration}, "
           f"stage {args.stage})")
     print(f"operations:          {result.total_ops}")
     print(f"schedule cycles:     {result.total_cycles}")
@@ -261,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("machines", help="list built-in machines")
+
+    commands.add_parser(
+        "engines", help="list registered constraint-check backends"
+    )
 
     tables = commands.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("--ops", type=int, default=10000)
@@ -327,6 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--stage", type=int, default=4,
                           help="transformation stage 0-4")
     schedule.add_argument("--no-bitvector", action="store_true")
+    from repro.engine import engine_names
+
+    schedule.add_argument(
+        "--backend", choices=engine_names(), default=None,
+        help=(
+            "constraint-check backend from the engine registry "
+            "(overrides --rep/--no-bitvector)"
+        ),
+    )
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md"
@@ -339,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _HANDLERS = {
     "machines": _cmd_machines,
+    "engines": _cmd_engines,
     "compile": _cmd_compile,
     "tables": _cmd_tables,
     "figures": _cmd_figures,

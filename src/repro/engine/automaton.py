@@ -1,0 +1,79 @@
+"""The finite-state-automaton backend behind the query-engine protocol.
+
+The pure automaton (:mod:`repro.automata.automaton`) is cycle-driven:
+issue tests apply to "now" and ``advance`` shifts the window, which is
+why the related work cannot unschedule and why it cannot serve a
+random-access list scheduler directly.  This adapter closes the gap with
+a *windowed* formulation: the region's resource state lives in the same
+RU map every other backend uses, and an issue test at an arbitrary cycle
+re-derives the automaton state as the window of busy words at offsets
+``0 .. horizon-1`` from that cycle, then answers it with one memoized
+transition lookup.
+
+The first-fit option walk used to construct a transition is identical to
+the table checker's, so this backend produces bit-for-bit identical
+schedules; after memoization an attempt costs zero resource checks,
+which is the O(1) advantage the automata papers claim -- and what
+:attr:`QueryEngine.stats` reports, keeping the cross-backend comparison
+honest.
+
+What the adapter cannot do is wrap state modulo an initiation interval
+(``supports_modulo`` is False): reservations behind the current window
+would alias into it, which is the section 10 capability gap the paper
+holds against automata.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.base import QueryEngine, Reservation
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import CheckStats
+from repro.lowlevel.compiled import CompiledMdes
+
+
+class AutomatonEngine(QueryEngine):
+    """Memoized DFA transitions over a windowed RU-map state."""
+
+    name = "automata"
+    supports_modulo = False
+
+    def __init__(
+        self,
+        compiled: CompiledMdes,
+        stats: Optional[CheckStats] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(compiled, stats, name)
+        # Imported lazily: repro.automata's package init pulls in the
+        # cycle scheduler, which itself builds on repro.engine.
+        from repro.automata.automaton import SchedulingAutomaton
+
+        self.automaton = SchedulingAutomaton(compiled)
+
+    def try_reserve(
+        self, state: RUMap, class_name: str, cycle: int
+    ) -> Optional[Reservation]:
+        automaton = self.automaton
+        word = state.word
+        window = tuple(
+            word(cycle + offset) for offset in range(automaton.horizon)
+        )
+        misses_before = automaton.stats.misses
+        result = automaton.try_issue(window, class_name)
+        if automaton.stats.misses != misses_before:
+            options, checks = automaton.edge_cost(window, class_name)
+        else:
+            options = checks = 0
+        if result is None:
+            self.stats.record_attempt(options, checks, False, class_name)
+            return None
+        _, reserved = result
+        pairs = tuple(
+            (cycle + time, mask) for time, mask in reserved
+        )
+        for abs_cycle, mask in pairs:
+            state.reserve(abs_cycle, mask)
+        self.stats.record_attempt(options, checks, True, class_name)
+        return Reservation(state, pairs)

@@ -1,0 +1,140 @@
+"""The MDES query-engine protocol.
+
+The paper's central claim is that the *low-level representation* is
+interchangeable beneath a fixed scheduler query pattern: a scheduler only
+ever asks "may this operation class issue at this cycle?" and, on
+success, holds a reservation it may later undo.  This module pins that
+query pattern down as one protocol so every representation the
+reproduction implements -- scalar compiled tables, bit-vector compiled
+tables, the finite-state automaton, Eichenberger-Davidson reduced
+tables -- is a drop-in backend behind the same three calls:
+
+* :meth:`QueryEngine.try_reserve` -- one scheduling attempt,
+* :meth:`QueryEngine.release` -- undo a successful attempt (unscheduling),
+* :attr:`QueryEngine.stats` -- the paper's :class:`CheckStats` counters,
+  emitted identically by every backend so cross-backend comparisons are
+  apples-to-apples.
+
+Schedulers hold per-region resource state as an opaque object created by
+:meth:`QueryEngine.new_state`; they never touch an RU map or a
+:class:`~repro.lowlevel.checker.ConstraintChecker` directly.  Backends
+that cannot wrap state modulo an initiation interval (the automaton --
+paper section 10) advertise it via :attr:`QueryEngine.supports_modulo`
+and fail fast with a typed error.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.lowlevel.bitvector import ModuloRUMap, RUMap
+from repro.lowlevel.checker import CheckStats
+from repro.lowlevel.compiled import CompiledConstraint, CompiledMdes
+
+
+class Reservation:
+    """The resources one successful scheduling attempt holds.
+
+    A reservation remembers the state it was made against, so
+    :meth:`QueryEngine.release` needs nothing but the handle -- the shape
+    backtracking schedulers (operation scheduling, iterative modulo
+    scheduling) want.  Iterating yields the absolute ``(cycle, mask)``
+    pairs, which eviction heuristics inspect for overlap.
+    """
+
+    __slots__ = ("state", "pairs")
+
+    def __init__(
+        self, state: RUMap, pairs: Tuple[Tuple[int, int], ...]
+    ) -> None:
+        self.state = state
+        self.pairs = pairs
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{cycle}:{mask:#x}" for cycle, mask in self.pairs
+        )
+        return f"Reservation({inner})"
+
+
+class QueryEngine(abc.ABC):
+    """One constraint-check backend over one compiled description."""
+
+    #: Registry name of the backend (instances may override).
+    name: str = "engine"
+
+    #: Whether :meth:`new_state` may wrap cycles modulo an initiation
+    #: interval.  Backends without release-able state (the automaton)
+    #: set this False -- the capability gap of paper section 10.
+    supports_modulo: bool = True
+
+    def __init__(
+        self,
+        compiled: CompiledMdes,
+        stats: Optional[CheckStats] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.stats = stats if stats is not None else CheckStats()
+        if name is not None:
+            self.name = name
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+
+    def new_state(self, ii: Optional[int] = None) -> RUMap:
+        """Fresh resource state for one scheduling region.
+
+        ``ii`` requests a modulo reservation table wrapping at the given
+        initiation interval; backends that cannot support it raise
+        :class:`SchedulingError`.
+        """
+        if ii is None:
+            return RUMap()
+        if not self.supports_modulo:
+            raise SchedulingError(
+                f"backend {self.name!r} cannot schedule modulo an "
+                "initiation interval: it has no way to release issued "
+                "resources (paper section 10)"
+            )
+        return ModuloRUMap(ii)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def constraint_for_class(self, class_name: str) -> CompiledConstraint:
+        """The compiled constraint behind a class (introspection only:
+        lower-bound and eviction heuristics read its structure)."""
+        return self.compiled.constraint_for_class(class_name)
+
+    @abc.abstractmethod
+    def try_reserve(
+        self, state: RUMap, class_name: str, cycle: int
+    ) -> Optional[Reservation]:
+        """One scheduling attempt of ``class_name`` at ``cycle``.
+
+        Returns the reservation made on success (release-able later), or
+        ``None`` when the class cannot issue at this cycle.  Every
+        backend accounts the attempt in :attr:`stats`.
+        """
+
+    def release(self, reservation: Reservation) -> None:
+        """Undo a successful :meth:`try_reserve` (unscheduling)."""
+        for cycle, mask in reservation.pairs:
+            reservation.state.release(cycle, mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"machine={self.compiled.name!r})"
+        )

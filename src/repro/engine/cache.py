@@ -1,0 +1,133 @@
+"""LRU cache of staged and compiled machine descriptions.
+
+Benchmark and analysis drivers repeatedly ask for "machine M, staged
+through transformation stage S, in representation R, compiled with
+backend B's options" -- and before this cache every caller re-ran the
+transformation pipeline and recompiled the HMDES from scratch.  The
+cache keys that tuple, keeps the most recently used entries, and exposes
+hit/miss counters so perf tests can assert the re-translation is gone.
+
+Entries are immutable once built (transforms are functional, compiled
+trees are frozen dataclasses), so sharing them across engines, suites,
+and CLI invocations inside one process is safe.  Keys use the machine's
+*identity* as well as its name: two distinct machine objects that happen
+to share a name (ad-hoc test machines) never alias.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from repro.core.mdes import Mdes
+from repro.lowlevel.compiled import CompiledMdes, compile_mdes
+from repro.transforms.pipeline import staged_mdes
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for the description cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DescriptionCache:
+    """LRU map from (machine, rep, stage, compile options) to results."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1: {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, Tuple[Any, Any]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def _lookup(
+        self, key: Tuple, machine, build: Callable[[], Any]
+    ) -> Any:
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is machine:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[1]
+        self.stats.misses += 1
+        value = build()
+        self._entries[key] = (machine, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Public lookups
+    # ------------------------------------------------------------------
+
+    def mdes(
+        self, machine, rep: str, stage: int, reduce: bool = False
+    ) -> Mdes:
+        """The machine's staged description in one representation.
+
+        ``reduce`` additionally applies the Eichenberger-Davidson
+        per-option usage reduction (flat descriptions only).
+        """
+        if rep not in ("or", "andor"):
+            raise ValueError(f"rep must be 'or' or 'andor': {rep!r}")
+        key = ("mdes", machine.name, id(machine), rep, stage, reduce)
+
+        def build() -> Mdes:
+            base = (
+                machine.build_or() if rep == "or" else machine.build_andor()
+            )
+            staged = staged_mdes(base, stage)
+            if reduce:
+                from repro.eichenberger import reduce_mdes_options
+
+                staged = reduce_mdes_options(staged)
+            return staged
+
+        return self._lookup(key, machine, build)
+
+    def compiled(
+        self,
+        machine,
+        rep: str,
+        stage: int,
+        bitvector: bool,
+        reduce: bool = False,
+    ) -> CompiledMdes:
+        """The staged description compiled for constraint checking."""
+        key = (
+            "lmdes", machine.name, id(machine), rep, stage, bitvector,
+            reduce,
+        )
+
+        def build() -> CompiledMdes:
+            return compile_mdes(
+                self.mdes(machine, rep, stage, reduce), bitvector=bitvector
+            )
+
+        return self._lookup(key, machine, build)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+
+#: The process-wide cache every registry/analysis path routes through.
+GLOBAL_CACHE = DescriptionCache()

@@ -1,0 +1,139 @@
+"""The backend registry: names -> query-engine configurations.
+
+A backend is a named recipe: which representation to stage the
+description in (flat OR-trees or AND/OR-trees), how to compile it
+(scalar or bit-vector check lists, optionally Eichenberger-reduced), and
+which :class:`QueryEngine` subclass answers queries over the result.
+Registering a spec is all a new backend needs to become reachable from
+every scheduler, the CLI (``--backend``), and the cross-backend
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type
+
+from repro.engine.automaton import AutomatonEngine
+from repro.engine.base import QueryEngine
+from repro.engine.cache import GLOBAL_CACHE, DescriptionCache
+from repro.engine.table import EichenbergerEngine, TableEngine
+from repro.errors import MdesError
+from repro.lowlevel.checker import CheckStats
+from repro.transforms.pipeline import FINAL_STAGE
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered backend recipe.
+
+    Attributes:
+        name: Registry name (what ``--backend`` selects).
+        rep: Source representation, ``"or"`` or ``"andor"``.
+        bitvector: Whether same-cycle usages compile into one check.
+        engine_cls: The :class:`QueryEngine` subclass to instantiate.
+        reduce: Apply the Eichenberger-Davidson option reduction first.
+        min_stage: Lowest transformation stage the backend can accept
+            (the automaton needs stage >= 3 for non-negative times).
+        description: One line for listings.
+    """
+
+    name: str
+    rep: str
+    bitvector: bool
+    engine_cls: Type[QueryEngine]
+    reduce: bool = False
+    min_stage: int = 0
+    description: str = ""
+
+
+_REGISTRY: "OrderedDict[str, EngineSpec]" = OrderedDict()
+
+
+def register_engine(spec: EngineSpec, replace: bool = False) -> None:
+    """Add a backend to the registry."""
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_engine_spec(name: str) -> EngineSpec:
+    """The spec registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {known}"
+        ) from None
+
+
+def create_engine(
+    name: str,
+    machine,
+    stage: int = FINAL_STAGE,
+    stats: Optional[CheckStats] = None,
+    cache: Optional[DescriptionCache] = None,
+) -> QueryEngine:
+    """Instantiate a registered backend for one machine.
+
+    The staged description is compiled through the (shared) description
+    cache, so repeated engine creation does not re-run the
+    transformation pipeline.
+    """
+    spec = get_engine_spec(name)
+    if stage < spec.min_stage:
+        raise MdesError(
+            f"backend {spec.name!r} needs transformation stage >= "
+            f"{spec.min_stage} (got {stage})"
+        )
+    cache = cache if cache is not None else GLOBAL_CACHE
+    compiled = cache.compiled(
+        machine, spec.rep, stage, spec.bitvector, reduce=spec.reduce
+    )
+    return spec.engine_cls(compiled, stats=stats, name=spec.name)
+
+
+register_engine(EngineSpec(
+    name="ortree",
+    rep="or",
+    bitvector=False,
+    engine_cls=TableEngine,
+    description="flat OR-trees, scalar (one check per usage)",
+))
+register_engine(EngineSpec(
+    name="andor",
+    rep="andor",
+    bitvector=False,
+    engine_cls=TableEngine,
+    description="AND/OR-trees, scalar (one check per usage)",
+))
+register_engine(EngineSpec(
+    name="bitvector",
+    rep="andor",
+    bitvector=True,
+    engine_cls=TableEngine,
+    description="AND/OR-trees, bit-vector packed (one check per cycle)",
+))
+register_engine(EngineSpec(
+    name="automata",
+    rep="andor",
+    bitvector=True,
+    engine_cls=AutomatonEngine,
+    min_stage=3,
+    description="memoized finite-state automaton over a windowed RU map",
+))
+register_engine(EngineSpec(
+    name="eichenberger",
+    rep="or",
+    bitvector=True,
+    engine_cls=EichenbergerEngine,
+    reduce=True,
+    description="Eichenberger-Davidson reduced reservation tables",
+))

@@ -1,0 +1,57 @@
+"""Reservation-table query engines (the paper's own representations).
+
+One engine class serves three registry backends -- ``ortree``, ``andor``
+and ``bitvector`` -- because the differences between them live entirely
+in the compiled description handed to the constructor (flat versus
+AND/OR constraint trees, scalar versus bit-vector check lists), not in
+the check algorithm.  The Eichenberger-Davidson backend is the same
+algorithm again over a description whose options were reduced first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.base import QueryEngine, Reservation
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.checker import CheckStats, ConstraintChecker
+from repro.lowlevel.compiled import CompiledMdes
+
+
+class TableEngine(QueryEngine):
+    """Reservation tables checked against a bit-vector RU map."""
+
+    name = "table"
+
+    def __init__(
+        self,
+        compiled: CompiledMdes,
+        stats: Optional[CheckStats] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(compiled, stats, name)
+        self._checker = ConstraintChecker(self.stats)
+
+    def try_reserve(
+        self, state: RUMap, class_name: str, cycle: int
+    ) -> Optional[Reservation]:
+        handle = self._checker.try_reserve(
+            state,
+            self.compiled.constraint_for_class(class_name),
+            cycle,
+            class_name,
+        )
+        if handle is None:
+            return None
+        return Reservation(state, handle)
+
+
+class EichenbergerEngine(TableEngine):
+    """Reduced reservation tables (Eichenberger & Davidson, PLDI 1996).
+
+    Identical check algorithm; the registry compiles this backend's
+    description through :func:`repro.eichenberger.reduce_mdes_options`
+    first, so each option carries a minimum number of usages.
+    """
+
+    name = "eichenberger"

@@ -13,7 +13,7 @@ This subpackage is the "efficient use" half of the paper's two-tier model:
   memory-requirement tables.
 """
 
-from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.bitvector import ModuloRUMap, RUMap
 from repro.lowlevel.compiled import (
     CompiledAndOrTree,
     CompiledMdes,
@@ -34,6 +34,7 @@ __all__ = [
     "ConstraintChecker",
     "LayoutModel",
     "MdesQuery",
+    "ModuloRUMap",
     "RUMap",
     "compile_mdes",
     "mdes_size_bytes",

@@ -95,3 +95,32 @@ class RUMap:
             f"{cycle}:{word:#x}" for cycle, word in sorted(self._words.items())
         )
         return f"RUMap({{{cycles}}})"
+
+
+class ModuloRUMap(RUMap):
+    """An RU map whose cycles wrap modulo the initiation interval.
+
+    This is the *modulo reservation table* of iterative modulo scheduling
+    (Rau, MICRO-27): a reservation at cycle ``c`` occupies slot
+    ``c % II`` of every iteration.
+    """
+
+    __slots__ = ("ii",)
+
+    def __init__(self, ii: int) -> None:
+        super().__init__()
+        if ii < 1:
+            raise SchedulingError(f"initiation interval must be >= 1: {ii}")
+        self.ii = ii
+
+    def is_free(self, cycle: int, mask: int) -> bool:
+        return super().is_free(cycle % self.ii, mask)
+
+    def reserve(self, cycle: int, mask: int) -> None:
+        super().reserve(cycle % self.ii, mask)
+
+    def release(self, cycle: int, mask: int) -> None:
+        super().release(cycle % self.ii, mask)
+
+    def word(self, cycle: int) -> int:
+        return super().word(cycle % self.ii)

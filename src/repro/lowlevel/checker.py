@@ -106,6 +106,51 @@ class CheckStats:
                 self.attempts_by_class.get(key, 0) + value
             )
 
+    def __iadd__(self, other: "CheckStats") -> "CheckStats":
+        self.merge(other)
+        return self
+
+    def __add__(self, other: "CheckStats") -> "CheckStats":
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    def __radd__(self, other) -> "CheckStats":
+        # Lets ``sum(stats_list)`` fold runs without a start value.
+        if other == 0:
+            return self.copy()
+        return NotImplemented
+
+    def copy(self) -> "CheckStats":
+        """An independent copy (snapshot) of the counters."""
+        return CheckStats(
+            attempts=self.attempts,
+            successes=self.successes,
+            options_checked=self.options_checked,
+            resource_checks=self.resource_checks,
+            options_histogram=dict(self.options_histogram),
+            attempts_by_class=dict(self.attempts_by_class),
+        )
+
+    def since(self, earlier: "CheckStats") -> "CheckStats":
+        """The activity between an earlier :meth:`copy` and now."""
+        return CheckStats(
+            attempts=self.attempts - earlier.attempts,
+            successes=self.successes - earlier.successes,
+            options_checked=self.options_checked - earlier.options_checked,
+            resource_checks=self.resource_checks - earlier.resource_checks,
+            options_histogram={
+                key: value - earlier.options_histogram.get(key, 0)
+                for key, value in self.options_histogram.items()
+                if value != earlier.options_histogram.get(key, 0)
+            },
+            attempts_by_class={
+                key: value - earlier.attempts_by_class.get(key, 0)
+                for key, value in self.attempts_by_class.items()
+                if value != earlier.attempts_by_class.get(key, 0)
+            },
+        )
+
     def __repr__(self) -> str:
         return (
             f"CheckStats(attempts={self.attempts}, "

@@ -11,35 +11,23 @@ tramples is evicted (``ConstraintChecker.release``) and rescheduled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.base import QueryEngine, Reservation
+from repro.engine.table import TableEngine
 from repro.errors import SchedulingError
-from repro.lowlevel.bitvector import RUMap
-from repro.lowlevel.checker import CheckStats, ConstraintChecker, ReservationHandle
+from repro.lowlevel.bitvector import ModuloRUMap
+from repro.lowlevel.checker import CheckStats
 from repro.lowlevel.compiled import CompiledMdes
 from repro.modulo.loop import Loop, LoopEdge
 
-
-class ModuloRUMap(RUMap):
-    """An RU map whose cycles wrap modulo the initiation interval."""
-
-    __slots__ = ("ii",)
-
-    def __init__(self, ii: int) -> None:
-        super().__init__()
-        if ii < 1:
-            raise SchedulingError(f"initiation interval must be >= 1: {ii}")
-        self.ii = ii
-
-    def is_free(self, cycle: int, mask: int) -> bool:
-        return super().is_free(cycle % self.ii, mask)
-
-    def reserve(self, cycle: int, mask: int) -> None:
-        super().reserve(cycle % self.ii, mask)
-
-    def release(self, cycle: int, mask: int) -> None:
-        super().release(cycle % self.ii, mask)
+__all__ = [
+    "ModuloRUMap",  # re-exported; it now lives in repro.lowlevel.bitvector
+    "ModuloSchedule",
+    "minimum_initiation_interval",
+    "modulo_schedule",
+]
 
 
 @dataclass
@@ -74,7 +62,7 @@ class ModuloSchedule:
 # Lower bounds
 # ----------------------------------------------------------------------
 
-def _resource_mii(loop: Loop, machine, compiled: CompiledMdes) -> int:
+def _resource_mii(loop: Loop, machine, source) -> int:
     """ResMII: demand over capacity per alternative pool.
 
     Each OR-tree defines a pool of interchangeable resources; its
@@ -88,7 +76,7 @@ def _resource_mii(loop: Loop, machine, compiled: CompiledMdes) -> int:
     demand: Dict[int, int] = {}
     capacity: Dict[int, int] = {}
     for op in loop.operations:
-        constraint = compiled.constraint_for_class(
+        constraint = source.constraint_for_class(
             machine.classify(op, False)
         )
         or_trees = (
@@ -156,10 +144,14 @@ def _recurrence_mii(loop: Loop) -> int:
 
 
 def minimum_initiation_interval(
-    loop: Loop, machine, compiled: CompiledMdes
+    loop: Loop, machine, source
 ) -> Tuple[int, int]:
-    """(ResMII, RecMII) lower bounds."""
-    return _resource_mii(loop, machine, compiled), _recurrence_mii(loop)
+    """(ResMII, RecMII) lower bounds.
+
+    ``source`` is anything exposing ``constraint_for_class`` -- a
+    compiled MDES or a query engine.
+    """
+    return _resource_mii(loop, machine, source), _recurrence_mii(loop)
 
 
 # ----------------------------------------------------------------------
@@ -181,7 +173,7 @@ def _heights(loop: Loop) -> Dict[int, int]:
     return heights
 
 
-def _overlaps(handle: ReservationHandle, other: ReservationHandle,
+def _overlaps(handle: Reservation, other: Reservation,
               ii: int) -> bool:
     for cycle_a, mask_a in handle:
         for cycle_b, mask_b in other:
@@ -191,10 +183,10 @@ def _overlaps(handle: ReservationHandle, other: ReservationHandle,
 
 
 def _try_schedule_at_ii(
-    loop: Loop, machine, compiled: CompiledMdes, ii: int, budget: int
+    loop: Loop, machine, engine: QueryEngine, ii: int, budget: int
 ) -> Optional[ModuloSchedule]:
-    mrt = ModuloRUMap(ii)
-    checker = ConstraintChecker()
+    mrt = engine.new_state(ii=ii)
+    stats_before = engine.stats.copy()
     heights = _heights(loop)
     preds: Dict[int, List[LoopEdge]] = {}
     succs: Dict[int, List[LoopEdge]] = {}
@@ -203,12 +195,12 @@ def _try_schedule_at_ii(
         succs.setdefault(edge.pred, []).append(edge)
 
     times: Dict[int, int] = {}
-    handles: Dict[int, ReservationHandle] = {}
+    handles: Dict[int, Reservation] = {}
     previous_time: Dict[int, int] = {}
     evictions = 0
 
     def unschedule(index: int) -> None:
-        checker.release(mrt, handles.pop(index))
+        engine.release(handles.pop(index))
         previous_time[index] = times.pop(index)
 
     def earliest_start(index: int) -> int:
@@ -233,15 +225,14 @@ def _try_schedule_at_ii(
         index = pending.pop(0)
         op = loop.operations[index]
         class_name = machine.classify(op, False)
-        constraint = compiled.constraint_for_class(class_name)
+        constraint = engine.constraint_for_class(class_name)
         est = earliest_start(index)
         if index in previous_time:
             est = max(est, previous_time[index] + 1)
 
         handle = None
         for offset in range(ii):
-            handle = checker.try_reserve(mrt, constraint, est + offset,
-                                         class_name)
+            handle = engine.try_reserve(mrt, class_name, est + offset)
             if handle is not None:
                 times[index] = est + offset
                 break
@@ -255,8 +246,7 @@ def _try_schedule_at_ii(
                     unschedule(other)
                     pending.append(other)
                     evictions += 1
-            handle = checker.try_reserve(mrt, constraint, forced,
-                                         class_name)
+            handle = engine.try_reserve(mrt, class_name, forced)
             if handle is None:
                 # Residual interference through a non-first option:
                 # evict everything sharing a resource with this class.
@@ -266,8 +256,7 @@ def _try_schedule_at_ii(
                         unschedule(other)
                         pending.append(other)
                         evictions += 1
-                handle = checker.try_reserve(mrt, constraint, forced,
-                                             class_name)
+                handle = engine.try_reserve(mrt, class_name, forced)
             if handle is None:
                 return None
             times[index] = forced
@@ -284,8 +273,9 @@ def _try_schedule_at_ii(
                     evictions += 1
         pending.sort(key=lambda i: (-heights[i], i))
 
-    schedule = ModuloSchedule(loop, ii, dict(times), checker.stats,
-                              evictions)
+    schedule = ModuloSchedule(
+        loop, ii, dict(times), engine.stats.since(stats_before), evictions
+    )
     schedule.validate()
     return schedule
 
@@ -324,15 +314,28 @@ def _constraint_mask(constraint) -> int:
 def modulo_schedule(
     loop: Loop,
     machine,
-    compiled: CompiledMdes,
+    compiled: Optional[CompiledMdes] = None,
     max_ii: int = 64,
     budget_ratio: int = 16,
+    engine: Optional[QueryEngine] = None,
 ) -> ModuloSchedule:
-    """Software pipeline a loop: search IIs upward from the lower bound."""
-    res_mii, rec_mii = minimum_initiation_interval(loop, machine, compiled)
+    """Software pipeline a loop: search IIs upward from the lower bound.
+
+    Runs against any query engine that supports modulo-wrapped state;
+    backends that cannot release or wrap reservations (the automaton)
+    raise :class:`SchedulingError` from ``engine.new_state`` -- the
+    section 10 capability gap, surfaced as a typed error.
+    """
+    if engine is None:
+        if compiled is None:
+            raise SchedulingError(
+                "modulo_schedule needs a compiled MDES or an engine"
+            )
+        engine = TableEngine(compiled)
+    res_mii, rec_mii = minimum_initiation_interval(loop, machine, engine)
     budget = budget_ratio * max(1, len(loop.operations))
     for ii in range(max(res_mii, rec_mii), max_ii + 1):
-        schedule = _try_schedule_at_ii(loop, machine, compiled, ii, budget)
+        schedule = _try_schedule_at_ii(loop, machine, engine, ii, budget)
         if schedule is not None:
             return schedule
     raise SchedulingError(

@@ -19,15 +19,14 @@ cascaded operation class, which the machine's classifier supplies.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.engine.base import QueryEngine
+from repro.engine.table import TableEngine
 from repro.errors import SchedulingError
 from repro.ir.block import BasicBlock
 from repro.ir.dependence import FLOW, DependenceGraph, build_dependence_graph
-from repro.ir.operation import Operation
-from repro.lowlevel.bitvector import RUMap
-from repro.lowlevel.checker import CheckStats, ConstraintChecker
+from repro.lowlevel.checker import CheckStats
 from repro.lowlevel.compiled import CompiledMdes
 from repro.scheduler.priority import compute_heights
 from repro.scheduler.schedule import BlockSchedule, RunResult
@@ -37,20 +36,33 @@ MAX_PROBE_CYCLES = 4096
 
 
 class ListScheduler:
-    """Schedules basic blocks for one machine against one compiled MDES."""
+    """Schedules basic blocks for one machine against one query engine.
+
+    The engine defaults to a table backend over ``compiled``, which keeps
+    the historical ``ListScheduler(machine, compiled)`` call shape; pass
+    ``engine=`` to run the same search against any registered backend.
+    """
 
     def __init__(
         self,
         machine,
-        compiled: CompiledMdes,
+        compiled: Optional[CompiledMdes] = None,
         stats: Optional[CheckStats] = None,
         direction: str = "forward",
+        engine: Optional[QueryEngine] = None,
     ) -> None:
         if direction not in ("forward", "backward"):
             raise SchedulingError(f"unknown direction {direction!r}")
+        if engine is None:
+            if compiled is None:
+                raise SchedulingError(
+                    "ListScheduler needs either a compiled MDES or an engine"
+                )
+            engine = TableEngine(compiled, stats)
+        elif stats is not None:
+            engine.stats = stats
         self.machine = machine
-        self.compiled = compiled
-        self.checker = ConstraintChecker(stats)
+        self.engine = engine
         self.direction = direction
 
     # ------------------------------------------------------------------
@@ -116,7 +128,7 @@ class ListScheduler:
             if remaining_preds[op.index] == 0
         ]
         heapq.heapify(ready)
-        ru_map = RUMap()
+        ru_map = self.engine.new_state()
         result = BlockSchedule(block)
         ops_by_index = {op.index: op for op in block}
 
@@ -138,11 +150,8 @@ class ListScheduler:
                     class_name = bypass_class
                 else:
                     class_name = self.machine.classify(op, cascaded)
-                handle = self.checker.try_reserve(
-                    ru_map,
-                    self.compiled.constraint_for_class(class_name),
-                    attempt_cycle,
-                    class_name,
+                handle = self.engine.try_reserve(
+                    ru_map, class_name, attempt_cycle
                 )
                 if handle is not None:
                     result.times[index] = attempt_cycle
@@ -192,7 +201,7 @@ class ListScheduler:
             if remaining_succs[op.index] == 0
         ]
         heapq.heapify(ready)
-        ru_map = RUMap()
+        ru_map = self.engine.new_state()
         result = BlockSchedule(block)
         ops_by_index = {op.index: op for op in block}
 
@@ -208,11 +217,8 @@ class ListScheduler:
             placed = False
             for probe in range(MAX_PROBE_CYCLES):
                 attempt_cycle = latest - probe
-                handle = self.checker.try_reserve(
-                    ru_map,
-                    self.compiled.constraint_for_class(class_name),
-                    attempt_cycle,
-                    class_name,
+                handle = self.engine.try_reserve(
+                    ru_map, class_name, attempt_cycle
                 )
                 if handle is not None:
                     result.times[index] = attempt_cycle
@@ -250,26 +256,31 @@ class ListScheduler:
     @property
     def stats(self) -> CheckStats:
         """The constraint-check statistics accumulated so far."""
-        return self.checker.stats
+        return self.engine.stats
 
 
 def schedule_workload(
     machine,
-    compiled: CompiledMdes,
-    blocks: Iterable[BasicBlock],
+    compiled: Optional[CompiledMdes] = None,
+    blocks: Iterable[BasicBlock] = (),
     keep_schedules: bool = False,
     direction: str = "forward",
+    engine: Optional[QueryEngine] = None,
 ) -> RunResult:
     """Schedule every block and aggregate the paper's statistics."""
-    scheduler = ListScheduler(machine, compiled, direction=direction)
+    scheduler = ListScheduler(
+        machine, compiled, direction=direction, engine=engine
+    )
     result = RunResult(machine_name=machine.name)
     if keep_schedules:
         result.schedules = []
+    # Injected engines may carry prior work; report only this run's delta.
+    before = scheduler.stats.copy()
     for block in blocks:
         block_schedule = scheduler.schedule_block(block)
         result.total_ops += len(block)
         result.total_cycles += block_schedule.length
         if result.schedules is not None:
             result.schedules.append(block_schedule)
-    result.stats = scheduler.stats
+    result.stats = scheduler.stats.since(before)
     return result

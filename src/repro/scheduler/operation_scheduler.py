@@ -21,11 +21,12 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.engine.base import QueryEngine, Reservation
+from repro.engine.table import TableEngine
 from repro.errors import SchedulingError
 from repro.ir.block import BasicBlock
 from repro.ir.dependence import build_dependence_graph
-from repro.lowlevel.bitvector import RUMap
-from repro.lowlevel.checker import CheckStats, ConstraintChecker, ReservationHandle
+from repro.lowlevel.checker import CheckStats
 from repro.lowlevel.compiled import CompiledMdes
 from repro.scheduler.priority import compute_heights
 from repro.scheduler.schedule import BlockSchedule
@@ -46,18 +47,30 @@ class OperationSchedulerResult:
 class OperationScheduler:
     """Backtracking scheduler over one compiled machine description."""
 
-    def __init__(self, machine, compiled: CompiledMdes,
-                 budget_ratio: int = 12, priority_fn=None) -> None:
+    def __init__(self, machine, compiled: Optional[CompiledMdes] = None,
+                 budget_ratio: int = 12, priority_fn=None,
+                 engine: Optional[QueryEngine] = None) -> None:
         """``priority_fn(graph, block) -> {index: key}`` overrides the
         default critical-path priority; *smaller* keys schedule first
         (keys may be tuples).  With critical-path heights the placement
         order is topological and backtracking is rare; a non-topological
         priority (e.g. "memory operations last") is what makes
         operations fight over slots and triggers eviction."""
+        if engine is None:
+            if compiled is None:
+                raise SchedulingError(
+                    "OperationScheduler needs a compiled MDES or an engine"
+                )
+            engine = TableEngine(compiled)
         self.machine = machine
-        self.compiled = compiled
+        self.engine = engine
         self.budget_ratio = budget_ratio
         self.priority_fn = priority_fn
+
+    @property
+    def stats(self) -> CheckStats:
+        """The constraint-check statistics accumulated so far."""
+        return self.engine.stats
 
     def schedule_block(self, block: BasicBlock) -> OperationSchedulerResult:
         """Schedule one block in pure priority order."""
@@ -71,15 +84,16 @@ class OperationScheduler:
                 for index, height in heights.items()
             }
         ops_by_index = {op.index: op for op in block}
-        ru_map = RUMap()
-        checker = ConstraintChecker()
+        engine = self.engine
+        ru_map = engine.new_state()
+        stats_before = engine.stats.copy()
         times: Dict[int, int] = {}
-        handles: Dict[int, ReservationHandle] = {}
+        handles: Dict[int, Reservation] = {}
         previous_time: Dict[int, int] = {}
         evictions = 0
 
         def unschedule(index: int) -> None:
-            checker.release(ru_map, handles.pop(index))
+            engine.release(handles.pop(index))
             previous_time[index] = times.pop(index)
 
         def window(index: int) -> Tuple[int, Optional[int]]:
@@ -116,7 +130,7 @@ class OperationScheduler:
                 continue
             op = ops_by_index[index]
             class_name = self.machine.classify(op, False)
-            constraint = self.compiled.constraint_for_class(class_name)
+            constraint = engine.constraint_for_class(class_name)
             earliest, latest = window(index)
             if index in previous_time:
                 # Rescheduled operations move strictly later (Rau's
@@ -145,9 +159,7 @@ class OperationScheduler:
                 earliest + PROBE_WINDOW
             )
             for cycle in range(earliest, bound + 1):
-                handle = checker.try_reserve(
-                    ru_map, constraint, cycle, class_name
-                )
+                handle = engine.try_reserve(ru_map, class_name, cycle)
                 if handle is not None:
                     times[index] = cycle
                     handles[index] = handle
@@ -163,9 +175,7 @@ class OperationScheduler:
                         unschedule(other)
                         heapq.heappush(queue, (order_keys[other], other))
                         evictions += 1
-                handle = checker.try_reserve(
-                    ru_map, constraint, earliest, class_name
-                )
+                handle = engine.try_reserve(ru_map, class_name, earliest)
                 if handle is None:
                     raise SchedulingError(
                         f"operation {op!r}: eviction failed to free "
@@ -181,11 +191,13 @@ class OperationScheduler:
             for index in times
         }
         self._validate(graph, result)
-        return OperationSchedulerResult(result, evictions, checker.stats)
+        return OperationSchedulerResult(
+            result, evictions, engine.stats.since(stats_before)
+        )
 
     @staticmethod
     def _conflicts(
-        handle: ReservationHandle, constraint, issue_cycle: int
+        handle: Reservation, constraint, issue_cycle: int
     ) -> bool:
         """Whether a reservation overlaps *any* option of a constraint."""
         from repro.lowlevel.compiled import CompiledAndOrTree

@@ -28,13 +28,16 @@ from repro.transforms.usage_sort import sort_usage_checks
 from repro.transforms.factor import factor_common_usages
 from repro.transforms.tree_sort import sort_and_or_trees
 from repro.transforms.pipeline import (
+    FINAL_STAGE,
     PIPELINE_STAGES,
     PipelineResult,
     optimize,
     run_pipeline,
+    staged_mdes,
 )
 
 __all__ = [
+    "FINAL_STAGE",
     "PIPELINE_STAGES",
     "PipelineResult",
     "TreeRewriter",
@@ -47,4 +50,5 @@ __all__ = [
     "shift_usage_times",
     "sort_and_or_trees",
     "sort_usage_checks",
+    "staged_mdes",
 ]

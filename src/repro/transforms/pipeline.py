@@ -82,3 +82,36 @@ def run_pipeline(mdes: Mdes, direction: str = "forward") -> PipelineResult:
 def optimize(mdes: Mdes, direction: str = "forward") -> Mdes:
     """Fully optimize a description (all paper transformations)."""
     return run_pipeline(mdes, direction).final
+
+
+#: Largest transformation stage of the paper's incremental evaluation.
+FINAL_STAGE = 4
+
+
+def staged_mdes(base: Mdes, stage: int) -> Mdes:
+    """Apply the transformations up to ``stage`` (paper's staging).
+
+    ======  ==========================================================
+    stage   description
+    ======  ==========================================================
+    0       original description
+    1       + redundancy elimination, dead-code removal, and
+            dominated-option removal
+    2       stage 1 (bit-vector packing is a compile mode; the stage
+            exists so run keys can name it)
+    3       + usage-time shifting and zero-first usage sorting
+    4       + common-usage factoring and AND/OR-tree ordering
+    ======  ==========================================================
+    """
+    if stage < 0 or stage > FINAL_STAGE:
+        raise ValueError(f"stage must be 0..{FINAL_STAGE}, got {stage}")
+    mdes = base
+    if stage >= 1:
+        mdes = remove_dominated_options(eliminate_redundancy(mdes))
+    if stage >= 3:
+        mdes = sort_usage_checks(shift_usage_times(mdes))
+    if stage >= 4:
+        mdes = eliminate_redundancy(
+            sort_and_or_trees(factor_common_usages(mdes))
+        )
+    return mdes

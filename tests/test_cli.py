@@ -132,6 +132,44 @@ class TestGenerateSchedule:
         code, _, err = run_cli("schedule", "--ops", "100")
         assert code == 2
 
+    @pytest.mark.parametrize(
+        "backend",
+        ["ortree", "andor", "bitvector", "automata", "eichenberger"],
+    )
+    def test_schedule_each_backend(self, run_cli, backend):
+        code, out, _ = run_cli(
+            "schedule", "--machine", "SuperSPARC", "--ops", "300",
+            "--backend", backend,
+        )
+        assert code == 0
+        assert f"backend {backend}" in out
+        assert "checks/attempt" in out
+
+    def test_backend_stage_too_low(self, run_cli):
+        code, _, err = run_cli(
+            "schedule", "--machine", "K5", "--ops", "100",
+            "--backend", "automata", "--stage", "0",
+        )
+        assert code == 2
+        assert "stage >= 3" in err
+
+    def test_backend_excludes_lmdes(self, run_cli, tmp_path):
+        code, _, err = run_cli(
+            "schedule", "--machine", "K5", "--ops", "100",
+            "--backend", "ortree", "--lmdes", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "mutually exclusive" in err
+
+
+class TestEngines:
+    def test_lists_registered_backends(self, run_cli):
+        code, out, _ = run_cli("engines")
+        assert code == 0
+        for name in ("ortree", "andor", "bitvector", "automata",
+                     "eichenberger"):
+            assert name in out
+
 
 class TestReport:
     def test_report_generation(self, run_cli, tmp_path):
