@@ -13,6 +13,9 @@ Commands:
   trace.
 * ``schedule (--machine NAME | --trace FILE) [options]`` -- schedule a
   workload and report the paper's statistics.
+* ``schedule-batch (--machine NAME | --trace FILE) [--workers N]
+  [--cache-dir DIR] [options]`` -- shard a workload across a process
+  pool with a persistent on-disk description cache.
 * ``report [--ops N] [-o FILE]`` -- regenerate EXPERIMENTS.md.
 """
 
@@ -273,6 +276,101 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_workload(args: argparse.Namespace):
+    """Resolve (machine, blocks) for ``schedule-batch``; None on error."""
+    from repro.workloads import WorkloadConfig, generate_blocks
+    from repro.workloads.trace import read_trace
+
+    if args.trace:
+        with open(args.trace) as handle:
+            machine_name, blocks = read_trace(handle.read())
+        return get_machine(args.machine or machine_name), blocks
+    if not args.machine:
+        print("schedule-batch needs --machine or --trace", file=sys.stderr)
+        return None
+    machine = get_machine(args.machine)
+    blocks = generate_blocks(
+        machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
+    )
+    return machine, blocks
+
+
+def _cmd_schedule_batch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.errors import MdesError
+    from repro.service import BatchConfig, schedule_batch
+
+    if args.backend and args.lmdes:
+        print(
+            "schedule-batch --backend and --lmdes are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    resolved = _batch_workload(args)
+    if resolved is None:
+        return 2
+    machine, blocks = resolved
+    config = BatchConfig(
+        backend=args.backend,
+        lmdes_path=args.lmdes,
+        stage=args.stage,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        cache_dir=args.cache_dir,
+    )
+    started = time.perf_counter()
+    try:
+        result = schedule_batch(machine, blocks, config)
+    except (MdesError, ValueError, OSError) as exc:
+        print(f"schedule-batch: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    stats, cache = result.stats, result.cache_stats
+    if args.json:
+        print(json.dumps(
+            {
+                "machine": result.machine_name,
+                "backend": result.backend,
+                "workers": result.workers,
+                "chunks": result.chunk_count,
+                "blocks": len(result.schedules),
+                "ops": result.total_ops,
+                "cycles": result.total_cycles,
+                "attempts": stats.attempts,
+                "attempts_per_op": result.attempts_per_op,
+                "options_per_attempt": stats.options_per_attempt,
+                "checks_per_attempt": stats.checks_per_attempt,
+                "wall_seconds": elapsed,
+                "cache": {
+                    "memory_hits": cache.hits,
+                    "memory_misses": cache.misses,
+                    "disk_hits": cache.disk_hits,
+                    "disk_misses": cache.disk_misses,
+                    "disk_stores": cache.disk_stores,
+                    "disk_quarantined": cache.disk_quarantined,
+                },
+            },
+            indent=2,
+        ))
+        return 0
+    print(f"machine:             {result.machine_name} "
+          f"(backend {result.backend}, {result.workers} worker(s), "
+          f"{result.chunk_count} chunks)")
+    print(f"operations:          {result.total_ops}")
+    print(f"schedule cycles:     {result.total_cycles}")
+    print(f"attempts/op:         {result.attempts_per_op:.2f}")
+    print(f"options/attempt:     {stats.options_per_attempt:.2f}")
+    print(f"checks/attempt:      {stats.checks_per_attempt:.2f}")
+    print(f"wall seconds:        {elapsed:.3f}")
+    if args.cache_dir:
+        print(f"description cache:   {cache.disk_hits} disk hit(s), "
+              f"{cache.disk_misses} miss(es), {cache.disk_stores} "
+              f"store(s), {cache.disk_quarantined} quarantined")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import main as report_main
 
@@ -372,6 +470,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    batch = commands.add_parser(
+        "schedule-batch",
+        help=(
+            "schedule a workload sharded across a process pool, with a "
+            "persistent on-disk description cache"
+        ),
+    )
+    batch.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                       default=None)
+    batch.add_argument("--trace", default=None)
+    batch.add_argument("--lmdes", default=None,
+                       help="schedule against a compiled LMDES file")
+    batch.add_argument("--ops", type=int, default=10000)
+    batch.add_argument("--seed", type=int, default=20161202)
+    batch.add_argument("--stage", type=int, default=4,
+                       help="transformation stage 0-4")
+    batch.add_argument(
+        "--backend", choices=engine_names(), default=None,
+        help="constraint-check backend (default: bitvector)",
+    )
+    batch.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = in-process)")
+    batch.add_argument("--chunk-size", type=int, default=32,
+                       help="blocks per dispatched task")
+    batch.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "persistent description-cache directory (warm runs "
+            "load_lmdes instead of recompiling)"
+        ),
+    )
+    batch.add_argument("--json", action="store_true",
+                       help="emit a machine-readable result document")
+
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md"
     )
@@ -392,6 +524,7 @@ _HANDLERS = {
     "expand": _cmd_expand,
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
+    "schedule-batch": _cmd_schedule_batch,
     "report": _cmd_report,
 }
 

@@ -23,6 +23,11 @@ bench/analysis runs stop re-translating and re-compiling HMDES.
 
 from repro.engine.base import QueryEngine, Reservation
 from repro.engine.cache import CacheStats, DescriptionCache, GLOBAL_CACHE
+from repro.engine.diskcache import (
+    DiskDescriptionCache,
+    description_digest,
+    machine_content_token,
+)
 from repro.engine.table import EichenbergerEngine, TableEngine
 from repro.engine.automaton import AutomatonEngine
 from repro.engine.registry import (
@@ -37,6 +42,7 @@ __all__ = [
     "AutomatonEngine",
     "CacheStats",
     "DescriptionCache",
+    "DiskDescriptionCache",
     "EichenbergerEngine",
     "EngineSpec",
     "GLOBAL_CACHE",
@@ -44,7 +50,9 @@ __all__ = [
     "Reservation",
     "TableEngine",
     "create_engine",
+    "description_digest",
     "engine_names",
+    "machine_content_token",
     "get_engine_spec",
     "register_engine",
 ]

@@ -1,0 +1,190 @@
+"""Persistent on-disk tier of the description cache.
+
+The paper ships a pre-translated low-level description precisely so the
+compiler loads it quickly instead of re-deriving it per invocation
+(section 4, figure 1).  This module is that idea applied to our own
+toolchain: compiled descriptions are written to a cache directory as
+LMDES JSON artifacts (:mod:`repro.lowlevel.serialize`), keyed by a
+*content hash* of the machine description plus every knob that affects
+the compiled form -- representation, transformation stage, bit-vector
+packing, Eichenberger reduction, and :data:`LMDES_VERSION`.  Warm
+processes ``load_lmdes`` instead of re-running the HMDES parser and the
+transformation pipeline, which is what makes a pool of short-lived
+scheduling workers cheap to restart.
+
+Robustness rules:
+
+* **Content keys, not identities.**  ``id(machine)`` means nothing in
+  another process; the key hashes the HMDES source text (plus the
+  machine name and AND-wrap flag), so any process that builds the same
+  description finds the same entry.  Ad-hoc machines without an
+  ``hmdes_source`` get a process-local token and are never persisted.
+* **Atomic writes.**  Entries are written to a temporary file in the
+  cache directory and published with ``os.replace``, so concurrent
+  writers race benignly: readers only ever observe a complete artifact.
+* **Quarantine, never crash.**  A truncated, corrupted, or
+  version-mismatched entry is renamed aside (``<entry>.bad``) and
+  reported as a miss; the caller rebuilds and re-publishes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import MdesError
+from repro.lowlevel.compiled import CompiledMdes
+from repro.lowlevel.serialize import LMDES_VERSION, load_lmdes, save_lmdes
+
+#: Token prefix for machines whose description text could be hashed.
+_HASHED = "sha256:"
+
+
+def machine_content_token(machine) -> str:
+    """A stable content identity for a machine description.
+
+    Hashes the HMDES source text plus the name and the AND-wrap flag
+    (both change what ``build_or``/``build_andor`` produce).  Objects
+    without an ``hmdes_source`` string -- ad-hoc test doubles -- get an
+    identity-based token, so they never alias a real machine and are
+    never written to disk.
+    """
+    source = getattr(machine, "hmdes_source", None)
+    if not isinstance(source, str) or not source:
+        return f"unhashed:{id(machine):x}"
+    digest = hashlib.sha256()
+    digest.update(
+        f"{machine.name}|{bool(getattr(machine, 'wrap_or_trees', False))}|"
+        .encode()
+    )
+    digest.update(source.encode())
+    return _HASHED + digest.hexdigest()
+
+
+def is_persistent_token(token: str) -> bool:
+    """Whether a content token may key an on-disk entry."""
+    return token.startswith(_HASHED)
+
+
+def description_digest(
+    token: str, rep: str, stage: int, bitvector: bool, reduce: bool
+) -> str:
+    """The on-disk cache key for one compiled-description configuration.
+
+    Folds in :data:`LMDES_VERSION` so a format bump invalidates every
+    old entry by construction (stale files are simply never looked up
+    again, and a hand-edited version field is caught at load time).
+    """
+    payload = "|".join(
+        (
+            token,
+            rep,
+            str(stage),
+            str(int(bitvector)),
+            str(int(reduce)),
+            f"lmdes-v{LMDES_VERSION}",
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class DiskDescriptionCache:
+    """LMDES artifacts under one directory, one file per configuration.
+
+    The cache is a dumb file store by design: all structure lives in the
+    key digest and the LMDES format itself.  Pass a
+    :class:`~repro.engine.cache.CacheStats` to :meth:`load` and
+    :meth:`store` to have the disk-tier counters accounted.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, machine_name: str, digest: str) -> Path:
+        """Where one configuration's artifact lives."""
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", machine_name) or "mdes"
+        return self.directory / f"{safe}-{digest[:32]}.lmdes.json"
+
+    # ------------------------------------------------------------------
+    # Entry IO
+    # ------------------------------------------------------------------
+
+    def load(
+        self, machine_name: str, digest: str, stats=None
+    ) -> Optional[CompiledMdes]:
+        """Load one entry; ``None`` (and a counted miss) when absent.
+
+        A file that exists but does not load back -- truncated JSON, a
+        foreign or future LMDES version, structurally broken tables --
+        is quarantined and reported as a miss, so the caller falls back
+        to a rebuild instead of crashing.
+        """
+        path = self.path_for(machine_name, digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            if stats is not None:
+                stats.disk_misses += 1
+            return None
+        try:
+            compiled = load_lmdes(text)
+        except (MdesError, ValueError, KeyError, IndexError, TypeError):
+            self._quarantine(path)
+            if stats is not None:
+                stats.disk_misses += 1
+                stats.disk_quarantined += 1
+            return None
+        if stats is not None:
+            stats.disk_hits += 1
+        return compiled
+
+    def store(
+        self, machine_name: str, digest: str, compiled: CompiledMdes,
+        stats=None,
+    ) -> Path:
+        """Atomically publish one entry (last concurrent writer wins)."""
+        path = self.path_for(machine_name, digest)
+        text = save_lmdes(compiled)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        if stats is not None:
+            stats.disk_stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a bad entry aside (best effort; never raises)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".bad"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        """Number of live (non-quarantined, non-temporary) entries."""
+        return sum(1 for _ in self.directory.glob("*.lmdes.json"))
+
+    def __repr__(self) -> str:
+        return f"DiskDescriptionCache({str(self.directory)!r})"

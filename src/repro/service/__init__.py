@@ -1,0 +1,33 @@
+"""Batch-scheduling service layer.
+
+Shards a workload of basic blocks across a process pool, with each
+worker warming its compiled machine description from the persistent
+on-disk LMDES cache instead of re-running the translate/transform
+pipeline -- the paper's "load the shipped low-level file quickly"
+workflow (section 4) applied to a pool of scheduling workers::
+
+    from repro.service import BatchConfig, schedule_batch
+
+    result = schedule_batch(
+        "SuperSPARC", blocks,
+        BatchConfig(backend="bitvector", workers=4,
+                    cache_dir=".mdes-cache"),
+    )
+    result.signature()     # bit-for-bit identical for any worker count
+    result.stats           # CheckStats, folded across workers
+    result.cache_stats     # LRU + disk-tier hit/miss counters
+"""
+
+from repro.service.batch import (
+    DEFAULT_BACKEND,
+    BatchConfig,
+    BatchResult,
+    schedule_batch,
+)
+
+__all__ = [
+    "BatchConfig",
+    "BatchResult",
+    "DEFAULT_BACKEND",
+    "schedule_batch",
+]

@@ -1,0 +1,299 @@
+"""The parallel batch-scheduling driver.
+
+This is the first piece of the "serve many scheduling requests fast"
+architecture: a workload of basic blocks is split into chunks, the
+chunks are dispatched across a ``concurrent.futures`` process pool, and
+the results are reassembled in the input order with every worker's
+:class:`CheckStats` and :class:`CacheStats` folded back through their
+``__iadd__`` merges.
+
+Determinism is the design center, because the differential harness
+asserts bit-for-bit identical schedules and identical summed statistics
+for 1 worker, N workers, and the plain serial path:
+
+* Chunks are formed purely from the input order and ``chunk_size``;
+  results come back keyed by chunk index, so the reassembled schedule
+  list is independent of worker scheduling.
+* Every chunk gets a **fresh engine instance** over the (shared)
+  compiled description.  Engine-level memo state -- the automaton
+  backend's transition table -- therefore starts empty per chunk, which
+  makes the summed stats a pure function of the chunk partition rather
+  than of how chunks happened to land on workers.
+* Workers warm up from the persistent disk cache
+  (:class:`~repro.engine.diskcache.DiskDescriptionCache`): a fresh
+  process ``load_lmdes``'s the compiled description instead of
+  re-parsing HMDES and re-running the transformation pipeline, which is
+  the paper's ship-the-low-level-file workflow applied to our own pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.engine.base import QueryEngine
+from repro.engine.cache import CacheStats, DescriptionCache
+from repro.engine.diskcache import (
+    DiskDescriptionCache,
+    machine_content_token,
+)
+from repro.engine.registry import create_engine
+from repro.engine.table import TableEngine
+from repro.ir.block import BasicBlock
+from repro.lowlevel.checker import CheckStats
+from repro.machines import get_machine
+from repro.scheduler import BlockSchedule, schedule_workload
+from repro.transforms.pipeline import FINAL_STAGE
+
+#: Backend used when a config names neither a backend nor an LMDES file.
+DEFAULT_BACKEND = "bitvector"
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """One batch-scheduling request's knobs.
+
+    Attributes:
+        backend: Registered query-engine backend; mutually exclusive
+            with ``lmdes_path``.  ``None`` means :data:`DEFAULT_BACKEND`
+            (unless ``lmdes_path`` is given).
+        lmdes_path: Schedule against a pre-compiled LMDES file instead
+            of a registry backend.
+        stage: Transformation stage for registry backends.
+        workers: Process count; 1 runs in-process (no pool).
+        chunk_size: Blocks per dispatched task.  Part of the result's
+            deterministic identity: the summed stats of engine-memoizing
+            backends depend on the partition, never on ``workers``.
+        cache_dir: Directory for the persistent description cache;
+            ``None`` disables the disk tier.
+        direction: Scheduling direction, as in the list scheduler.
+    """
+
+    backend: Optional[str] = None
+    lmdes_path: Optional[str] = None
+    stage: int = FINAL_STAGE
+    workers: int = 1
+    chunk_size: int = 32
+    cache_dir: Optional[str] = None
+    direction: str = "forward"
+
+    def validate(self) -> None:
+        if self.backend and self.lmdes_path:
+            raise ValueError(
+                "BatchConfig backend and lmdes_path are mutually exclusive"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {self.chunk_size}")
+
+    @property
+    def backend_label(self) -> str:
+        """What the run's constraint checks came from, for reports."""
+        if self.lmdes_path:
+            return f"lmdes:{self.lmdes_path}"
+        return self.backend or DEFAULT_BACKEND
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of one batch run, in input block order."""
+
+    machine_name: str
+    backend: str
+    workers: int
+    chunk_count: int = 0
+    total_ops: int = 0
+    total_cycles: int = 0
+    schedules: List[BlockSchedule] = field(default_factory=list)
+    stats: CheckStats = field(default_factory=CheckStats)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def attempts_per_op(self) -> float:
+        """Average scheduling attempts per operation."""
+        return self.stats.attempts / self.total_ops if self.total_ops else 0.0
+
+    def signature(self) -> tuple:
+        """Digest of every block schedule, in input order."""
+        return tuple(schedule.signature() for schedule in self.schedules)
+
+
+@dataclass
+class _ChunkOutcome:
+    """What one chunk sends back to the driver (picklable)."""
+
+    index: int
+    schedules: List[BlockSchedule]
+    stats: CheckStats
+    cache_stats: CacheStats
+
+
+def _chunk_blocks(
+    blocks: Sequence[BasicBlock], chunk_size: int
+) -> List[List[BasicBlock]]:
+    return [
+        list(blocks[start : start + chunk_size])
+        for start in range(0, len(blocks), chunk_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Per-chunk execution (runs in the parent or in a pool worker)
+# ----------------------------------------------------------------------
+
+#: Per-process description cache for pool workers, created by
+#: :func:`_init_worker`.  Forked workers deliberately build their own
+#: cache rather than inheriting the parent's, so the disk tier (not a
+#: copy-on-write accident) is what makes restarts warm.
+_WORKER_CACHE: Optional[DescriptionCache] = None
+
+#: Per-process memo of LMDES files already loaded (path -> compiled).
+_LMDES_FILES: dict = {}
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    global _WORKER_CACHE
+    disk = DiskDescriptionCache(cache_dir) if cache_dir else None
+    _WORKER_CACHE = DescriptionCache(disk=disk)
+
+
+def _make_engine(
+    machine, config: BatchConfig, cache: DescriptionCache
+) -> QueryEngine:
+    if config.lmdes_path:
+        compiled = _LMDES_FILES.get(config.lmdes_path)
+        if compiled is None:
+            from repro.lowlevel.serialize import load_lmdes
+
+            with open(config.lmdes_path) as handle:
+                compiled = load_lmdes(handle.read())
+            _LMDES_FILES[config.lmdes_path] = compiled
+        return TableEngine(compiled)
+    return create_engine(
+        config.backend or DEFAULT_BACKEND,
+        machine,
+        stage=config.stage,
+        cache=cache,
+    )
+
+
+def _schedule_chunk(
+    machine,
+    index: int,
+    blocks: List[BasicBlock],
+    config: BatchConfig,
+    cache: DescriptionCache,
+) -> _ChunkOutcome:
+    cache_before = cache.stats.copy()
+    engine = _make_engine(machine, config, cache)
+    run = schedule_workload(
+        machine,
+        None,
+        blocks,
+        keep_schedules=True,
+        direction=config.direction,
+        engine=engine,
+    )
+    return _ChunkOutcome(
+        index=index,
+        schedules=run.schedules or [],
+        stats=run.stats,
+        cache_stats=cache.stats.since(cache_before),
+    )
+
+
+def _pool_chunk(
+    payload: Tuple[int, str, List[BasicBlock], BatchConfig]
+) -> _ChunkOutcome:
+    index, machine_name, blocks, config = payload
+    assert _WORKER_CACHE is not None, "worker initializer did not run"
+    return _schedule_chunk(
+        get_machine(machine_name), index, blocks, config, _WORKER_CACHE
+    )
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+
+
+def _resolve_machine(machine: Union[str, object], parallel: bool):
+    if isinstance(machine, str):
+        return get_machine(machine)
+    if parallel:
+        # Workers rebuild the machine from the registry by name; an
+        # unregistered (or same-named but different) machine would
+        # silently schedule against the wrong description.
+        try:
+            registered = get_machine(machine.name)
+        except KeyError:
+            registered = None
+        if registered is None or machine_content_token(
+            registered
+        ) != machine_content_token(machine):
+            raise ValueError(
+                "parallel batch scheduling needs a registered machine "
+                f"name; {machine.name!r} does not match the registry"
+            )
+    return machine
+
+
+def schedule_batch(
+    machine: Union[str, object],
+    blocks: Sequence[BasicBlock],
+    config: Optional[BatchConfig] = None,
+) -> BatchResult:
+    """Schedule a workload of blocks, sharded across a process pool.
+
+    ``machine`` is a registered machine name or a
+    :class:`~repro.machines.base.Machine`; parallel runs require it to
+    resolve through the registry so workers can rebuild it.  Results
+    come back in input block order regardless of worker count, and the
+    summed statistics are identical for any ``workers`` value.
+    """
+    config = config or BatchConfig()
+    config.validate()
+    machine = _resolve_machine(machine, parallel=config.workers > 1)
+    block_list = list(blocks)
+    chunks = _chunk_blocks(block_list, config.chunk_size)
+
+    if config.workers == 1:
+        disk = (
+            DiskDescriptionCache(config.cache_dir)
+            if config.cache_dir
+            else None
+        )
+        cache = DescriptionCache(disk=disk)
+        outcomes = [
+            _schedule_chunk(machine, index, chunk, config, cache)
+            for index, chunk in enumerate(chunks)
+        ]
+    else:
+        payloads = [
+            (index, machine.name, chunk, config)
+            for index, chunk in enumerate(chunks)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=config.workers,
+            initializer=_init_worker,
+            initargs=(config.cache_dir,),
+        ) as pool:
+            outcomes = list(pool.map(_pool_chunk, payloads))
+
+    result = BatchResult(
+        machine_name=machine.name,
+        backend=config.backend_label,
+        workers=config.workers,
+        chunk_count=len(chunks),
+    )
+    # Chunk order, not completion order: the stats fold and the
+    # schedule list must not depend on pool timing.
+    for outcome in sorted(outcomes, key=lambda item: item.index):
+        result.schedules.extend(outcome.schedules)
+        result.stats += outcome.stats
+        result.cache_stats += outcome.cache_stats
+    result.total_ops = sum(len(s.block) for s in result.schedules)
+    result.total_cycles = sum(s.length for s in result.schedules)
+    return result

@@ -183,6 +183,100 @@ class TestReport:
         assert "Table 15" in text
 
 
+class TestScheduleBatch:
+    def _json_run(self, run_cli, *argv):
+        import json
+
+        code, out, err = run_cli("schedule-batch", *argv, "--json")
+        assert code == 0, err
+        return json.loads(out)
+
+    def test_worker_count_does_not_change_the_answer(self, run_cli):
+        runs = [
+            self._json_run(
+                run_cli, "--machine", "SuperSPARC", "--ops", "300",
+                "--workers", str(workers), "--chunk-size", "8",
+            )
+            for workers in (1, 2)
+        ]
+        assert runs[0]["workers"] == 1 and runs[1]["workers"] == 2
+        for key in ("ops", "cycles", "attempts", "chunks", "blocks",
+                    "options_per_attempt", "checks_per_attempt"):
+            assert runs[0][key] == runs[1][key], key
+
+    def test_cache_dir_cold_then_warm(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "mdes-cache")
+        cold = self._json_run(
+            run_cli, "--machine", "K5", "--ops", "200",
+            "--cache-dir", cache_dir,
+        )
+        assert cold["cache"]["disk_stores"] >= 1
+        assert cold["cache"]["disk_hits"] == 0
+        warm = self._json_run(
+            run_cli, "--machine", "K5", "--ops", "200",
+            "--cache-dir", cache_dir,
+        )
+        assert warm["cache"]["disk_hits"] >= 1
+        assert warm["cache"]["disk_misses"] == 0
+        assert warm["cache"]["disk_stores"] == 0
+        assert warm["attempts"] == cold["attempts"]
+
+    def test_cache_dir_human_output(self, run_cli, tmp_path):
+        code, out, _ = run_cli(
+            "schedule-batch", "--machine", "K5", "--ops", "100",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert "description cache:" in out
+        assert "store(s)" in out
+
+    def test_backend_excludes_lmdes(self, run_cli, tmp_path):
+        code, _, err = run_cli(
+            "schedule-batch", "--machine", "K5", "--ops", "100",
+            "--backend", "andor", "--lmdes", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "mutually exclusive" in err
+
+    def test_lmdes_batch_path(self, run_cli, tmp_path):
+        lmdes = tmp_path / "pentium.lmdes.json"
+        code, _, _ = run_cli(
+            "compile", "--machine", "Pentium", "-o", str(lmdes)
+        )
+        assert code == 0
+        report = self._json_run(
+            run_cli, "--machine", "Pentium", "--ops", "200",
+            "--lmdes", str(lmdes), "--workers", "2",
+        )
+        assert report["backend"] == f"lmdes:{lmdes}"
+        assert report["ops"] >= 200
+
+    def test_trace_input(self, run_cli, tmp_path):
+        trace = tmp_path / "work.trace"
+        code, _, _ = run_cli(
+            "generate", "--machine", "PA7100", "--ops", "150",
+            "-o", str(trace),
+        )
+        assert code == 0
+        report = self._json_run(run_cli, "--trace", str(trace))
+        assert report["machine"] == "PA7100"
+        # Generators round the requested total up to whole blocks.
+        assert report["ops"] >= 150
+
+    def test_needs_machine_or_trace(self, run_cli):
+        code, _, err = run_cli("schedule-batch", "--ops", "100")
+        assert code == 2
+        assert "--machine or --trace" in err
+
+    def test_invalid_worker_count(self, run_cli):
+        code, _, err = run_cli(
+            "schedule-batch", "--machine", "K5", "--ops", "50",
+            "--workers", "0",
+        )
+        assert code == 2
+        assert "workers" in err
+
+
 class TestCompileLmdes:
     def test_compile_machine_to_lmdes(self, run_cli, tmp_path):
         output = tmp_path / "ss.lmdes.json"

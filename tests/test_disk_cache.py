@@ -1,0 +1,249 @@
+"""Tests for the persistent on-disk description cache.
+
+Covers the satellite guarantees: content-hash keys (no ``id()`` in
+persistent lookups), cold-build versus disk-loaded equivalence,
+quarantine-and-rebuild of corrupted or version-mismatched entries,
+atomic publication under concurrent writers, and the in-place stats
+reset on :meth:`DescriptionCache.clear`.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.engine import create_engine
+from repro.engine.cache import DescriptionCache
+from repro.engine.diskcache import (
+    DiskDescriptionCache,
+    description_digest,
+    is_persistent_token,
+    machine_content_token,
+)
+from repro.lowlevel import mdes_size_bytes
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import schedule_workload
+from repro.workloads import WorkloadConfig, generate_blocks
+
+#: The configuration used throughout: stage-4 bit-vector AND/OR trees.
+REP, STAGE, BITVECTOR = "andor", 4, True
+
+
+def small_workload(machine, ops=150, seed=7):
+    return generate_blocks(
+        machine, WorkloadConfig(total_ops=ops, seed=seed)
+    )
+
+
+def fresh_machine(name="SuperSPARC"):
+    """A new Machine object (same content, different identity)."""
+    from repro.machines import amdk5, pa7100, pentium, supersparc
+
+    builders = {
+        "PA7100": pa7100.build_machine,
+        "Pentium": pentium.build_machine,
+        "SuperSPARC": supersparc.build_machine,
+        "K5": amdk5.build_machine,
+    }
+    return builders[name]()
+
+
+class TestContentKeys:
+    def test_token_is_stable_across_objects(self):
+        assert machine_content_token(fresh_machine()) == (
+            machine_content_token(fresh_machine())
+        )
+        assert machine_content_token(get_machine("SuperSPARC")) == (
+            machine_content_token(fresh_machine())
+        )
+
+    def test_token_differs_across_machines(self):
+        tokens = {
+            machine_content_token(get_machine(name))
+            for name in MACHINE_NAMES
+        }
+        assert len(tokens) == len(MACHINE_NAMES)
+
+    def test_equal_content_machines_share_cache_entries(self):
+        """The old ``id(machine)`` key split these into two misses."""
+        cache = DescriptionCache()
+        first = cache.compiled(fresh_machine(), REP, STAGE, BITVECTOR)
+        second = cache.compiled(fresh_machine(), REP, STAGE, BITVECTOR)
+        assert second is first
+        assert cache.stats.hits == 1
+
+    def test_sourceless_machine_token_not_persistent(self):
+        class Impostor:
+            name = "K5"
+
+        assert not is_persistent_token(machine_content_token(Impostor()))
+        assert is_persistent_token(
+            machine_content_token(get_machine("K5"))
+        )
+
+    def test_digest_changes_with_every_knob(self):
+        token = machine_content_token(get_machine("K5"))
+        digests = {
+            description_digest(token, rep, stage, bitvector, reduce)
+            for rep in ("or", "andor")
+            for stage in (0, 4)
+            for bitvector in (False, True)
+            for reduce in (False, True)
+        }
+        assert len(digests) == 16
+
+    def test_clear_resets_stats_in_place(self):
+        """Holders of the stats object must see the reset, not a stale
+        snapshot left behind by rebinding."""
+        cache = DescriptionCache()
+        held = cache.stats
+        cache.mdes(get_machine("K5"), "or", 0)
+        assert held.misses == 1
+        cache.clear()
+        assert cache.stats is held
+        assert held.misses == 0 and held.hits == 0
+
+
+class TestDiskTier:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_cold_build_and_disk_load_are_equivalent(
+        self, machine_name, tmp_path
+    ):
+        machine = get_machine(machine_name)
+        cold_cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        cold = cold_cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert cold_cache.stats.disk_misses == 1
+        assert cold_cache.stats.disk_stores == 1
+
+        warm_cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        warm = warm_cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert warm_cache.stats.disk_hits == 1
+        assert warm_cache.stats.disk_misses == 0
+        assert warm is not cold
+
+        assert mdes_size_bytes(warm) == mdes_size_bytes(cold)
+        blocks = small_workload(machine)
+        reference = schedule_workload(
+            machine, cold, blocks, keep_schedules=True
+        )
+        loaded = schedule_workload(
+            machine, warm, blocks, keep_schedules=True
+        )
+        assert loaded.signature() == reference.signature()
+        assert loaded.stats == reference.stats
+
+    def test_reduced_backend_round_trips_through_disk(self, tmp_path):
+        """The Eichenberger reduction is baked into the artifact."""
+        machine = get_machine("PA7100")
+        blocks = small_workload(machine)
+        cold_engine = create_engine(
+            "eichenberger", machine,
+            cache=DescriptionCache(disk=DiskDescriptionCache(tmp_path)),
+        )
+        warm_cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        warm_engine = create_engine(
+            "eichenberger", machine, cache=warm_cache
+        )
+        assert warm_cache.stats.disk_hits == 1
+        reference = schedule_workload(
+            machine, None, blocks, keep_schedules=True, engine=cold_engine
+        )
+        loaded = schedule_workload(
+            machine, None, blocks, keep_schedules=True, engine=warm_engine
+        )
+        assert loaded.signature() == reference.signature()
+        assert loaded.stats == reference.stats
+
+    def _entry_path(self, tmp_path):
+        entries = list(tmp_path.glob("*.lmdes.json"))
+        assert len(entries) == 1
+        return entries[0]
+
+    def test_truncated_entry_is_quarantined_and_rebuilt(self, tmp_path):
+        machine = get_machine("K5")
+        DescriptionCache(
+            disk=DiskDescriptionCache(tmp_path)
+        ).compiled(machine, REP, STAGE, BITVECTOR)
+        path = self._entry_path(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        rebuilt = cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert cache.stats.disk_quarantined == 1
+        assert cache.stats.disk_misses == 1
+        assert cache.stats.disk_hits == 0
+        assert cache.stats.disk_stores == 1  # re-published
+        assert path.with_name(path.name + ".bad").exists()
+        # The republished entry is whole again.
+        assert self._entry_path(tmp_path).read_text() == text
+        assert mdes_size_bytes(rebuilt) > 0
+
+    def test_version_mismatched_entry_is_quarantined(self, tmp_path):
+        machine = get_machine("K5")
+        DescriptionCache(
+            disk=DiskDescriptionCache(tmp_path)
+        ).compiled(machine, REP, STAGE, BITVECTOR)
+        path = self._entry_path(tmp_path)
+        document = json.loads(path.read_text())
+        document["version"] = document["version"] + 1
+        path.write_text(json.dumps(document))
+
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert cache.stats.disk_quarantined == 1
+        assert cache.stats.disk_hits == 0
+        assert cache.stats.disk_stores == 1
+
+    def test_sourceless_machine_never_touches_disk(self, tmp_path):
+        real = get_machine("K5")
+
+        class Impostor:
+            name = "K5"
+
+            def build_andor(self):
+                return real.build_andor()
+
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        cache.compiled(Impostor(), REP, STAGE, BITVECTOR)
+        assert list(tmp_path.iterdir()) == []
+        assert cache.stats.disk_misses == 0
+        assert cache.stats.disk_stores == 0
+
+    def test_disk_survives_memory_clear(self, tmp_path):
+        machine = get_machine("K5")
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        cache.clear()
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert cache.stats.disk_hits == 1
+
+
+def _publish_entry(args):
+    """One concurrent writer (module-level so the pool can pickle it)."""
+    cache_dir, machine_name = args
+    cache = DescriptionCache(disk=DiskDescriptionCache(cache_dir))
+    compiled = cache.compiled(
+        get_machine(machine_name), REP, STAGE, BITVECTOR
+    )
+    return mdes_size_bytes(compiled)
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_a_loadable_entry(self, tmp_path):
+        """Atomic rename: whoever wins, the entry is never torn."""
+        tasks = [(str(tmp_path), "SuperSPARC")] * 6
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            sizes = list(pool.map(_publish_entry, tasks))
+        assert len(set(sizes)) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob("*.bad"))
+        disk = DiskDescriptionCache(tmp_path)
+        assert len(disk) == 1
+
+        machine = get_machine("SuperSPARC")
+        token = machine_content_token(machine)
+        digest = description_digest(token, REP, STAGE, BITVECTOR, False)
+        loaded = disk.load(machine.name, digest)
+        assert loaded is not None
+        assert mdes_size_bytes(loaded) == sizes[0]

@@ -1,0 +1,213 @@
+"""Cross-backend differential harness for the batch-scheduling service.
+
+The paper's invariant is that changing how constraints are *checked*
+never changes what gets *scheduled*.  This suite extends that invariant
+to the service layer: for every machine x backend pair, the serial
+chunked reference, ``schedule_batch`` with one worker, and
+``schedule_batch`` with N workers must produce bit-for-bit identical
+schedules and identical summed :class:`CheckStats`.
+
+The reference implementation here is deliberately independent of
+``repro.service``: it chunks the block list by hand and runs the plain
+:func:`schedule_workload` path per chunk with a fresh engine, folding
+stats with ``__iadd__`` -- exactly what a correct batch driver must be
+equivalent to.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.engine import create_engine, engine_names, get_engine_spec
+from repro.lowlevel.checker import CheckStats
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import schedule_workload
+from repro.service import BatchConfig, schedule_batch
+from repro.workloads import WorkloadConfig, generate_blocks
+
+#: Worker count for the parallel leg; CI sets REPRO_BATCH_WORKERS=2.
+N_WORKERS = max(2, int(os.environ.get("REPRO_BATCH_WORKERS", "2")))
+CHUNK = 8
+STAGE = 4
+BACKENDS = engine_names()
+
+
+def workload(machine_name, ops=220, seed=11):
+    machine = get_machine(machine_name)
+    return machine, generate_blocks(
+        machine, WorkloadConfig(total_ops=ops, seed=seed)
+    )
+
+
+def serial_chunked_reference(machine, blocks, backend, chunk=CHUNK):
+    """Ground truth: plain schedule_workload per chunk, stats folded."""
+    signature = []
+    stats = CheckStats()
+    total_ops = total_cycles = 0
+    for start in range(0, len(blocks), chunk):
+        engine = create_engine(backend, machine, stage=STAGE)
+        run = schedule_workload(
+            machine,
+            None,
+            blocks[start : start + chunk],
+            keep_schedules=True,
+            engine=engine,
+        )
+        signature.extend(s.signature() for s in run.schedules)
+        stats += run.stats
+        total_ops += run.total_ops
+        total_cycles += run.total_cycles
+    return tuple(signature), stats, total_ops, total_cycles
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_serial_one_worker_and_n_workers_agree(
+        self, machine_name, backend
+    ):
+        machine, blocks = workload(machine_name)
+        signature, stats, ops, cycles = serial_chunked_reference(
+            machine, blocks, backend
+        )
+
+        results = {
+            workers: schedule_batch(
+                machine_name,
+                blocks,
+                BatchConfig(
+                    backend=backend,
+                    stage=STAGE,
+                    workers=workers,
+                    chunk_size=CHUNK,
+                ),
+            )
+            for workers in (1, N_WORKERS)
+        }
+        for workers, result in results.items():
+            label = f"{machine_name}/{backend}/workers={workers}"
+            assert result.signature() == signature, label
+            assert result.stats == stats, label
+            assert result.total_ops == ops, label
+            assert result.total_cycles == cycles, label
+            assert result.workers == workers
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_unchunked_serial_run(self, backend):
+        """One engine over the whole workload gives the same schedules.
+
+        Schedules and attempt/success counts are partition-independent
+        for every backend.  The automaton's options/checks counters are
+        not -- its memo table spans the whole run when unchunked -- so
+        those are only compared for the table backends.
+        """
+        machine, blocks = workload("SuperSPARC")
+        engine = create_engine(backend, machine, stage=STAGE)
+        serial = schedule_workload(
+            machine, None, blocks, keep_schedules=True, engine=engine
+        )
+        batch = schedule_batch(
+            "SuperSPARC",
+            blocks,
+            BatchConfig(backend=backend, stage=STAGE, workers=N_WORKERS,
+                        chunk_size=CHUNK),
+        )
+        assert batch.signature() == tuple(
+            s.signature() for s in serial.schedules
+        )
+        assert batch.stats.attempts == serial.stats.attempts
+        assert batch.stats.successes == serial.stats.successes
+        if get_engine_spec(backend).engine_cls.__name__ != "AutomatonEngine":
+            assert batch.stats == serial.stats
+
+    def test_matches_experiment_suite_run(self):
+        """The analysis path and the service path agree end to end."""
+        suite = ExperimentSuite(
+            total_ops=220, seed=11, keep_schedules=True
+        )
+        reference = suite.run("SuperSPARC", "andor", STAGE, True)
+        batch = schedule_batch(
+            "SuperSPARC",
+            suite.workload("SuperSPARC"),
+            BatchConfig(backend="bitvector", stage=STAGE,
+                        workers=N_WORKERS, chunk_size=CHUNK),
+        )
+        assert batch.signature() == tuple(
+            s.signature() for s in reference.schedules
+        )
+        assert batch.total_ops == reference.total_ops
+        assert batch.total_cycles == reference.total_cycles
+        assert batch.stats == reference.stats
+
+    def test_schedules_come_back_in_input_order(self):
+        machine, blocks = workload("Pentium", ops=180, seed=3)
+        batch = schedule_batch(
+            "Pentium",
+            blocks,
+            BatchConfig(workers=N_WORKERS, chunk_size=5),
+        )
+        assert len(batch.schedules) == len(blocks)
+        for schedule, block in zip(batch.schedules, blocks):
+            assert schedule.block is not None
+            assert len(schedule.block) == len(block)
+            assert [op.opcode for op in schedule.block] == [
+                op.opcode for op in block
+            ]
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        ops=st.integers(min_value=20, max_value=160),
+        chunk=st.integers(min_value=1, max_value=24),
+    )
+    def test_property_worker_count_is_unobservable(self, seed, ops, chunk):
+        """For random workloads and chunkings, worker count never shows
+        up in the result (automata included: fresh engine per chunk)."""
+        machine, blocks = workload("K5", ops=ops, seed=seed)
+        outcomes = [
+            schedule_batch(
+                "K5",
+                blocks,
+                BatchConfig(backend="automata", stage=STAGE,
+                            workers=workers, chunk_size=chunk),
+            )
+            for workers in (1, N_WORKERS)
+        ]
+        assert outcomes[0].signature() == outcomes[1].signature()
+        assert outcomes[0].stats == outcomes[1].stats
+        assert outcomes[0].chunk_count == outcomes[1].chunk_count
+
+
+class TestBatchConfig:
+    def test_backend_and_lmdes_are_mutually_exclusive(self):
+        config = BatchConfig(backend="andor", lmdes_path="x.lmdes.json")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            config.validate()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            BatchConfig(workers=0).validate()
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchConfig(chunk_size=0).validate()
+
+    def test_unregistered_machine_rejected_for_parallel_runs(self):
+        real = get_machine("K5")
+
+        class Impostor:
+            name = "K5"
+
+            def build_andor(self):
+                return real.build_andor()
+
+        _, blocks = workload("K5", ops=20)
+        with pytest.raises(ValueError, match="registry"):
+            schedule_batch(Impostor(), blocks, BatchConfig(workers=2))
