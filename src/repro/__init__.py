@@ -21,7 +21,11 @@ The package implements the paper's full system:
   baselines (finite-state automata and reduced reservation tables).
 * :mod:`repro.workloads` -- synthetic SPEC CINT92-shaped workload generator.
 * :mod:`repro.analysis` -- experiment drivers for every table and figure.
+* :mod:`repro.obs` -- pipeline-wide tracing spans and a metrics registry
+  (off by default; enable with ``REPRO_OBS=1``).
 """
+
+import logging
 
 from repro.core.resource import Resource, ResourceTable
 from repro.core.usage import ResourceUsage
@@ -29,6 +33,10 @@ from repro.core.tables import AndOrTree, OrTree, ReservationTable
 from repro.core.mdes import Mdes, OperationClass
 
 __version__ = "1.0.0"
+
+# Library-style logging: the package never configures handlers; hosts
+# opt in with ``logging.basicConfig`` (or the CLI's --verbose flag).
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __all__ = [
     "AndOrTree",

@@ -153,13 +153,31 @@ def cycle_schedule_workload(
     machine, backend, blocks: Iterable[BasicBlock]
 ) -> Tuple[RunResult, int]:
     """Schedule a workload; returns (result, backend work units)."""
+    from repro import obs
+
+    backend_name = (
+        getattr(getattr(backend, "engine", None), "name", None)
+        or type(backend).__name__
+    )
     result = RunResult(machine_name=machine.name, schedules=[])
-    for block in blocks:
-        schedule = cycle_schedule_block(block, machine, backend)
-        result.total_ops += len(block)
-        result.total_cycles += schedule.length
-        result.schedules.append(schedule)
+    with obs.span(
+        "schedule:cycle", machine=machine.name, backend=backend_name,
+    ) as span:
+        for block in blocks:
+            schedule = cycle_schedule_block(block, machine, backend)
+            result.total_ops += len(block)
+            result.total_cycles += schedule.length
+            result.schedules.append(schedule)
+        if obs.enabled():
+            span.set(ops=result.total_ops, cycles=result.total_cycles,
+                     work_units=backend.work_units())
     stats = getattr(backend, "stats", None)
     if stats is not None:
         result.stats = stats
+    if obs.enabled():
+        obs.observe(
+            "repro_schedule_seconds", span.seconds,
+            help="Wall seconds per workload scheduling run.",
+            scheduler="cycle", backend=backend_name,
+        )
     return result, backend.work_units()

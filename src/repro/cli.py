@@ -16,7 +16,15 @@ Commands:
 * ``schedule-batch (--machine NAME | --trace FILE) [--workers N]
   [--cache-dir DIR] [options]`` -- shard a workload across a process
   pool with a persistent on-disk description cache.
+* ``stats --machine NAME [--prom]`` -- run one observed workload and
+  print the obs metrics registry (optionally Prometheus exposition).
+* ``trace --machine NAME [-o FILE]`` -- run one observed workload and
+  print (or save as JSONL) its span tree.
 * ``report [--ops N] [-o FILE]`` -- regenerate EXPERIMENTS.md.
+
+``schedule --json`` / ``schedule-batch --json`` embed the obs digest
+(per-phase seconds and per-transform size/option deltas); ``REPRO_OBS=1``
+turns recording on for library use.
 """
 
 from __future__ import annotations
@@ -205,6 +213,9 @@ def _cmd_engines(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
     from repro.analysis.experiments import staged_mdes
     from repro.errors import MdesError
     from repro.lowlevel import compile_mdes
@@ -216,6 +227,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print("schedule --backend and --lmdes are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.json or args.trace_out:
+        # Machine-readable output embeds the obs digest, so recording
+        # must be on for this run regardless of REPRO_OBS.
+        obs.enable()
+        obs.reset()
     if args.trace:
         with open(args.trace) as handle:
             machine_name, blocks = read_trace(handle.read())
@@ -237,34 +253,61 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         blocks = generate_blocks(
             machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
         )
-    if args.backend:
-        from repro.engine import create_engine
+    with obs.span("cli:schedule", machine=machine.name) as sp:
+        if args.backend:
+            from repro.engine import create_engine
 
-        try:
-            engine = create_engine(args.backend, machine, stage=args.stage)
-        except MdesError as exc:
-            print(f"schedule --backend {args.backend}: {exc}",
-                  file=sys.stderr)
-            return 2
-        result = schedule_workload(machine, None, blocks, engine=engine)
-        configuration = f"backend {args.backend}"
-    else:
-        if args.lmdes:
-            from repro.lowlevel.serialize import load_lmdes
-
-            with open(args.lmdes) as handle:
-                compiled = load_lmdes(handle.read())
+            try:
+                engine = create_engine(
+                    args.backend, machine, stage=args.stage
+                )
+            except MdesError as exc:
+                print(f"schedule --backend {args.backend}: {exc}",
+                      file=sys.stderr)
+                return 2
+            result = schedule_workload(machine, None, blocks, engine=engine)
+            configuration = f"backend {args.backend}"
         else:
-            base = (
-                machine.build_or()
-                if args.rep == "or"
-                else machine.build_andor()
-            )
-            mdes = staged_mdes(base, args.stage)
-            compiled = compile_mdes(mdes, bitvector=not args.no_bitvector)
-        result = schedule_workload(machine, compiled, blocks)
-        configuration = args.rep
+            if args.lmdes:
+                from repro.lowlevel.serialize import load_lmdes
+
+                with open(args.lmdes) as handle:
+                    compiled = load_lmdes(handle.read())
+            else:
+                base = (
+                    machine.build_or()
+                    if args.rep == "or"
+                    else machine.build_andor()
+                )
+                mdes = staged_mdes(base, args.stage)
+                compiled = compile_mdes(
+                    mdes, bitvector=not args.no_bitvector
+                )
+            result = schedule_workload(machine, compiled, blocks)
+            configuration = args.rep
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            handle.write(obs.trace_to_jsonl(obs.TRACER))
     stats = result.stats
+    if args.json:
+        print(json.dumps(
+            {
+                "machine": machine.name,
+                "configuration": configuration,
+                "stage": args.stage,
+                "ops": result.total_ops,
+                "cycles": result.total_cycles,
+                "attempts": stats.attempts,
+                "attempts_per_op": result.attempts_per_op,
+                "options_per_attempt": stats.options_per_attempt,
+                "checks_per_attempt": stats.checks_per_attempt,
+                "checks_per_option": stats.checks_per_option,
+                "wall_seconds": sp.seconds,
+                "obs": obs.summary(),
+            },
+            indent=2,
+        ))
+        return 0
     print(f"machine:             {machine.name} ({configuration}, "
           f"stage {args.stage})")
     print(f"operations:          {result.total_ops}")
@@ -299,6 +342,7 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
     import json
     import time
 
+    from repro import obs
     from repro.errors import MdesError
     from repro.service import BatchConfig, schedule_batch
 
@@ -308,6 +352,9 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.json or args.trace_out:
+        obs.enable()
+        obs.reset()
     resolved = _batch_workload(args)
     if resolved is None:
         return 2
@@ -320,13 +367,19 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         cache_dir=args.cache_dir,
     )
+    # The wall clock is an obs span, not an ad-hoc perf_counter: the
+    # same timing lands in the trace tree and the JSON obs digest.
     started = time.perf_counter()
-    try:
-        result = schedule_batch(machine, blocks, config)
-    except (MdesError, ValueError, OSError) as exc:
-        print(f"schedule-batch: {exc}", file=sys.stderr)
-        return 2
-    elapsed = time.perf_counter() - started
+    with obs.span("cli:schedule-batch", machine=machine.name) as sp:
+        try:
+            result = schedule_batch(machine, blocks, config)
+        except (MdesError, ValueError, OSError) as exc:
+            print(f"schedule-batch: {exc}", file=sys.stderr)
+            return 2
+    elapsed = sp.seconds if obs.enabled() else time.perf_counter() - started
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            handle.write(obs.trace_to_jsonl(obs.TRACER))
     stats, cache = result.stats, result.cache_stats
     if args.json:
         print(json.dumps(
@@ -351,6 +404,7 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
                     "disk_stores": cache.disk_stores,
                     "disk_quarantined": cache.disk_quarantined,
                 },
+                "obs": obs.summary(),
             },
             indent=2,
         ))
@@ -368,6 +422,59 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
         print(f"description cache:   {cache.disk_hits} disk hit(s), "
               f"{cache.disk_misses} miss(es), {cache.disk_stores} "
               f"store(s), {cache.disk_quarantined} quarantined")
+    return 0
+
+
+def _obs_demo_run(args: argparse.Namespace):
+    """Run one observed workload for ``stats``/``trace``.
+
+    Returns the engine so its weakly-referenced ``CheckStats`` view
+    stays alive until the caller has printed the registry.
+    """
+    from repro import obs
+    from repro.engine import create_engine
+    from repro.engine.cache import DescriptionCache
+    from repro.scheduler import schedule_workload
+    from repro.workloads import WorkloadConfig, generate_blocks
+
+    obs.enable()
+    obs.reset()
+    machine = get_machine(args.machine)
+    blocks = generate_blocks(
+        machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
+    )
+    # A private cold cache: the demo always shows the whole pipeline
+    # (hmdes -> transforms -> compile), not a warm-process shortcut.
+    engine = create_engine(
+        args.backend, machine, stage=args.stage,
+        cache=DescriptionCache(name="demo"),
+    )
+    schedule_workload(machine, None, blocks, engine=engine)
+    return engine
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    engine = _obs_demo_run(args)
+    if args.prom:
+        print(obs.to_prometheus(obs.REGISTRY), end="")
+    else:
+        print(obs.format_metrics(obs.REGISTRY))
+    del engine
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    engine = _obs_demo_run(args)
+    print(obs.format_trace(obs.TRACER))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(obs.trace_to_jsonl(obs.TRACER))
+        print(f"wrote {args.output}")
+    del engine
     return 0
 
 
@@ -469,6 +576,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(overrides --rep/--no-bitvector)"
         ),
     )
+    schedule.add_argument(
+        "--json", action="store_true",
+        help=(
+            "emit a machine-readable result document with per-phase "
+            "timings and per-transform effects (forces obs on)"
+        ),
+    )
+    schedule.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run's span tree as JSONL (forces obs on)",
+    )
 
     batch = commands.add_parser(
         "schedule-batch",
@@ -503,6 +621,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--json", action="store_true",
                        help="emit a machine-readable result document")
+    batch.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help=(
+            "write the run's span tree as JSONL, including per-chunk "
+            "worker spans (forces obs on)"
+        ),
+    )
+
+    def _obs_demo_args(sub) -> None:
+        sub.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                         required=True)
+        sub.add_argument("--backend", choices=engine_names(),
+                         default="bitvector")
+        sub.add_argument("--ops", type=int, default=2000)
+        sub.add_argument("--seed", type=int, default=20161202)
+        sub.add_argument("--stage", type=int, default=4,
+                         help="transformation stage 0-4")
+
+    stats = commands.add_parser(
+        "stats",
+        help=(
+            "run one observed workload and print the metrics registry"
+        ),
+    )
+    _obs_demo_args(stats)
+    stats.add_argument("--prom", action="store_true",
+                       help="Prometheus text exposition instead of the "
+                            "human view")
+
+    trace = commands.add_parser(
+        "trace",
+        help="run one observed workload and print the span tree",
+    )
+    _obs_demo_args(trace)
+    trace.add_argument("-o", "--output", default=None,
+                       help="also write the trace as JSONL")
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md"
@@ -525,6 +679,8 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
     "schedule-batch": _cmd_schedule_batch,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
+from repro import obs
 from repro.core.mdes import Mdes
 from repro.engine.diskcache import (
     DiskDescriptionCache,
@@ -47,6 +48,21 @@ class CacheStats:
     ``hits``/``misses``/``evictions`` count the in-memory LRU tier;
     the ``disk_*`` fields count the persistent tier underneath it
     (consulted only on LRU misses of compiled descriptions).
+
+    Snapshot semantics -- identical for both tiers:
+
+    * :meth:`copy` freezes every counter, memory *and* disk, so
+      ``stats.since(earlier)`` yields the activity (including
+      ``disk_*``) between the snapshot and now.
+    * :meth:`reset` zeroes every counter in place, including the disk
+      tier's.  It does **not** touch the on-disk artifacts themselves:
+      after a reset a warm configuration still disk-hits (and counts a
+      fresh ``disk_hits``), because reset is bookkeeping, not
+      invalidation.  Delete the cache directory to invalidate entries.
+    * The disk counters move only on LRU misses of *compiled*
+      descriptions for machines with hashable source text; staged
+      ``Mdes`` lookups never consult the disk tier, so ``since()``
+      windows over mdes-only activity show zero ``disk_*`` deltas.
     """
 
     hits: int = 0
@@ -140,20 +156,36 @@ class DescriptionCache:
         self,
         maxsize: int = 64,
         disk: Optional[DiskDescriptionCache] = None,
+        name: str = "default",
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1: {maxsize}")
         self.maxsize = maxsize
         self.disk = disk
+        self.name = name
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
         self.stats = CacheStats()
+        # The stats object doubles as a registry view (weakly held), so
+        # `repro stats` / Prometheus exposition see cache activity
+        # without a second counting mechanism.
+        obs.register_cache_stats(self.stats, cache=name)
 
     def _lookup(self, key: Tuple, build: Callable[[], Any]) -> Any:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            obs.count(
+                "repro_cache_lookups_total",
+                help="DescriptionCache lookups by outcome.",
+                cache=self.name, outcome="hit",
+            )
             return self._entries[key]
         self.stats.misses += 1
+        obs.count(
+            "repro_cache_lookups_total",
+            help="DescriptionCache lookups by outcome.",
+            cache=self.name, outcome="miss",
+        )
         value = build()
         self._entries[key] = value
         self._entries.move_to_end(key)
@@ -250,4 +282,4 @@ class DescriptionCache:
 
 
 #: The process-wide cache every registry/analysis path routes through.
-GLOBAL_CACHE = DescriptionCache()
+GLOBAL_CACHE = DescriptionCache(name="global")

@@ -30,15 +30,19 @@ Robustness rules:
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import re
 import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro import obs
 from repro.errors import MdesError
 from repro.lowlevel.compiled import CompiledMdes
 from repro.lowlevel.serialize import LMDES_VERSION, load_lmdes, save_lmdes
+
+logger = logging.getLogger("repro.engine.diskcache")
 
 #: Token prefix for machines whose description text could be hashed.
 _HASHED = "sha256:"
@@ -130,17 +134,37 @@ class DiskDescriptionCache:
         except OSError:
             if stats is not None:
                 stats.disk_misses += 1
+            obs.count(
+                "repro_diskcache_loads_total",
+                help="Disk-tier description loads by outcome.",
+                outcome="miss",
+            )
             return None
         try:
             compiled = load_lmdes(text)
-        except (MdesError, ValueError, KeyError, IndexError, TypeError):
+        except (MdesError, ValueError, KeyError, IndexError,
+                TypeError) as exc:
+            logger.warning(
+                "quarantining corrupt disk-cache entry %s for machine "
+                "%s: %s", path, machine_name, exc,
+            )
             self._quarantine(path)
             if stats is not None:
                 stats.disk_misses += 1
                 stats.disk_quarantined += 1
+            obs.count(
+                "repro_diskcache_loads_total",
+                help="Disk-tier description loads by outcome.",
+                outcome="quarantined",
+            )
             return None
         if stats is not None:
             stats.disk_hits += 1
+        obs.count(
+            "repro_diskcache_loads_total",
+            help="Disk-tier description loads by outcome.",
+            outcome="hit",
+        )
         return compiled
 
     def store(
@@ -165,6 +189,10 @@ class DiskDescriptionCache:
             raise
         if stats is not None:
             stats.disk_stores += 1
+        obs.count(
+            "repro_diskcache_stores_total",
+            help="Compiled descriptions published to the disk tier.",
+        )
         return path
 
     # ------------------------------------------------------------------
@@ -180,7 +208,10 @@ class DiskDescriptionCache:
             try:
                 os.unlink(path)
             except OSError:
-                pass
+                logger.warning(
+                    "could not quarantine or unlink bad disk-cache "
+                    "entry %s; it will be retried next lookup", path,
+                )
 
     def __len__(self) -> int:
         """Number of live (non-quarantined, non-temporary) entries."""

@@ -87,6 +87,8 @@ def create_engine(
     cache, so repeated engine creation does not re-run the
     transformation pipeline.
     """
+    from repro import obs
+
     spec = get_engine_spec(name)
     if stage < spec.min_stage:
         raise MdesError(
@@ -94,10 +96,26 @@ def create_engine(
             f"{spec.min_stage} (got {stage})"
         )
     cache = cache if cache is not None else GLOBAL_CACHE
-    compiled = cache.compiled(
-        machine, spec.rep, stage, spec.bitvector, reduce=spec.reduce
+    with obs.span(
+        "engine:create", backend=spec.name, machine=machine.name,
+        stage=stage,
+    ):
+        # Registration survives obs.reset() because every engine
+        # creation re-asserts it (idempotent for the same object).
+        obs.register_cache_stats(cache.stats, cache=cache.name)
+        compiled = cache.compiled(
+            machine, spec.rep, stage, spec.bitvector, reduce=spec.reduce
+        )
+        engine = spec.engine_cls(compiled, stats=stats, name=spec.name)
+    obs.count(
+        "repro_engine_creations_total",
+        help="Query-engine instantiations by backend.",
+        backend=spec.name,
     )
-    return spec.engine_cls(compiled, stats=stats, name=spec.name)
+    obs.register_check_stats(
+        engine.stats, backend=spec.name, machine=machine.name
+    )
+    return engine
 
 
 register_engine(EngineSpec(

@@ -246,4 +246,13 @@ class Parser:
 
 def parse_source(source: str) -> ast.MdesNode:
     """Preprocess and parse HMDES source text."""
-    return Parser(tokenize(preprocess(source))).parse_file()
+    from repro import obs
+
+    with obs.span("hmdes:preprocess"):
+        text = preprocess(source)
+    with obs.span("hmdes:lex"):
+        tokens = tokenize(text)
+    with obs.span("hmdes:parse") as sp:
+        sp.set(tokens=len(tokens))
+        node = Parser(tokens).parse_file()
+    return node

@@ -271,4 +271,16 @@ def translate(node: ast.MdesNode) -> Mdes:
 
 def load_mdes(source: str) -> Mdes:
     """Preprocess, parse, and translate HMDES source text."""
-    return translate(parse_source(source))
+    from repro import obs
+
+    with obs.span("hmdes:load") as sp:
+        node = parse_source(source)
+        with obs.span("hmdes:translate"):
+            mdes = translate(node)
+        if obs.enabled():
+            sp.set(
+                machine=mdes.name,
+                op_classes=len(mdes.op_classes),
+                stored_options=mdes.stored_option_count(),
+            )
+    return mdes

@@ -326,18 +326,36 @@ def modulo_schedule(
     raise :class:`SchedulingError` from ``engine.new_state`` -- the
     section 10 capability gap, surfaced as a typed error.
     """
+    from repro import obs
+
     if engine is None:
         if compiled is None:
             raise SchedulingError(
                 "modulo_schedule needs a compiled MDES or an engine"
             )
         engine = TableEngine(compiled)
-    res_mii, rec_mii = minimum_initiation_interval(loop, machine, engine)
-    budget = budget_ratio * max(1, len(loop.operations))
-    for ii in range(max(res_mii, rec_mii), max_ii + 1):
-        schedule = _try_schedule_at_ii(loop, machine, engine, ii, budget)
-        if schedule is not None:
-            return schedule
+    schedule = None
+    with obs.span(
+        "schedule:modulo", machine=machine.name, backend=engine.name,
+        ops=len(loop.operations),
+    ) as span:
+        res_mii, rec_mii = minimum_initiation_interval(
+            loop, machine, engine
+        )
+        budget = budget_ratio * max(1, len(loop.operations))
+        for ii in range(max(res_mii, rec_mii), max_ii + 1):
+            schedule = _try_schedule_at_ii(loop, machine, engine, ii, budget)
+            if schedule is not None:
+                span.set(ii=ii, res_mii=res_mii, rec_mii=rec_mii)
+                break
+    if schedule is not None:
+        if obs.enabled():
+            obs.observe(
+                "repro_schedule_seconds", span.seconds,
+                help="Wall seconds per workload scheduling run.",
+                scheduler="modulo", backend=engine.name,
+            )
+        return schedule
     raise SchedulingError(
         f"no modulo schedule found up to II={max_ii} "
         f"(ResMII={res_mii}, RecMII={rec_mii})"

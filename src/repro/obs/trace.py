@@ -1,0 +1,263 @@
+"""Hierarchical tracing spans.
+
+A span is one timed region of the pipeline -- ``hmdes:parse``,
+``transform:time-shift``, ``schedule:list`` -- with attributes attached
+as the work discovers them (option-count deltas, backend names, chunk
+indexes).  Spans nest through a thread-local stack: entering a span
+makes it the parent of every span opened inside it, so the trace of one
+CLI invocation is a tree whose shape *is* the pipeline's call structure.
+
+Two extra affordances exist for the batch service's process pool:
+
+* :meth:`Tracer.capture` runs a region against a **detached** stack and
+  hands back the finished spans as plain dicts -- what a worker process
+  sends home with its chunk results (dicts pickle; live spans carry a
+  parent pointer into the worker's stack and must not).
+* :meth:`Tracer.attach` grafts such dicts back under the current span.
+  The driver attaches chunk traces in chunk order, so the merged tree is
+  identical for 1 and N workers -- the same determinism contract the
+  stats fold has.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed region; a node in the trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "seconds", "start_ts", "_t0")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.seconds: float = 0.0
+        self.start_ts: float = 0.0
+        self._t0: float = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (size deltas, counts, outcomes)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start_ts,
+            "seconds": self.seconds,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(data["name"], data.get("attrs"))
+        span.start_ts = float(data.get("start", 0.0))
+        span.seconds = float(data.get("seconds", 0.0))
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return span
+
+    def walk(self):
+        """This span, then every descendant, depth-first in order."""
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.seconds * 1000:.2f}ms, "
+            f"{len(self.children)} child(ren))"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled.
+
+    One module-level instance serves every call site: ``__enter__``
+    returns itself, ``set`` discards, iteration yields nothing.  The
+    disabled fast path is therefore one flag test and one identity
+    return -- no allocation, no clock read.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that pushes/pops one span on the tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+
+
+class _Capture:
+    """Detached trace context; ``spans`` holds the finished dicts."""
+
+    __slots__ = ("_tracer", "_saved", "spans")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        self._saved: Optional[List[Span]] = None
+        self.spans: List[Dict[str, Any]] = []
+
+    def __enter__(self) -> "_Capture":
+        local = self._tracer._local
+        self._saved = getattr(local, "stack", None)
+        local.stack = [Span("<capture>")]
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        local = self._tracer._local
+        root = local.stack[0]
+        self.spans = [span.to_dict() for span in root.children]
+        if self._saved is None:
+            del local.stack
+        else:
+            local.stack = self._saved
+
+
+class _NullCapture:
+    """Disabled-mode stand-in: collects nothing, costs nothing."""
+
+    __slots__ = ()
+
+    spans: List[Dict[str, Any]] = []
+
+    def __enter__(self) -> "_NullCapture":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_CAPTURE = _NullCapture()
+
+
+class Tracer:
+    """Per-thread span stacks plus the shared list of finished roots."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Stack plumbing
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        span.start_ts = time.time()
+        span._t0 = time.perf_counter()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.seconds = time.perf_counter() - span._t0
+        stack = self._stack()
+        # Tolerate a mismatched pop (a generator suspended mid-span)
+        # rather than corrupting the whole tree.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a child of the current span (or a new root)."""
+        return _ActiveSpan(self, Span(name, attrs))
+
+    def current(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def capture(self) -> _Capture:
+        """Trace a region detached from the ambient stack."""
+        return _Capture(self)
+
+    def attach(self, span_dicts: List[Dict[str, Any]]) -> None:
+        """Graft captured span dicts under the current span (or roots)."""
+        spans = [Span.from_dict(data) for data in span_dicts]
+        current = self.current()
+        if current is not None:
+            current.children.extend(spans)
+        else:
+            with self._lock:
+                self.roots.extend(spans)
+
+    def reset(self) -> None:
+        """Drop finished roots and this thread's stack."""
+        with self._lock:
+            self.roots = []
+        if getattr(self._local, "stack", None) is not None:
+            del self._local.stack
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+
+    def walk(self):
+        """Every finished span, depth-first across the roots."""
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            for span in root.walk():
+                yield span
+
+    def seconds_by_name(self) -> Dict[str, float]:
+        """Total wall seconds per span name, across the whole trace."""
+        totals: Dict[str, float] = {}
+        for span in self.walk():
+            totals[span.name] = totals.get(span.name, 0.0) + span.seconds
+        return totals

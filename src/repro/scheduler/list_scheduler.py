@@ -268,6 +268,8 @@ def schedule_workload(
     engine: Optional[QueryEngine] = None,
 ) -> RunResult:
     """Schedule every block and aggregate the paper's statistics."""
+    from repro import obs
+
     scheduler = ListScheduler(
         machine, compiled, direction=direction, engine=engine
     )
@@ -276,11 +278,33 @@ def schedule_workload(
         result.schedules = []
     # Injected engines may carry prior work; report only this run's delta.
     before = scheduler.stats.copy()
-    for block in blocks:
-        block_schedule = scheduler.schedule_block(block)
-        result.total_ops += len(block)
-        result.total_cycles += block_schedule.length
-        if result.schedules is not None:
-            result.schedules.append(block_schedule)
+    with obs.span(
+        "schedule:list", machine=machine.name, direction=direction,
+        backend=scheduler.engine.name,
+    ) as sp:
+        for block in blocks:
+            block_schedule = scheduler.schedule_block(block)
+            result.total_ops += len(block)
+            result.total_cycles += block_schedule.length
+            if result.schedules is not None:
+                result.schedules.append(block_schedule)
     result.stats = scheduler.stats.since(before)
+    if obs.enabled():
+        sp.set(ops=result.total_ops, cycles=result.total_cycles,
+               attempts=result.stats.attempts)
+        _record_run(obs, "list", scheduler.engine.name, result, sp.seconds)
     return result
+
+
+def _record_run(obs, scheduler_name: str, backend: str, result: RunResult,
+                seconds: float) -> None:
+    """Fold one run's totals into the obs registry (enabled mode only)."""
+    labels = {"scheduler": scheduler_name, "backend": backend}
+    obs.count("repro_scheduled_ops_total", result.total_ops,
+              help="Operations scheduled.", **labels)
+    obs.count("repro_schedule_runs_total",
+              help="Workload scheduling runs.", **labels)
+    obs.count("repro_schedule_attempts_total", result.stats.attempts,
+              help="Scheduling attempts, folded per run.", **labels)
+    obs.observe("repro_schedule_seconds", seconds,
+                help="Wall seconds per workload scheduling run.", **labels)

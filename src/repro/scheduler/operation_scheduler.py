@@ -74,6 +74,30 @@ class OperationScheduler:
 
     def schedule_block(self, block: BasicBlock) -> OperationSchedulerResult:
         """Schedule one block in pure priority order."""
+        from repro import obs
+
+        with obs.span(
+            "schedule:operation", machine=self.machine.name,
+            backend=self.engine.name, ops=len(block),
+        ) as span:
+            outcome = self._schedule_block(block)
+        if obs.enabled():
+            span.set(evictions=outcome.evictions,
+                     attempts=outcome.stats.attempts)
+            obs.count(
+                "repro_operation_scheduler_evictions_total",
+                outcome.evictions,
+                help="Operations unscheduled by eviction heuristics.",
+                machine=self.machine.name,
+            )
+            obs.observe(
+                "repro_schedule_seconds", span.seconds,
+                help="Wall seconds per workload scheduling run.",
+                scheduler="operation", backend=self.engine.name,
+            )
+        return outcome
+
+    def _schedule_block(self, block: BasicBlock) -> OperationSchedulerResult:
         graph = build_dependence_graph(block, self.machine.latency)
         if self.priority_fn is not None:
             order_keys = self.priority_fn(graph, block)

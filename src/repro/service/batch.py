@@ -28,10 +28,12 @@ for 1 worker, N workers, and the plain serial path:
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.engine.base import QueryEngine
 from repro.engine.cache import CacheStats, DescriptionCache
 from repro.engine.diskcache import (
@@ -45,6 +47,8 @@ from repro.lowlevel.checker import CheckStats
 from repro.machines import get_machine
 from repro.scheduler import BlockSchedule, schedule_workload
 from repro.transforms.pipeline import FINAL_STAGE
+
+logger = logging.getLogger("repro.service.batch")
 
 #: Backend used when a config names neither a backend nor an LMDES file.
 DEFAULT_BACKEND = "bitvector"
@@ -122,12 +126,19 @@ class BatchResult:
 
 @dataclass
 class _ChunkOutcome:
-    """What one chunk sends back to the driver (picklable)."""
+    """What one chunk sends back to the driver (picklable).
+
+    ``spans`` carries the chunk's trace as plain dicts (live spans hold
+    thread-local parent pointers and must not cross the pickle
+    boundary); the driver grafts them back in chunk order, so the merged
+    trace is identical for 1 and N workers.
+    """
 
     index: int
     schedules: List[BlockSchedule]
     stats: CheckStats
     cache_stats: CacheStats
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def _chunk_blocks(
@@ -153,8 +164,12 @@ _WORKER_CACHE: Optional[DescriptionCache] = None
 _LMDES_FILES: dict = {}
 
 
-def _init_worker(cache_dir: Optional[str]) -> None:
+def _init_worker(cache_dir: Optional[str], obs_enabled: bool = False) -> None:
     global _WORKER_CACHE
+    if obs_enabled:
+        # Spawned workers start with a fresh module flag; forked ones
+        # inherit it.  Either way, make the worker match the parent.
+        obs.enable()
     disk = DiskDescriptionCache(cache_dir) if cache_dir else None
     _WORKER_CACHE = DescriptionCache(disk=disk)
 
@@ -187,20 +202,30 @@ def _schedule_chunk(
     cache: DescriptionCache,
 ) -> _ChunkOutcome:
     cache_before = cache.stats.copy()
-    engine = _make_engine(machine, config, cache)
-    run = schedule_workload(
-        machine,
-        None,
-        blocks,
-        keep_schedules=True,
-        direction=config.direction,
-        engine=engine,
-    )
+    # The chunk's trace is captured against a detached stack -- also on
+    # the serial path -- so driver-side grafting produces one tree shape
+    # regardless of the worker count.
+    with obs.capture() as captured:
+        with obs.span(
+            "batch:chunk", index=index, blocks=len(blocks)
+        ) as sp:
+            engine = _make_engine(machine, config, cache)
+            run = schedule_workload(
+                machine,
+                None,
+                blocks,
+                keep_schedules=True,
+                direction=config.direction,
+                engine=engine,
+            )
+            if obs.enabled():
+                sp.set(ops=run.total_ops, attempts=run.stats.attempts)
     return _ChunkOutcome(
         index=index,
         schedules=run.schedules or [],
         stats=run.stats,
         cache_stats=cache.stats.since(cache_before),
+        spans=captured.spans,
     )
 
 
@@ -209,9 +234,18 @@ def _pool_chunk(
 ) -> _ChunkOutcome:
     index, machine_name, blocks, config = payload
     assert _WORKER_CACHE is not None, "worker initializer did not run"
-    return _schedule_chunk(
-        get_machine(machine_name), index, blocks, config, _WORKER_CACHE
-    )
+    try:
+        return _schedule_chunk(
+            get_machine(machine_name), index, blocks, config, _WORKER_CACHE
+        )
+    except Exception:
+        # The pool surfaces only the pickled exception; log the chunk's
+        # identity on the worker side before it propagates.
+        logger.exception(
+            "batch chunk %d (%d blocks, machine %s) failed in worker",
+            index, len(blocks), machine_name,
+        )
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -259,41 +293,73 @@ def schedule_batch(
     block_list = list(blocks)
     chunks = _chunk_blocks(block_list, config.chunk_size)
 
-    if config.workers == 1:
-        disk = (
-            DiskDescriptionCache(config.cache_dir)
-            if config.cache_dir
-            else None
-        )
-        cache = DescriptionCache(disk=disk)
-        outcomes = [
-            _schedule_chunk(machine, index, chunk, config, cache)
-            for index, chunk in enumerate(chunks)
-        ]
-    else:
-        payloads = [
-            (index, machine.name, chunk, config)
-            for index, chunk in enumerate(chunks)
-        ]
-        with ProcessPoolExecutor(
-            max_workers=config.workers,
-            initializer=_init_worker,
-            initargs=(config.cache_dir,),
-        ) as pool:
-            outcomes = list(pool.map(_pool_chunk, payloads))
+    with obs.span(
+        "service:batch", machine=machine.name,
+        backend=config.backend_label, workers=config.workers,
+        chunks=len(chunks),
+    ) as sp:
+        if config.workers == 1:
+            disk = (
+                DiskDescriptionCache(config.cache_dir)
+                if config.cache_dir
+                else None
+            )
+            cache = DescriptionCache(disk=disk)
+            outcomes = [
+                _schedule_chunk(machine, index, chunk, config, cache)
+                for index, chunk in enumerate(chunks)
+            ]
+        else:
+            payloads = [
+                (index, machine.name, chunk, config)
+                for index, chunk in enumerate(chunks)
+            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=config.workers,
+                    initializer=_init_worker,
+                    initargs=(config.cache_dir, obs.enabled()),
+                ) as pool:
+                    outcomes = list(pool.map(_pool_chunk, payloads))
+            except Exception:
+                logger.exception(
+                    "batch run over %d chunks on %s failed in the pool",
+                    len(chunks), machine.name,
+                )
+                raise
 
-    result = BatchResult(
-        machine_name=machine.name,
-        backend=config.backend_label,
-        workers=config.workers,
-        chunk_count=len(chunks),
-    )
-    # Chunk order, not completion order: the stats fold and the
-    # schedule list must not depend on pool timing.
-    for outcome in sorted(outcomes, key=lambda item: item.index):
-        result.schedules.extend(outcome.schedules)
-        result.stats += outcome.stats
-        result.cache_stats += outcome.cache_stats
-    result.total_ops = sum(len(s.block) for s in result.schedules)
-    result.total_cycles = sum(s.length for s in result.schedules)
+        result = BatchResult(
+            machine_name=machine.name,
+            backend=config.backend_label,
+            workers=config.workers,
+            chunk_count=len(chunks),
+        )
+        # Chunk order, not completion order: the stats fold, the
+        # schedule list, and the grafted trace must not depend on pool
+        # timing.
+        for outcome in sorted(outcomes, key=lambda item: item.index):
+            result.schedules.extend(outcome.schedules)
+            result.stats += outcome.stats
+            result.cache_stats += outcome.cache_stats
+            obs.attach(outcome.spans)
+        result.total_ops = sum(len(s.block) for s in result.schedules)
+        result.total_cycles = sum(s.length for s in result.schedules)
+        if obs.enabled():
+            sp.set(ops=result.total_ops, cycles=result.total_cycles)
+            obs.count(
+                "repro_batch_chunks_total", len(chunks),
+                help="Chunks dispatched by the batch service.",
+                backend=config.backend_label,
+            )
+            obs.count(
+                "repro_batch_runs_total",
+                help="Batch-service runs.",
+                backend=config.backend_label,
+            )
+    if obs.enabled():
+        obs.observe(
+            "repro_batch_seconds", sp.seconds,
+            help="Wall seconds per batch-service run.",
+            backend=config.backend_label,
+        )
     return result

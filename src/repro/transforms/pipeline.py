@@ -20,8 +20,9 @@ pipeline leaves it to the caller.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
+from repro import obs
 from repro.core.mdes import Mdes
 from repro.transforms.factor import factor_common_usages
 from repro.transforms.option_elim import remove_dominated_options
@@ -40,6 +41,76 @@ PIPELINE_STAGES: Tuple[Tuple[str, Callable[[Mdes], Mdes]], ...] = (
     ("and-or-tree-sort", sort_and_or_trees),
     ("final-sharing", eliminate_redundancy),
 )
+
+
+def mdes_footprint(mdes: Mdes) -> Dict[str, int]:
+    """Representation-size counters for one description.
+
+    The same quantities the paper's size tables track: distinct
+    constraint trees, stored reservation-table options (Table 6 column),
+    and stored resource usages (the dominant term of the byte-level
+    layout).  Recorded as span attributes around every transform so each
+    compile carries a live reproduction of the Table 7/8/13 effects.
+    """
+    options = 0
+    usages = 0
+    for tree in mdes.or_trees():
+        for option in tree.options:
+            options += 1
+            usages += len(option.usages)
+    return {
+        "trees": mdes.tree_count(),
+        "options": options,
+        "usages": usages,
+    }
+
+
+def _traced(name: str, transform: Callable[[Mdes], Mdes],
+            mdes: Mdes, *args) -> Mdes:
+    """Run one transform under a ``transform:<name>`` span.
+
+    The span records the before/after footprint and the deltas; while
+    observability is disabled this is the bare transform call plus one
+    flag test (no footprint walk).
+    """
+    if not obs.enabled():
+        return transform(mdes, *args)
+    before = mdes_footprint(mdes)
+    with obs.span(f"transform:{name}") as sp:
+        result = transform(mdes, *args)
+    after = mdes_footprint(result)
+    sp.set(
+        options_before=before["options"],
+        options_after=after["options"],
+        options_delta=after["options"] - before["options"],
+        usages_before=before["usages"],
+        usages_after=after["usages"],
+        usages_delta=after["usages"] - before["usages"],
+        trees_before=before["trees"],
+        trees_after=after["trees"],
+    )
+    obs.count(
+        "repro_transform_runs_total",
+        help="Transformation-stage executions.",
+        stage=name,
+    )
+    obs.observe(
+        "repro_transform_seconds",
+        sp.seconds,
+        help="Wall seconds per transformation stage.",
+        stage=name,
+    )
+    for field in ("options", "usages"):
+        obs.set_gauge(
+            f"repro_transform_{field}_delta",
+            after[field] - before[field],
+            help=(
+                f"Stored-{field} change of the last run of each "
+                "transformation stage."
+            ),
+            stage=name,
+        )
+    return result
 
 
 @dataclass
@@ -69,13 +140,14 @@ def run_pipeline(mdes: Mdes, direction: str = "forward") -> PipelineResult:
     names = ["input"]
     stages = [mdes]
     current = mdes
-    for name, transform in PIPELINE_STAGES:
-        if transform is shift_usage_times:
-            current = transform(current, direction)
-        else:
-            current = transform(current)
-        names.append(name)
-        stages.append(current)
+    with obs.span("transform:pipeline", direction=direction):
+        for name, transform in PIPELINE_STAGES:
+            if transform is shift_usage_times:
+                current = _traced(name, transform, current, direction)
+            else:
+                current = _traced(name, transform, current)
+            names.append(name)
+            stages.append(current)
     return PipelineResult(names, stages)
 
 
@@ -106,12 +178,21 @@ def staged_mdes(base: Mdes, stage: int) -> Mdes:
     if stage < 0 or stage > FINAL_STAGE:
         raise ValueError(f"stage must be 0..{FINAL_STAGE}, got {stage}")
     mdes = base
-    if stage >= 1:
-        mdes = remove_dominated_options(eliminate_redundancy(mdes))
-    if stage >= 3:
-        mdes = sort_usage_checks(shift_usage_times(mdes))
-    if stage >= 4:
-        mdes = eliminate_redundancy(
-            sort_and_or_trees(factor_common_usages(mdes))
-        )
+    with obs.span("transform:staged", stage=stage):
+        if stage >= 1:
+            mdes = _traced(
+                "redundancy-elimination", eliminate_redundancy, mdes
+            )
+            mdes = _traced(
+                "dominated-option-removal", remove_dominated_options, mdes
+            )
+        if stage >= 3:
+            mdes = _traced("usage-time-shift", shift_usage_times, mdes)
+            mdes = _traced("usage-check-sort", sort_usage_checks, mdes)
+        if stage >= 4:
+            mdes = _traced(
+                "common-usage-factoring", factor_common_usages, mdes
+            )
+            mdes = _traced("and-or-tree-sort", sort_and_or_trees, mdes)
+            mdes = _traced("final-sharing", eliminate_redundancy, mdes)
     return mdes

@@ -310,3 +310,101 @@ class TestCompileLmdes:
     def test_compile_needs_target(self, run_cli, tmp_path):
         with pytest.raises(SystemExit):
             run_cli("compile", "-o", str(tmp_path / "x.json"))
+
+
+class TestObsSurfaces:
+    """``--json``/``--trace-out`` digests and the stats/trace commands."""
+
+    @pytest.fixture(autouse=True)
+    def restore_obs(self):
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        yield
+        obs.enable() if was_enabled else obs.disable()
+        obs.reset()
+
+    def test_schedule_json_embeds_phase_and_transform_digest(self, run_cli):
+        import json
+
+        code, out, _ = run_cli(
+            "schedule", "--machine", "K5", "--ops", "200", "--json"
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["ops"] > 0
+        assert document["wall_seconds"] > 0
+        phases = document["obs"]["phases"]
+        assert "schedule:list" in phases
+        assert "transform:staged" in phases
+        transforms = document["obs"]["transforms"]
+        stages = [t["stage"] for t in transforms]
+        assert "redundancy-elimination" in stages
+        assert any("options_delta" in t for t in transforms)
+
+    def test_schedule_batch_json_embeds_obs_digest(self, run_cli):
+        import json
+
+        code, out, _ = run_cli(
+            "schedule-batch", "--machine", "K5", "--ops", "200",
+            "--chunk-size", "4", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        phases = document["obs"]["phases"]
+        assert "cli:schedule-batch" in phases
+        assert "service:batch" in phases
+        assert "batch:chunk" in phases
+        assert document["wall_seconds"] == phases["cli:schedule-batch"]
+
+    def test_schedule_batch_trace_out_round_trips(self, run_cli, tmp_path):
+        from repro.obs import trace_from_jsonl
+
+        out_path = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            "schedule-batch", "--machine", "K5", "--ops", "120",
+            "--workers", "2", "--chunk-size", "4",
+            "--trace-out", str(out_path),
+        )
+        assert code == 0
+        roots = trace_from_jsonl(out_path.read_text())
+        names = [s.name for root in roots for s in root.walk()]
+        assert "service:batch" in names
+        assert names.count("batch:chunk") >= 2  # worker spans grafted
+
+    def test_stats_prints_registry(self, run_cli):
+        code, out, _ = run_cli(
+            "stats", "--machine", "K5", "--ops", "150"
+        )
+        assert code == 0
+        assert "repro_check_attempts_total" in out
+        assert "repro_engine_creations_total" in out
+
+    def test_stats_prom_is_valid_exposition(self, run_cli):
+        from repro.obs import parse_prometheus
+
+        code, out, _ = run_cli(
+            "stats", "--machine", "K5", "--ops", "150", "--prom"
+        )
+        assert code == 0
+        parsed = parse_prometheus(out)
+        assert parsed["types"]["repro_check_attempts_total"] == "counter"
+        assert parsed["types"]["repro_schedule_seconds"] == "histogram"
+        assert any(
+            name == "repro_schedule_seconds_bucket"
+            for name, _ in parsed["samples"]
+        )
+
+    def test_trace_prints_tree_and_writes_jsonl(self, run_cli, tmp_path):
+        from repro.obs import trace_from_jsonl
+
+        out_path = tmp_path / "trace.jsonl"
+        code, out, _ = run_cli(
+            "trace", "--machine", "K5", "--ops", "150",
+            "-o", str(out_path),
+        )
+        assert code == 0
+        assert "schedule:list" in out
+        assert "transform:redundancy-elimination" in out
+        roots = trace_from_jsonl(out_path.read_text())
+        assert roots, "trace file should contain at least one root tree"

@@ -13,7 +13,7 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from repro.engine import create_engine
-from repro.engine.cache import DescriptionCache
+from repro.engine.cache import CacheStats, DescriptionCache
 from repro.engine.diskcache import (
     DiskDescriptionCache,
     description_digest,
@@ -247,3 +247,72 @@ class TestConcurrentWriters:
         loaded = disk.load(machine.name, digest)
         assert loaded is not None
         assert mdes_size_bytes(loaded) == sizes[0]
+
+
+class TestSnapshotSemantics:
+    """``copy``/``since``/``reset`` treat the disk tier like the memory
+    tier: snapshots freeze every counter, deltas window every counter,
+    and reset is bookkeeping only -- the artifacts stay warm."""
+
+    def test_since_windows_disk_counters(self, tmp_path):
+        machine = get_machine("K5")
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        cache.compiled(machine, REP, STAGE, BITVECTOR)  # miss + store
+        snapshot = cache.stats.copy()
+
+        warm = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        warm.compiled(machine, REP, STAGE, BITVECTOR)
+        warm_delta = warm.stats.since(CacheStats())
+        assert warm_delta.disk_hits == 1
+        assert warm_delta.disk_misses == 0
+
+        # The first cache saw no disk activity since its snapshot.
+        delta = cache.stats.since(snapshot)
+        assert (delta.disk_hits, delta.disk_misses, delta.disk_stores) \
+            == (0, 0, 0)
+        # ... and an LRU hit moves only the memory tier of the window.
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        delta = cache.stats.since(snapshot)
+        assert delta.hits == 1
+        assert (delta.disk_hits, delta.disk_misses) == (0, 0)
+
+    def test_reset_zeroes_disk_counters_but_keeps_artifacts(self, tmp_path):
+        machine = get_machine("K5")
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert cache.stats.disk_stores == 1
+        held = cache.stats
+        cache.clear()  # resets in place, drops only the memory entries
+        assert held.disk_misses == 0 and held.disk_stores == 0
+        assert held.disk_hits == 0 and held.disk_quarantined == 0
+        # Reset is not invalidation: the artifact still disk-hits, and
+        # the counter starts moving again from zero.
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        assert held.disk_hits == 1 and held.disk_misses == 0
+
+    def test_mdes_lookups_never_move_disk_counters(self, tmp_path):
+        machine = get_machine("K5")
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        before = cache.stats.copy()
+        cache.mdes(machine, REP, STAGE)
+        delta = cache.stats.since(before)
+        assert delta.misses == 1
+        assert (delta.disk_hits, delta.disk_misses, delta.disk_stores,
+                delta.disk_quarantined) == (0, 0, 0, 0)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_quarantine_counts_inside_a_since_window(self, tmp_path):
+        machine = get_machine("K5")
+        DescriptionCache(
+            disk=DiskDescriptionCache(tmp_path)
+        ).compiled(machine, REP, STAGE, BITVECTOR)
+        (entry,) = tmp_path.glob("*.lmdes.json")
+        entry.write_text(entry.read_text()[:40])
+
+        cache = DescriptionCache(disk=DiskDescriptionCache(tmp_path))
+        before = cache.stats.copy()
+        cache.compiled(machine, REP, STAGE, BITVECTOR)
+        delta = cache.stats.since(before)
+        assert delta.disk_quarantined == 1
+        assert delta.disk_misses == 1
+        assert delta.disk_stores == 1  # rebuilt and republished

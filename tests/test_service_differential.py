@@ -211,3 +211,74 @@ class TestBatchConfig:
         _, blocks = workload("K5", ops=20)
         with pytest.raises(ValueError, match="registry"):
             schedule_batch(Impostor(), blocks, BatchConfig(workers=2))
+
+
+class TestSpanMergeDeterminism:
+    """Worker-to-parent trace grafting obeys the determinism contract.
+
+    The driver attaches each chunk's captured spans in chunk order, so
+    the merged trace tree -- names, nesting, order, and every
+    non-timing attribute -- must be identical for 1 and N workers, just
+    like the schedules and the stats fold.  The disk cache is warmed
+    first so compile work (which legitimately differs per process)
+    collapses to disk hits in every process.
+    """
+
+    #: Attributes that legitimately differ between runs (timings carry
+    #: none; the batch root records its own worker count).
+    _VARYING = ("workers",)
+
+    @classmethod
+    def _shape(cls, span):
+        attrs = tuple(sorted(
+            (key, value) for key, value in span.attrs.items()
+            if key not in cls._VARYING
+        ))
+        return (span.name, attrs,
+                tuple(cls._shape(child) for child in span.children))
+
+    @classmethod
+    def _tree(cls, tracer):
+        return tuple(cls._shape(root) for root in tracer.roots)
+
+    def test_one_and_n_workers_merge_to_the_same_tree(self, tmp_path):
+        from repro import obs
+
+        machine_name = "PA7100"
+        _, blocks = workload(machine_name, ops=120)
+        knobs = dict(
+            backend="bitvector", stage=STAGE, chunk_size=4,
+            cache_dir=str(tmp_path),
+        )
+        # Warm the disk tier: every later process disk-hits its compile.
+        schedule_batch(machine_name, blocks,
+                       BatchConfig(workers=1, **knobs))
+
+        was_enabled = obs.enabled()
+        obs.enable()
+        try:
+            obs.reset()
+            schedule_batch(machine_name, blocks,
+                           BatchConfig(workers=1, **knobs))
+            serial_tree = self._tree(obs.TRACER)
+            obs.reset()
+            schedule_batch(machine_name, blocks,
+                           BatchConfig(workers=N_WORKERS, **knobs))
+            parallel_tree = self._tree(obs.TRACER)
+        finally:
+            if not was_enabled:
+                obs.disable()
+            obs.reset()
+
+        assert serial_tree == parallel_tree
+        # The tree really is the batch structure: one service root whose
+        # chunk children carry ascending indexes.
+        (root,) = parallel_tree
+        name, _, children = root
+        assert name == "service:batch"
+        chunk_indexes = [
+            dict(attrs)["index"]
+            for name, attrs, _ in children if name == "batch:chunk"
+        ]
+        assert chunk_indexes == sorted(chunk_indexes)
+        assert len(chunk_indexes) == -(-len(blocks) // 4)
