@@ -10,7 +10,7 @@ wall-clock -- and confirms both backends produce the same schedule.
 import pytest
 from conftest import KERNEL_OPS, write_result
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.analysis.reporting import format_table
 from repro.automata import (
     AutomatonBackend,

@@ -7,7 +7,7 @@ to the flat descriptions and compares against the paper's pipeline.
 
 from conftest import write_result
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.analysis.reporting import format_table
 from repro.eichenberger import reduce_mdes_options
 from repro.lowlevel.compiled import compile_mdes

@@ -9,7 +9,7 @@ attempts per operation against the list scheduler's ~2.
 
 from conftest import write_result
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.analysis.reporting import format_table
 from repro.lowlevel.compiled import compile_mdes
 from repro.machines import get_machine

@@ -19,7 +19,7 @@ def test_table11_regenerate(suite, results_dir, benchmark):
 
 def test_table11_bench_staging(benchmark):
     """Time the full stage-3 pipeline on the SuperSPARC AND/OR form."""
-    from repro.analysis.experiments import staged_mdes
+    from repro.transforms.pipeline import staged_mdes
     from repro.machines import get_machine
 
     base = get_machine("SuperSPARC").build_andor()

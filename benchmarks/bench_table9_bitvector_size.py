@@ -2,7 +2,7 @@
 
 from conftest import write_result
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.lowlevel.compiled import compile_mdes
 from repro.machines import get_machine
 

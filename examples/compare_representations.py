@@ -13,9 +13,13 @@ Run:  python examples/compare_representations.py [ops]
 import sys
 
 from repro.lowlevel import compile_mdes, mdes_size_bytes
-from repro.machines import MACHINE_NAMES, get_machine
+from repro.api import (
+    MACHINE_NAMES,
+    WorkloadConfig,
+    generate_blocks,
+    get_machine,
+)
 from repro.scheduler import schedule_workload
-from repro.workloads import WorkloadConfig, generate_blocks
 
 
 def main(total_ops: int = 10000):

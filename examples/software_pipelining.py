@@ -13,7 +13,7 @@ and then shows the automaton backend refusing the release operation.
 Run:  python examples/software_pipelining.py
 """
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.automata import SchedulingAutomaton
 from repro.lowlevel import compile_mdes
 from repro.machines import MACHINE_NAMES, get_machine

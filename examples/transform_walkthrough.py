@@ -12,10 +12,9 @@ Run:  python examples/transform_walkthrough.py [machine] [ops]
 import sys
 
 from repro.lowlevel import compile_mdes, mdes_size_bytes
-from repro.machines import get_machine
+from repro.api import WorkloadConfig, generate_blocks, get_machine
 from repro.scheduler import schedule_workload
 from repro.transforms import run_pipeline
-from repro.workloads import WorkloadConfig, generate_blocks
 
 
 def main(machine_name: str = "K5", total_ops: int = 5000):

@@ -1,0 +1,34 @@
+"""Machinery for ``__getattr__``-based deprecated re-exports.
+
+When a public name moves to a new canonical home, the old module keeps
+serving it through a module-level ``__getattr__`` that warns exactly
+once per (module, name) pair per process -- loud enough to be seen,
+quiet enough not to drown a long batch run that hits the shim in a
+loop.  The canonical import path never warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: (module, name) pairs that have already warned this process.
+_WARNED = set()
+
+
+def deprecated_reexport(module: str, name: str, canonical: str, value):
+    """Serve a moved attribute from its old module, warning once."""
+    key = (module, name)
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(
+            f"importing {name!r} from {module!r} is deprecated; "
+            f"import it from {canonical!r} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return value
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (test scaffolding)."""
+    _WARNED.clear()

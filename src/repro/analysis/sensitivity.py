@@ -13,7 +13,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.lowlevel.compiled import compile_mdes
 from repro.machines import get_machine
 from repro.scheduler import schedule_workload

@@ -1,0 +1,163 @@
+"""``repro.api`` -- the stable, supported public surface.
+
+Users were reaching into deep module paths (``repro.engine.registry``,
+``repro.service.batch``, ``repro.transforms.pipeline``) for everyday
+operations, which froze internal layout into downstream code.  This
+facade is the supported contract instead: everything here is re-exported
+from its canonical home, named in ``__all__``, and kept stable across
+refactors -- import from ``repro.api`` and internal moves stop being
+your problem::
+
+    from repro import api
+
+    machine = api.get_machine("SuperSPARC")
+    compiled = api.compile_machine(machine)          # paper's LMDES form
+    engine = api.get_engine("bitvector", machine)    # any backend
+    run = api.schedule(machine, blocks)              # one workload
+    result = api.schedule_batch(                     # the service path
+        "SuperSPARC", blocks,
+        api.BatchConfig(workers=4, retry=api.RetryPolicy(retries=2),
+                        on_error="report"),
+    )
+    for failure in result.errors:                    # typed quarantine
+        print(failure.block_index, failure.error_type)
+
+The error taxonomy is part of the surface: every exception the library
+raises derives from :class:`ReproError`, service-layer failures from
+:class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.engine.cache import DescriptionCache
+from repro.engine.registry import create_engine, engine_names
+from repro.errors import (
+    CacheCorruptionError,
+    ChunkTimeoutError,
+    HmdesError,
+    MdesError,
+    ReproError,
+    SchedulingError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.hmdes import load_mdes
+from repro.ir.block import BasicBlock
+from repro.lowlevel.compiled import CompiledMdes, compile_mdes
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import BlockSchedule, RunResult, schedule_workload
+from repro.service import (
+    DEFAULT_BACKEND,
+    BatchConfig,
+    BatchResult,
+    BlockFailure,
+    RetryPolicy,
+    TimeoutPolicy,
+    schedule_batch,
+)
+from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
+from repro.workloads import WorkloadConfig, generate_blocks
+
+
+def _resolve_machine(machine: Union[str, object]):
+    """Accept a registered machine name or a machine object."""
+    if isinstance(machine, str):
+        return get_machine(machine)
+    return machine
+
+
+def compile_machine(
+    machine: Union[str, object],
+    stage: int = FINAL_STAGE,
+    rep: str = "andor",
+    bitvector: bool = True,
+) -> CompiledMdes:
+    """Compile a machine to its low-level (LMDES) form.
+
+    The paper's two-tier workflow in one call: build the high-level
+    description, run the transformation pipeline through ``stage``, and
+    compile to the representation the schedulers query.
+    """
+    machine = _resolve_machine(machine)
+    if rep not in ("or", "andor"):
+        raise ValueError(f"rep must be 'or' or 'andor': {rep!r}")
+    base = machine.build_or() if rep == "or" else machine.build_andor()
+    return compile_mdes(staged_mdes(base, stage), bitvector=bitvector)
+
+
+def get_engine(
+    backend: str,
+    machine: Union[str, object],
+    stage: int = FINAL_STAGE,
+    cache: Optional[DescriptionCache] = None,
+):
+    """Instantiate a registered query-engine backend for a machine.
+
+    Accepts a machine name or object; otherwise identical to the
+    registry's ``create_engine``.
+    """
+    return create_engine(
+        backend, _resolve_machine(machine), stage=stage, cache=cache
+    )
+
+
+def schedule(
+    machine: Union[str, object],
+    blocks: Sequence[BasicBlock],
+    backend: str = DEFAULT_BACKEND,
+    stage: int = FINAL_STAGE,
+    direction: str = "forward",
+    keep_schedules: bool = True,
+) -> RunResult:
+    """Schedule one workload in-process and return the run statistics.
+
+    The single-request counterpart of :func:`schedule_batch`: one
+    engine, one pass over ``blocks``, the paper's ``CheckStats``
+    attached to the result.
+    """
+    machine = _resolve_machine(machine)
+    engine = create_engine(backend, machine, stage=stage)
+    return schedule_workload(
+        machine, None, blocks,
+        keep_schedules=keep_schedules, direction=direction, engine=engine,
+    )
+
+
+__all__ = [
+    # Entry points
+    "compile_machine",
+    "get_engine",
+    "schedule",
+    "schedule_batch",
+    # Machines and workloads
+    "MACHINE_NAMES",
+    "get_machine",
+    "load_mdes",
+    "WorkloadConfig",
+    "generate_blocks",
+    # Engines and compiled form
+    "CompiledMdes",
+    "DEFAULT_BACKEND",
+    "FINAL_STAGE",
+    "engine_names",
+    # Service types
+    "BatchConfig",
+    "BatchResult",
+    "BlockFailure",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    # Results
+    "BlockSchedule",
+    "RunResult",
+    # Error taxonomy
+    "ReproError",
+    "MdesError",
+    "HmdesError",
+    "SchedulingError",
+    "ServiceError",
+    "ChunkTimeoutError",
+    "WorkerCrashError",
+    "CacheCorruptionError",
+]

@@ -14,8 +14,10 @@ Commands:
 * ``schedule (--machine NAME | --trace FILE) [options]`` -- schedule a
   workload and report the paper's statistics.
 * ``schedule-batch (--machine NAME | --trace FILE) [--workers N]
-  [--cache-dir DIR] [options]`` -- shard a workload across a process
-  pool with a persistent on-disk description cache.
+  [--cache-dir DIR] [--retries N] [--chunk-timeout S]
+  [--on-error raise|report] [options]`` -- shard a workload across a
+  process pool with a persistent on-disk description cache, retrying
+  recoverable faults and quarantining poisoned blocks.
 * ``stats --machine NAME [--prom]`` -- run one observed workload and
   print the obs metrics registry (optionally Prometheus exposition).
 * ``trace --machine NAME [-o FILE]`` -- run one observed workload and
@@ -146,7 +148,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from repro.analysis.experiments import staged_mdes
+    from repro.transforms.pipeline import staged_mdes
     from repro.hmdes import load_mdes
     from repro.lowlevel import compile_mdes, mdes_size_bytes
     from repro.lowlevel.serialize import save_lmdes
@@ -216,7 +218,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     import json
 
     from repro import obs
-    from repro.analysis.experiments import staged_mdes
+    from repro.transforms.pipeline import staged_mdes
     from repro.errors import MdesError
     from repro.lowlevel import compile_mdes
     from repro.scheduler import schedule_workload
@@ -343,8 +345,13 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
     import time
 
     from repro import obs
-    from repro.errors import MdesError
-    from repro.service import BatchConfig, schedule_batch
+    from repro.errors import MdesError, ServiceError
+    from repro.service import (
+        BatchConfig,
+        RetryPolicy,
+        TimeoutPolicy,
+        schedule_batch,
+    )
 
     if args.backend and args.lmdes:
         print(
@@ -366,6 +373,9 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         cache_dir=args.cache_dir,
+        retry=RetryPolicy(retries=args.retries),
+        timeout=TimeoutPolicy(chunk_seconds=args.chunk_timeout),
+        on_error=args.on_error,
     )
     # The wall clock is an obs span, not an ad-hoc perf_counter: the
     # same timing lands in the trace tree and the JSON obs digest.
@@ -373,6 +383,17 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
     with obs.span("cli:schedule-batch", machine=machine.name) as sp:
         try:
             result = schedule_batch(machine, blocks, config)
+        except ServiceError as exc:
+            print(f"schedule-batch: {exc}", file=sys.stderr)
+            for failure in exc.failures:
+                print(
+                    f"  block {failure.block_index} (chunk "
+                    f"{failure.chunk_index}, {failure.attempts} "
+                    f"attempt(s)): {failure.error_type}: "
+                    f"{failure.message}",
+                    file=sys.stderr,
+                )
+            return 3
         except (MdesError, ValueError, OSError) as exc:
             print(f"schedule-batch: {exc}", file=sys.stderr)
             return 2
@@ -404,6 +425,14 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
                     "disk_stores": cache.disk_stores,
                     "disk_quarantined": cache.disk_quarantined,
                 },
+                "resilience": {
+                    "retries": result.retries,
+                    "timeouts": result.timeouts,
+                    "pool_restarts": result.pool_restarts,
+                    "degraded": result.degraded,
+                    "quarantined": result.quarantined,
+                    "errors": [f.to_dict() for f in result.errors],
+                },
                 "obs": obs.summary(),
             },
             indent=2,
@@ -422,6 +451,15 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
         print(f"description cache:   {cache.disk_hits} disk hit(s), "
               f"{cache.disk_misses} miss(es), {cache.disk_stores} "
               f"store(s), {cache.disk_quarantined} quarantined")
+    if (result.retries or result.timeouts or result.pool_restarts
+            or result.degraded or result.errors):
+        print(f"resilience:          {result.retries} retry(ies), "
+              f"{result.timeouts} timeout(s), {result.pool_restarts} "
+              f"pool restart(s), {result.quarantined} quarantined"
+              f"{', degraded to serial' if result.degraded else ''}")
+        for failure in result.errors:
+            print(f"  quarantined block {failure.block_index}: "
+                  f"{failure.error_type}: {failure.message}")
     return 0
 
 
@@ -617,6 +655,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "persistent description-cache directory (warm runs "
             "load_lmdes instead of recompiling)"
+        ),
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per chunk on retryable failures",
+    )
+    batch.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-chunk wall-clock budget on the pool path; a chunk "
+            "past it is retried on a fresh pool"
+        ),
+    )
+    batch.add_argument(
+        "--on-error", choices=("raise", "report"), default="raise",
+        help=(
+            "what to do with blocks that fail deterministically: "
+            "raise a ServiceError, or report them as typed records in "
+            "the result"
         ),
     )
     batch.add_argument("--json", action="store_true",

@@ -29,16 +29,18 @@ Robustness rules:
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import logging
 import os
 import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
 from repro import obs
-from repro.errors import MdesError
+from repro.errors import CacheCorruptionError, MdesError
 from repro.lowlevel.compiled import CompiledMdes
 from repro.lowlevel.serialize import LMDES_VERSION, load_lmdes, save_lmdes
 
@@ -46,6 +48,40 @@ logger = logging.getLogger("repro.engine.diskcache")
 
 #: Token prefix for machines whose description text could be hashed.
 _HASHED = "sha256:"
+
+#: OS errors that describe a *transient* read condition -- interrupted
+#: IO, a busy or momentarily stale file (network filesystems), an IO
+#: hiccup -- as opposed to "the entry is not there" (ENOENT) or a
+#: configuration problem (EACCES), which retrying cannot fix.
+_RETRYABLE_ERRNOS = frozenset(
+    code for code in (
+        errno.EAGAIN, errno.EBUSY, errno.EINTR, errno.EIO,
+        errno.ETIMEDOUT, getattr(errno, "ESTALE", None),
+        getattr(errno, "EDEADLK", None),
+    )
+    if code is not None
+)
+
+#: Bounded re-reads of one entry before it is reported as a miss.
+READ_ATTEMPTS = 3
+
+#: Pause between transient-read retries, in seconds.
+_READ_RETRY_SLEEP = 0.01
+
+
+def is_retryable_read_error(error: OSError) -> bool:
+    """Whether an entry read failed transiently (re-read may succeed).
+
+    ``FileNotFoundError`` is a plain miss and permission errors are
+    configuration problems; everything else is judged by errno against
+    the transient set, defaulting to *not* retryable so unknown
+    conditions fail fast into the rebuild path.
+    """
+    if isinstance(error, FileNotFoundError):
+        return False
+    if isinstance(error, PermissionError):
+        return False
+    return error.errno in _RETRYABLE_ERRNOS
 
 
 def machine_content_token(machine) -> str:
@@ -118,20 +154,59 @@ class DiskDescriptionCache:
     # Entry IO
     # ------------------------------------------------------------------
 
+    def _read_entry(self, path: Path) -> Optional[str]:
+        """Read one entry with transient-error classification.
+
+        ``None`` means a plain miss.  Reads failing with a retryable
+        errno (:func:`is_retryable_read_error`) are re-attempted up to
+        :data:`READ_ATTEMPTS` times before being reported as a miss;
+        non-retryable errors give up immediately.
+        """
+        for attempt in range(READ_ATTEMPTS):
+            try:
+                return path.read_text()
+            except FileNotFoundError:
+                return None
+            except OSError as exc:
+                if not is_retryable_read_error(exc):
+                    logger.warning(
+                        "non-retryable read error on disk-cache entry "
+                        "%s: %s", path, exc,
+                    )
+                    return None
+                if attempt + 1 >= READ_ATTEMPTS:
+                    logger.warning(
+                        "giving up on disk-cache entry %s after %d "
+                        "transient read error(s): %s",
+                        path, READ_ATTEMPTS, exc,
+                    )
+                    return None
+                obs.count(
+                    "repro_diskcache_read_retries_total",
+                    help="Transient disk-cache read errors retried.",
+                )
+                time.sleep(_READ_RETRY_SLEEP)
+        return None
+
     def load(
-        self, machine_name: str, digest: str, stats=None
+        self, machine_name: str, digest: str, stats=None,
+        on_corrupt: str = "quarantine",
     ) -> Optional[CompiledMdes]:
         """Load one entry; ``None`` (and a counted miss) when absent.
 
         A file that exists but does not load back -- truncated JSON, a
         foreign or future LMDES version, structurally broken tables --
         is quarantined and reported as a miss, so the caller falls back
-        to a rebuild instead of crashing.
+        to a rebuild instead of crashing.  Transient read errors are
+        retried first (:meth:`_read_entry`).  ``on_corrupt="raise"``
+        still quarantines but then raises the typed
+        :class:`~repro.errors.CacheCorruptionError` instead of
+        returning ``None`` -- for callers that must distinguish "never
+        cached" from "cached and rotten".
         """
         path = self.path_for(machine_name, digest)
-        try:
-            text = path.read_text()
-        except OSError:
+        text = self._read_entry(path)
+        if text is None:
             if stats is not None:
                 stats.disk_misses += 1
             obs.count(
@@ -157,6 +232,12 @@ class DiskDescriptionCache:
                 help="Disk-tier description loads by outcome.",
                 outcome="quarantined",
             )
+            if on_corrupt == "raise":
+                raise CacheCorruptionError(
+                    f"disk-cache entry for {machine_name} "
+                    f"({digest[:12]}...) was corrupt and has been "
+                    f"quarantined"
+                ) from exc
             return None
         if stats is not None:
             stats.disk_hits += 1

@@ -36,3 +36,32 @@ class HmdesSemanticError(HmdesError):
 
 class SchedulingError(ReproError):
     """The scheduler could not make progress (e.g. an unschedulable op)."""
+
+
+class CacheCorruptionError(ReproError):
+    """A persistent cache entry failed to load back.
+
+    Raised (in strict mode) or recorded by the disk tier when an entry
+    is truncated, version-mismatched, or structurally broken.  Always
+    *retryable*: the entry is quarantined and a rebuild succeeds.
+    """
+
+
+class ServiceError(ReproError):
+    """A batch-service request could not be completed.
+
+    Carries the per-block failure records (``failures``) when the run
+    was configured to collect them before raising.
+    """
+
+    def __init__(self, message, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+class ChunkTimeoutError(ServiceError):
+    """One dispatched chunk exceeded its wall-clock budget."""
+
+
+class WorkerCrashError(ServiceError):
+    """A pool worker died (or a crash was injected) mid-chunk."""

@@ -10,9 +10,9 @@ schedules against a modulo reservation table, and evicts conflicting
 operations when forced.
 """
 
+from repro.lowlevel.bitvector import ModuloRUMap
 from repro.modulo.loop import Loop, LoopEdge, make_recurrence_loop
 from repro.modulo.scheduler import (
-    ModuloRUMap,
     ModuloSchedule,
     minimum_initiation_interval,
     modulo_schedule,

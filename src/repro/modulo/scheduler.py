@@ -17,17 +17,32 @@ from typing import Dict, List, Optional, Tuple
 from repro.engine.base import QueryEngine, Reservation
 from repro.engine.table import TableEngine
 from repro.errors import SchedulingError
-from repro.lowlevel.bitvector import ModuloRUMap
 from repro.lowlevel.checker import CheckStats
 from repro.lowlevel.compiled import CompiledMdes
 from repro.modulo.loop import Loop, LoopEdge
 
 __all__ = [
-    "ModuloRUMap",  # re-exported; it now lives in repro.lowlevel.bitvector
+    "ModuloRUMap",  # deprecated shim; lives in repro.lowlevel.bitvector
     "ModuloSchedule",
     "minimum_initiation_interval",
     "modulo_schedule",
 ]
+
+
+def __getattr__(name):
+    # Legacy import site: ModuloRUMap moved to repro.lowlevel.bitvector
+    # (PR 1).  Served through a warning shim so downstream imports keep
+    # working one more cycle before the alias is dropped.
+    if name == "ModuloRUMap":
+        from repro._compat import deprecated_reexport
+        from repro.lowlevel.bitvector import ModuloRUMap
+
+        return deprecated_reexport(
+            __name__, name, "repro.lowlevel.bitvector", ModuloRUMap
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 @dataclass

@@ -6,28 +6,53 @@ on-disk LMDES cache instead of re-running the translate/transform
 pipeline -- the paper's "load the shipped low-level file quickly"
 workflow (section 4) applied to a pool of scheduling workers::
 
-    from repro.service import BatchConfig, schedule_batch
+    from repro.service import BatchConfig, RetryPolicy, schedule_batch
 
     result = schedule_batch(
         "SuperSPARC", blocks,
         BatchConfig(backend="bitvector", workers=4,
-                    cache_dir=".mdes-cache"),
+                    cache_dir=".mdes-cache",
+                    retry=RetryPolicy(retries=2)),
     )
     result.signature()     # bit-for-bit identical for any worker count
     result.stats           # CheckStats, folded across workers
     result.cache_stats     # LRU + disk-tier hit/miss counters
+    result.errors          # typed BlockFailure quarantine records
+
+The service is fault-tolerant by construction
+(:mod:`repro.service.resilience`): worker crashes, chunk timeouts,
+transient scheduling errors, and corrupt cache entries are retried or
+recovered without changing the result, and the deterministic
+fault-injection harness (:mod:`repro.service.faults`, gated by
+``REPRO_FAULTS``) exists so tests can prove exactly that.
 """
 
 from repro.service.batch import (
     DEFAULT_BACKEND,
+    ON_ERROR_MODES,
     BatchConfig,
     BatchResult,
     schedule_batch,
+)
+from repro.service.faults import FaultPlan, FaultRule, parse_faults
+from repro.service.resilience import (
+    BlockFailure,
+    RetryPolicy,
+    TimeoutPolicy,
+    is_retryable,
 )
 
 __all__ = [
     "BatchConfig",
     "BatchResult",
+    "BlockFailure",
     "DEFAULT_BACKEND",
+    "FaultPlan",
+    "FaultRule",
+    "ON_ERROR_MODES",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "is_retryable",
+    "parse_faults",
     "schedule_batch",
 ]

@@ -1,9 +1,9 @@
-"""The parallel batch-scheduling driver.
+"""The fault-tolerant parallel batch-scheduling driver.
 
-This is the first piece of the "serve many scheduling requests fast"
-architecture: a workload of basic blocks is split into chunks, the
-chunks are dispatched across a ``concurrent.futures`` process pool, and
-the results are reassembled in the input order with every worker's
+This is the "serve many scheduling requests fast" architecture: a
+workload of basic blocks is split into chunks, the chunks are
+dispatched across a ``concurrent.futures`` process pool, and the
+results are reassembled in the input order with every worker's
 :class:`CheckStats` and :class:`CacheStats` folded back through their
 ``__iadd__`` merges.
 
@@ -24,12 +24,39 @@ for 1 worker, N workers, and the plain serial path:
   process ``load_lmdes``'s the compiled description instead of
   re-parsing HMDES and re-running the transformation pipeline, which is
   the paper's ship-the-low-level-file workflow applied to our own pool.
+
+The same properties make the driver *fault-tolerant* without weakening
+the contract (:mod:`repro.service.resilience`): a failed chunk
+attempt's partial outcome is discarded wholesale and the chunk is
+re-dispatched against a fresh engine, so the outcome that finally lands
+is byte-identical to a clean run's.  Recovery is layered:
+
+1. **Chunk retries** -- a retryable failure (transient
+   ``SchedulingError``, worker crash, timeout, cache corruption)
+   consumes one unit of the chunk's :class:`RetryPolicy` budget and the
+   chunk is resubmitted after a deterministic backoff.
+2. **Pool restarts** -- ``BrokenProcessPool`` (a dead worker) or an
+   expired :class:`TimeoutPolicy` budget abandons the pool and
+   resubmits every unfinished chunk to a fresh one, at most
+   ``max_pool_restarts`` times.
+3. **Degradation** -- past that, the run falls back to the in-process
+   serial path and finishes there.
+4. **Isolation** -- a chunk that exhausts its retry budget is probed
+   block by block (fault injection suppressed): deterministically
+   failing blocks are quarantined as typed
+   :class:`~repro.service.resilience.BlockFailure` records and the
+   survivors are re-run as one clean chunk.
+
+Every retry, timeout, restart, degradation, and quarantine emits
+``repro.obs`` counters and a ``resilience:*`` span.
 """
 
 from __future__ import annotations
 
 import logging
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,16 +69,30 @@ from repro.engine.diskcache import (
 )
 from repro.engine.registry import create_engine
 from repro.engine.table import TableEngine
+from repro.errors import ChunkTimeoutError, ServiceError
 from repro.ir.block import BasicBlock
 from repro.lowlevel.checker import CheckStats
 from repro.machines import get_machine
-from repro.scheduler import BlockSchedule, schedule_workload
+from repro.scheduler import ListScheduler, BlockSchedule, schedule_workload
+from repro.service import faults
+from repro.service.resilience import (
+    BlockFailure,
+    RetryPolicy,
+    TimeoutPolicy,
+    is_retryable,
+)
 from repro.transforms.pipeline import FINAL_STAGE
 
 logger = logging.getLogger("repro.service.batch")
 
 #: Backend used when a config names neither a backend nor an LMDES file.
 DEFAULT_BACKEND = "bitvector"
+
+#: Poll interval for the pool wait loop while a chunk deadline is armed.
+_WAIT_TICK = 0.05
+
+#: ``BatchConfig.on_error`` modes.
+ON_ERROR_MODES = ("raise", "report")
 
 
 @dataclass(frozen=True)
@@ -72,6 +113,12 @@ class BatchConfig:
         cache_dir: Directory for the persistent description cache;
             ``None`` disables the disk tier.
         direction: Scheduling direction, as in the list scheduler.
+        retry: Chunk retry / pool restart budgets and backoff shape.
+        timeout: Per-chunk wall-clock budget (pool path only).
+        on_error: ``"raise"`` raises :class:`ServiceError` when any
+            block ends up quarantined; ``"report"`` returns them as
+            typed ``BatchResult.errors`` records alongside the
+            surviving schedules.
     """
 
     backend: Optional[str] = None
@@ -81,6 +128,9 @@ class BatchConfig:
     chunk_size: int = 32
     cache_dir: Optional[str] = None
     direction: str = "forward"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout: TimeoutPolicy = field(default_factory=TimeoutPolicy)
+    on_error: str = "raise"
 
     def validate(self) -> None:
         if self.backend and self.lmdes_path:
@@ -91,6 +141,13 @@ class BatchConfig:
             raise ValueError(f"workers must be >= 1: {self.workers}")
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1: {self.chunk_size}")
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}: "
+                f"{self.on_error!r}"
+            )
+        self.retry.validate()
+        self.timeout.validate()
 
     @property
     def backend_label(self) -> str:
@@ -102,7 +159,12 @@ class BatchConfig:
 
 @dataclass
 class BatchResult:
-    """Aggregate outcome of one batch run, in input block order."""
+    """Aggregate outcome of one batch run, in input block order.
+
+    When blocks were quarantined (``on_error="report"``), ``schedules``
+    holds the survivors in input order and ``errors`` the typed
+    :class:`BlockFailure` records -- one per missing block.
+    """
 
     machine_name: str
     backend: str
@@ -113,11 +175,21 @@ class BatchResult:
     schedules: List[BlockSchedule] = field(default_factory=list)
     stats: CheckStats = field(default_factory=CheckStats)
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    errors: List[BlockFailure] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    degraded: bool = False
 
     @property
     def attempts_per_op(self) -> float:
         """Average scheduling attempts per operation."""
         return self.stats.attempts / self.total_ops if self.total_ops else 0.0
+
+    @property
+    def quarantined(self) -> int:
+        """Blocks isolated as deterministic failures."""
+        return len(self.errors)
 
     def signature(self) -> tuple:
         """Digest of every block schedule, in input order."""
@@ -139,6 +211,35 @@ class _ChunkOutcome:
     stats: CheckStats
     cache_stats: CacheStats
     spans: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class _ChunkState:
+    """Driver-side bookkeeping for one chunk's dispatch lifecycle.
+
+    ``submissions`` counts dispatches (it is the fault-injection attempt
+    key and the backoff exponent); ``failures`` counts chunk-level
+    failures charged against the retry budget.  A pool restart
+    resubmits a chunk without charging its budget -- the chunk was
+    never proven bad, its pool was.
+    """
+
+    index: int
+    blocks: List[BasicBlock]
+    offset: int
+    submissions: int = 0
+    failures: int = 0
+    last_error: Optional[BaseException] = None
+
+
+@dataclass
+class _Tally:
+    """Recovery-event counts for one run (folded into the result)."""
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    degraded: bool = False
 
 
 def _chunk_blocks(
@@ -164,12 +265,17 @@ _WORKER_CACHE: Optional[DescriptionCache] = None
 _LMDES_FILES: dict = {}
 
 
-def _init_worker(cache_dir: Optional[str], obs_enabled: bool = False) -> None:
+def _init_worker(
+    cache_dir: Optional[str],
+    obs_enabled: bool = False,
+    plan: Optional[faults.FaultPlan] = None,
+) -> None:
     global _WORKER_CACHE
     if obs_enabled:
         # Spawned workers start with a fresh module flag; forked ones
         # inherit it.  Either way, make the worker match the parent.
         obs.enable()
+    faults.install(plan)
     disk = DiskDescriptionCache(cache_dir) if cache_dir else None
     _WORKER_CACHE = DescriptionCache(disk=disk)
 
@@ -230,11 +336,15 @@ def _schedule_chunk(
 
 
 def _pool_chunk(
-    payload: Tuple[int, str, List[BasicBlock], BatchConfig]
+    payload: Tuple[int, int, str, List[BasicBlock], BatchConfig]
 ) -> _ChunkOutcome:
-    index, machine_name, blocks, config = payload
+    index, attempt, machine_name, blocks, config = payload
     assert _WORKER_CACHE is not None, "worker initializer did not run"
     try:
+        faults.apply_chunk_faults(
+            faults.current_plan(), index, attempt,
+            cache_dir=config.cache_dir, in_worker=True,
+        )
         return _schedule_chunk(
             get_machine(machine_name), index, blocks, config, _WORKER_CACHE
         )
@@ -246,6 +356,340 @@ def _pool_chunk(
             index, len(blocks), machine_name,
         )
         raise
+
+
+# ----------------------------------------------------------------------
+# Recovery paths (always run in the parent)
+# ----------------------------------------------------------------------
+
+
+def _record_retry(state: _ChunkState, config: BatchConfig,
+                  tally: _Tally) -> None:
+    """Charge one retry and sleep out the deterministic backoff."""
+    tally.retries += 1
+    reason = type(state.last_error).__name__
+    delay = config.retry.delay(state.index, state.failures)
+    logger.warning(
+        "retrying batch chunk %d (failure %d/%d, %s) after %.3fs",
+        state.index, state.failures, config.retry.retries, reason, delay,
+    )
+    obs.count(
+        "repro_resilience_retries_total",
+        help="Chunk retries by failure type.", reason=reason,
+    )
+    with obs.span(
+        "resilience:retry", chunk=state.index,
+        failure=state.failures, reason=reason,
+    ):
+        if delay > 0:
+            time.sleep(delay)
+
+
+def _isolate_chunk(
+    machine,
+    state: _ChunkState,
+    config: BatchConfig,
+    cache: DescriptionCache,
+) -> Tuple[_ChunkOutcome, List[BlockFailure]]:
+    """Quarantine a chunk that failed deterministically across retries.
+
+    Each block is probed on its own engine (fault injection suppressed,
+    probe traces discarded): blocks that still fail are quarantined as
+    :class:`BlockFailure` records, and the survivors are re-run as one
+    clean chunk through the normal path -- so a chunk-level flake that
+    exhausted its budget still produces an outcome byte-identical to a
+    clean run's.
+    """
+    failures: List[BlockFailure] = []
+    survivors: List[BasicBlock] = []
+    with faults.suppressed():
+        with obs.span(
+            "resilience:isolate", chunk=state.index,
+            blocks=len(state.blocks),
+        ) as sp:
+            with obs.capture():
+                # Probe pass: per-block verdicts only; spans and stats
+                # from probing are deliberately thrown away.
+                for offset, block in enumerate(state.blocks):
+                    try:
+                        engine = _make_engine(machine, config, cache)
+                        ListScheduler(
+                            machine, None, direction=config.direction,
+                            engine=engine,
+                        ).schedule_block(block)
+                    except Exception as exc:
+                        failures.append(BlockFailure.from_exception(
+                            state.offset + offset, machine.name,
+                            state.index, state.submissions, exc,
+                        ))
+                    else:
+                        survivors.append(block)
+            try:
+                outcome = _schedule_chunk(
+                    machine, state.index, survivors, config, cache
+                )
+            except Exception as exc:  # pragma: no cover - probe passed
+                logger.exception(
+                    "isolated chunk %d failed its clean re-run",
+                    state.index,
+                )
+                failures = [
+                    BlockFailure.from_exception(
+                        state.offset + offset, machine.name,
+                        state.index, state.submissions, exc,
+                    )
+                    for offset in range(len(state.blocks))
+                ]
+                outcome = _ChunkOutcome(
+                    state.index, [], CheckStats(), CacheStats()
+                )
+            if obs.enabled():
+                sp.set(quarantined=len(failures))
+    for failure in failures:
+        logger.error(
+            "quarantined block %d (chunk %d, machine %s) after %d "
+            "attempt(s): %s: %s",
+            failure.block_index, failure.chunk_index, failure.machine,
+            failure.attempts, failure.error_type, failure.message,
+        )
+    obs.count(
+        "repro_resilience_quarantined_blocks_total", len(failures),
+        help="Blocks isolated as deterministic failures.",
+    )
+    return outcome, failures
+
+
+def _run_serial(
+    machine,
+    states: List[_ChunkState],
+    config: BatchConfig,
+    plan: Optional[faults.FaultPlan],
+    cache: DescriptionCache,
+    outcomes: Dict[int, _ChunkOutcome],
+    block_failures: List[BlockFailure],
+    tally: _Tally,
+) -> None:
+    """The in-process path: one chunk at a time, retries and isolation.
+
+    Also serves as the degradation target when the pool path gives up.
+    Timeout budgets are not enforced here: a hung chunk cannot be
+    preempted from its own thread (see :class:`TimeoutPolicy`).
+    """
+    for state in states:
+        while True:
+            attempt = state.submissions
+            state.submissions += 1
+            try:
+                faults.apply_chunk_faults(
+                    plan, state.index, attempt,
+                    cache_dir=config.cache_dir, in_worker=False,
+                )
+                outcomes[state.index] = _schedule_chunk(
+                    machine, state.index, state.blocks, config, cache
+                )
+                break
+            except Exception as exc:
+                state.last_error = exc
+                state.failures += 1
+                if is_retryable(exc) and \
+                        state.failures <= config.retry.retries:
+                    _record_retry(state, config, tally)
+                    continue
+                outcome, failures = _isolate_chunk(
+                    machine, state, config, cache
+                )
+                outcomes[state.index] = outcome
+                block_failures.extend(failures)
+                break
+
+
+def _shutdown_abandoned_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool we no longer trust without waiting on it.
+
+    A hung worker would make ``shutdown(wait=True)`` block for the
+    duration of the hang, so the workers are terminated outright; the
+    ``_processes`` attribute is stdlib-private but has been the only
+    handle on pool workers since 3.7, and termination is best-effort by
+    design (an already-dead worker is fine).
+    """
+    try:
+        processes = list((pool._processes or {}).values())
+    except Exception:  # pragma: no cover - platform-dependent cleanup
+        processes = []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            logger.warning(
+                "could not terminate abandoned pool worker %r", process
+            )
+
+
+def _run_pooled(
+    machine,
+    states: List[_ChunkState],
+    config: BatchConfig,
+    plan: Optional[faults.FaultPlan],
+    outcomes: Dict[int, _ChunkOutcome],
+    block_failures: List[BlockFailure],
+    tally: _Tally,
+) -> None:
+    """The pool path: dispatch, watch deadlines, recover, reassemble.
+
+    Pool generations run until every chunk has an outcome or is bound
+    for isolation; ``BrokenProcessPool`` and chunk timeouts abandon the
+    generation and resubmit the survivors to a fresh pool, bounded by
+    ``retry.max_pool_restarts``, after which the run degrades to the
+    serial path.
+    """
+    policy = config.retry
+    budget = config.timeout.chunk_seconds
+    pending: Dict[int, _ChunkState] = {s.index: s for s in states}
+    to_isolate: List[_ChunkState] = []
+
+    def submit(pool, futures, deadlines, state) -> None:
+        attempt = state.submissions
+        state.submissions += 1
+        future = pool.submit(
+            _pool_chunk,
+            (state.index, attempt, machine.name, state.blocks, config),
+        )
+        futures[future] = state
+        if budget:
+            deadlines[future] = time.monotonic() + budget
+
+    while pending:
+        if tally.pool_restarts > policy.max_pool_restarts:
+            tally.degraded = True
+            logger.error(
+                "degrading to the serial path after %d pool failure(s); "
+                "%d chunk(s) remaining",
+                tally.pool_restarts, len(pending),
+            )
+            obs.count(
+                "repro_resilience_degradations_total",
+                help="Batch runs degraded from the pool to serial.",
+            )
+            with obs.span(
+                "resilience:degrade", remaining=len(pending),
+                pool_restarts=tally.pool_restarts,
+            ):
+                cache = DescriptionCache(
+                    disk=DiskDescriptionCache(config.cache_dir)
+                    if config.cache_dir else None
+                )
+                _run_serial(
+                    machine,
+                    sorted(pending.values(), key=lambda s: s.index),
+                    config, plan, cache, outcomes, block_failures, tally,
+                )
+            pending.clear()
+            break
+
+        pool = ProcessPoolExecutor(
+            max_workers=config.workers,
+            initializer=_init_worker,
+            initargs=(config.cache_dir, obs.enabled(), plan),
+        )
+        broken = False
+        futures: Dict[Any, _ChunkState] = {}
+        deadlines: Dict[Any, float] = {}
+        try:
+            for state in sorted(pending.values(), key=lambda s: s.index):
+                submit(pool, futures, deadlines, state)
+            while futures and not broken:
+                done, _ = wait(
+                    set(futures),
+                    timeout=_WAIT_TICK if budget else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    state = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except Exception as exc:
+                        state.last_error = exc
+                        state.failures += 1
+                        if is_retryable(exc) and \
+                                state.failures <= policy.retries:
+                            _record_retry(state, config, tally)
+                            submit(pool, futures, deadlines, state)
+                        else:
+                            pending.pop(state.index, None)
+                            to_isolate.append(state)
+                    else:
+                        pending.pop(state.index, None)
+                        outcomes[state.index] = outcome
+                if broken or not budget:
+                    continue
+                now = time.monotonic()
+                expired = [
+                    future for future, deadline in deadlines.items()
+                    if now >= deadline and not future.done()
+                ]
+                for future in expired:
+                    state = futures.pop(future)
+                    deadlines.pop(future, None)
+                    state.last_error = ChunkTimeoutError(
+                        f"chunk {state.index} exceeded its "
+                        f"{budget:g}s budget"
+                    )
+                    state.failures += 1
+                    tally.timeouts += 1
+                    logger.warning(
+                        "batch chunk %d timed out after %gs "
+                        "(failure %d/%d); abandoning the pool",
+                        state.index, budget, state.failures,
+                        policy.retries,
+                    )
+                    obs.count(
+                        "repro_resilience_timeouts_total",
+                        help="Chunk dispatches that exceeded their "
+                             "wall-clock budget.",
+                    )
+                    with obs.span("resilience:timeout",
+                                  chunk=state.index):
+                        pass
+                    if state.failures > policy.retries:
+                        pending.pop(state.index, None)
+                        to_isolate.append(state)
+                    # A timed-out future cannot be cancelled (its
+                    # worker is wedged), so the whole generation is
+                    # abandoned; other in-flight chunks stay pending
+                    # without being charged.
+                    broken = True
+        except BrokenProcessPool:
+            broken = True
+        if broken:
+            tally.pool_restarts += 1
+            obs.count(
+                "repro_resilience_pool_restarts_total",
+                help="Fresh pools built after worker death or timeout.",
+            )
+            with obs.span(
+                "resilience:pool-restart",
+                restart=tally.pool_restarts, remaining=len(pending),
+            ):
+                _shutdown_abandoned_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+
+    if to_isolate:
+        cache = DescriptionCache(
+            disk=DiskDescriptionCache(config.cache_dir)
+            if config.cache_dir else None
+        )
+        for state in sorted(to_isolate, key=lambda s: s.index):
+            outcome, failures = _isolate_chunk(
+                machine, state, config, cache
+            )
+            outcomes[state.index] = outcome
+            block_failures.extend(failures)
 
 
 # ----------------------------------------------------------------------
@@ -286,62 +730,72 @@ def schedule_batch(
     resolve through the registry so workers can rebuild it.  Results
     come back in input block order regardless of worker count, and the
     summed statistics are identical for any ``workers`` value.
+
+    Recoverable faults (worker death, chunk timeouts, transient
+    scheduling errors, corrupt cache entries) are retried under
+    ``config.retry`` / ``config.timeout`` without changing the result;
+    blocks that fail deterministically are quarantined and either
+    reported (``on_error="report"``) or raised as a
+    :class:`~repro.errors.ServiceError` (``on_error="raise"``).
     """
     config = config or BatchConfig()
     config.validate()
     machine = _resolve_machine(machine, parallel=config.workers > 1)
+    plan = faults.current_plan()
     block_list = list(blocks)
     chunks = _chunk_blocks(block_list, config.chunk_size)
+    states = [
+        _ChunkState(
+            index=index, blocks=chunk, offset=index * config.chunk_size
+        )
+        for index, chunk in enumerate(chunks)
+    ]
 
+    outcomes: Dict[int, _ChunkOutcome] = {}
+    block_failures: List[BlockFailure] = []
+    tally = _Tally()
     with obs.span(
         "service:batch", machine=machine.name,
         backend=config.backend_label, workers=config.workers,
         chunks=len(chunks),
     ) as sp:
         if config.workers == 1:
-            disk = (
-                DiskDescriptionCache(config.cache_dir)
-                if config.cache_dir
-                else None
+            cache = DescriptionCache(
+                disk=DiskDescriptionCache(config.cache_dir)
+                if config.cache_dir else None
             )
-            cache = DescriptionCache(disk=disk)
-            outcomes = [
-                _schedule_chunk(machine, index, chunk, config, cache)
-                for index, chunk in enumerate(chunks)
-            ]
+            _run_serial(
+                machine, states, config, plan, cache,
+                outcomes, block_failures, tally,
+            )
         else:
-            payloads = [
-                (index, machine.name, chunk, config)
-                for index, chunk in enumerate(chunks)
-            ]
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=config.workers,
-                    initializer=_init_worker,
-                    initargs=(config.cache_dir, obs.enabled()),
-                ) as pool:
-                    outcomes = list(pool.map(_pool_chunk, payloads))
-            except Exception:
-                logger.exception(
-                    "batch run over %d chunks on %s failed in the pool",
-                    len(chunks), machine.name,
-                )
-                raise
+            _run_pooled(
+                machine, states, config, plan,
+                outcomes, block_failures, tally,
+            )
 
         result = BatchResult(
             machine_name=machine.name,
             backend=config.backend_label,
             workers=config.workers,
             chunk_count=len(chunks),
+            retries=tally.retries,
+            timeouts=tally.timeouts,
+            pool_restarts=tally.pool_restarts,
+            degraded=tally.degraded,
         )
         # Chunk order, not completion order: the stats fold, the
         # schedule list, and the grafted trace must not depend on pool
         # timing.
-        for outcome in sorted(outcomes, key=lambda item: item.index):
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
             result.schedules.extend(outcome.schedules)
             result.stats += outcome.stats
             result.cache_stats += outcome.cache_stats
             obs.attach(outcome.spans)
+        result.errors = sorted(
+            block_failures, key=lambda f: f.block_index
+        )
         result.total_ops = sum(len(s.block) for s in result.schedules)
         result.total_cycles = sum(s.length for s in result.schedules)
         if obs.enabled():
@@ -361,5 +815,11 @@ def schedule_batch(
             "repro_batch_seconds", sp.seconds,
             help="Wall seconds per batch-service run.",
             backend=config.backend_label,
+        )
+    if result.errors and config.on_error == "raise":
+        raise ServiceError(
+            f"{len(result.errors)} block(s) quarantined out of "
+            f"{len(block_list)} on {machine.name}",
+            failures=result.errors,
         )
     return result

@@ -6,7 +6,8 @@ qualitative claims; the benchmarks regenerate them at full scale.
 
 import pytest
 
-from repro.analysis.experiments import ANDOR_REP, OR_REP, staged_mdes
+from repro.analysis.experiments import ANDOR_REP, OR_REP
+from repro.transforms.pipeline import staged_mdes
 from repro.machines import MACHINE_NAMES, get_machine
 
 

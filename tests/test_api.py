@@ -1,0 +1,172 @@
+"""The ``repro.api`` facade contract and the deprecation shims.
+
+Satellite of the api_redesign PR: ``repro.api`` is the supported public
+surface -- everything in its ``__all__`` must import, the convenience
+entry points must agree bit-for-bit with the deep-path equivalents they
+wrap, and the legacy deep-path names (``ModuloRUMap`` from the modulo
+scheduler, ``staged_mdes``/``FINAL_STAGE`` from the experiments module)
+must keep working behind a :class:`DeprecationWarning` that fires
+exactly once per name.
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+from repro import api
+from repro._compat import reset_deprecation_warnings
+from repro.engine import create_engine
+from repro.errors import (
+    CacheCorruptionError,
+    ChunkTimeoutError,
+    ReproError,
+    SchedulingError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.machines import get_machine
+from repro.scheduler import schedule_workload
+from repro.workloads import WorkloadConfig, generate_blocks
+
+MACHINE = "K5"
+STAGE = 4
+
+
+def workload(ops=120, seed=11):
+    machine = get_machine(MACHINE)
+    return machine, generate_blocks(
+        machine, WorkloadConfig(total_ops=ops, seed=seed)
+    )
+
+
+class TestFacadeSurface:
+    def test_every_name_in_all_is_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_error_taxonomy_roots_at_repro_error(self):
+        for error_type in (
+            SchedulingError, ServiceError, ChunkTimeoutError,
+            WorkerCrashError, CacheCorruptionError,
+        ):
+            assert issubclass(error_type, ReproError)
+        for error_type in (ChunkTimeoutError, WorkerCrashError):
+            assert issubclass(error_type, ServiceError)
+        failure_records = ServiceError("boom", failures=["record"])
+        assert failure_records.failures == ["record"]
+
+    def test_compile_machine_matches_deep_path(self):
+        from repro.lowlevel.compiled import compile_mdes
+        from repro.lowlevel.serialize import save_lmdes
+        from repro.transforms.pipeline import staged_mdes
+
+        machine = get_machine(MACHINE)
+        deep = compile_mdes(
+            staged_mdes(machine.build_andor(), STAGE), bitvector=True
+        )
+        assert save_lmdes(api.compile_machine(MACHINE, stage=STAGE)) \
+            == save_lmdes(deep)
+
+    def test_compile_machine_rejects_unknown_rep(self):
+        with pytest.raises(ValueError):
+            api.compile_machine(MACHINE, rep="nand")
+
+    def test_get_engine_accepts_name_or_object(self):
+        machine = get_machine(MACHINE)
+        by_name = api.get_engine("bitvector", MACHINE, stage=STAGE)
+        by_object = api.get_engine("bitvector", machine, stage=STAGE)
+        assert type(by_name) is type(by_object)
+        assert by_name.name == "bitvector"
+        assert set(api.engine_names()) >= {"bitvector", "automata"}
+
+    def test_schedule_matches_deep_path(self):
+        machine, blocks = workload()
+        facade = api.schedule(MACHINE, blocks, backend="bitvector",
+                              stage=STAGE)
+        deep = schedule_workload(
+            machine, None, blocks, keep_schedules=True,
+            engine=create_engine("bitvector", machine, stage=STAGE),
+        )
+        assert [s.signature() for s in facade.schedules] \
+            == [s.signature() for s in deep.schedules]
+        assert facade.stats == deep.stats
+        assert facade.total_cycles == deep.total_cycles
+
+    def test_schedule_batch_reexport_is_the_service_entry_point(self):
+        from repro.service import schedule_batch
+
+        assert api.schedule_batch is schedule_batch
+        _, blocks = workload(ops=60)
+        result = api.schedule_batch(
+            MACHINE, blocks,
+            api.BatchConfig(workers=1, chunk_size=8, stage=STAGE),
+        )
+        assert result.total_ops == sum(len(b) for b in blocks)
+        assert result.errors == []
+
+
+class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        reset_deprecation_warnings()
+        yield
+        reset_deprecation_warnings()
+
+    def _import_warns_once(self, module_name, attr, canonical_module):
+        module = importlib.import_module(module_name)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = getattr(module, attr)
+            second = getattr(module, attr)
+        canonical = getattr(
+            importlib.import_module(canonical_module), attr
+        )
+        assert first is canonical and second is canonical
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, (
+            f"{module_name}.{attr} warned {len(deprecations)} times"
+        )
+        message = str(deprecations[0].message)
+        assert attr in message and canonical_module in message
+
+    def test_modulo_rumap_shim_warns_exactly_once(self):
+        self._import_warns_once(
+            "repro.modulo.scheduler", "ModuloRUMap",
+            "repro.lowlevel.bitvector",
+        )
+
+    def test_staged_mdes_shim_warns_exactly_once(self):
+        self._import_warns_once(
+            "repro.analysis.experiments", "staged_mdes",
+            "repro.transforms.pipeline",
+        )
+
+    def test_final_stage_shim_warns_exactly_once(self):
+        self._import_warns_once(
+            "repro.analysis.experiments", "FINAL_STAGE",
+            "repro.transforms.pipeline",
+        )
+
+    def test_canonical_imports_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.lowlevel.bitvector import ModuloRUMap  # noqa: F401
+            from repro.modulo import ModuloRUMap as from_pkg  # noqa: F401
+            from repro.transforms.pipeline import (  # noqa: F401
+                FINAL_STAGE,
+                staged_mdes,
+            )
+        assert caught == []
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.analysis.experiments as experiments
+        import repro.modulo.scheduler as scheduler
+
+        with pytest.raises(AttributeError):
+            scheduler.no_such_name
+        with pytest.raises(AttributeError):
+            experiments.no_such_name

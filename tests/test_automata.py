@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.automata import (
     AutomatonBackend,
     SchedulingAutomaton,

@@ -277,6 +277,78 @@ class TestScheduleBatch:
         assert "workers" in err
 
 
+class TestScheduleBatchResilience:
+    """The --retries / --chunk-timeout / --on-error surface."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_fault_plan(self):
+        from repro.service import faults
+
+        faults.clear()
+        yield
+        faults.clear()
+
+    def _json_run(self, run_cli, *argv):
+        import json
+
+        code, out, err = run_cli("schedule-batch", *argv, "--json")
+        assert code == 0, err
+        return json.loads(out)
+
+    def test_json_report_carries_resilience_section(self, run_cli):
+        report = self._json_run(
+            run_cli, "--machine", "K5", "--ops", "100",
+            "--retries", "2", "--chunk-timeout", "30",
+        )
+        resilience = report["resilience"]
+        assert resilience == {
+            "retries": 0, "timeouts": 0, "pool_restarts": 0,
+            "degraded": False, "quarantined": 0, "errors": [],
+        }
+
+    def test_injected_transient_fault_is_retried(self, run_cli,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "sched@0")
+        report = self._json_run(
+            run_cli, "--machine", "K5", "--ops", "100", "--retries", "1",
+        )
+        assert report["resilience"]["retries"] == 1
+        assert report["resilience"]["errors"] == []
+        monkeypatch.delenv("REPRO_FAULTS")
+        clean = self._json_run(
+            run_cli, "--machine", "K5", "--ops", "100", "--retries", "1",
+        )
+        for key in ("ops", "cycles", "attempts", "blocks"):
+            assert report[key] == clean[key], key
+
+    def test_human_output_reports_recovery(self, run_cli, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "sched@0")
+        code, out, _ = run_cli(
+            "schedule-batch", "--machine", "K5", "--ops", "100",
+            "--retries", "1",
+        )
+        assert code == 0
+        assert "resilience:" in out
+        assert "1 retry(ies)" in out
+
+    def test_worker_crash_recovered_through_cli(self, run_cli,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@0")
+        report = self._json_run(
+            run_cli, "--machine", "K5", "--ops", "120",
+            "--workers", "2", "--chunk-size", "8",
+        )
+        assert report["resilience"]["pool_restarts"] >= 1
+        assert report["resilience"]["errors"] == []
+
+    def test_on_error_rejects_unknown_mode(self, run_cli, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "schedule-batch", "--machine", "K5", "--ops", "50",
+                "--on-error", "explode",
+            )
+
+
 class TestCompileLmdes:
     def test_compile_machine_to_lmdes(self, run_cli, tmp_path):
         output = tmp_path / "ss.lmdes.json"

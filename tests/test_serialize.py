@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis.experiments import staged_mdes
+from repro.transforms.pipeline import staged_mdes
 from repro.errors import MdesError
 from repro.lowlevel import compile_mdes, mdes_size_bytes
 from repro.lowlevel.serialize import LMDES_VERSION, load_lmdes, save_lmdes
