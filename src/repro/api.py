@@ -21,6 +21,8 @@ your problem::
     )
     for failure in result.errors:                    # typed quarantine
         print(failure.block_index, failure.error_type)
+    report = api.verify_schedule(machine, run)       # independent oracle
+    assert report.ok, report.diagnostics
 
 The error taxonomy is part of the surface: every exception the library
 raises derives from :class:`ReproError`, service-layer failures from
@@ -41,6 +43,7 @@ from repro.errors import (
     ReproError,
     SchedulingError,
     ServiceError,
+    VerificationError,
     WorkerCrashError,
 )
 from repro.hmdes import load_mdes
@@ -58,6 +61,7 @@ from repro.service import (
     schedule_batch,
 )
 from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
+from repro.verify import Diagnostic, VerifyReport, verify_schedule
 from repro.workloads import WorkloadConfig, generate_blocks
 
 
@@ -131,6 +135,7 @@ __all__ = [
     "get_engine",
     "schedule",
     "schedule_batch",
+    "verify_schedule",
     # Machines and workloads
     "MACHINE_NAMES",
     "get_machine",
@@ -151,7 +156,11 @@ __all__ = [
     # Results
     "BlockSchedule",
     "RunResult",
+    # Verification
+    "Diagnostic",
+    "VerifyReport",
     # Error taxonomy
+    "VerificationError",
     "ReproError",
     "MdesError",
     "HmdesError",

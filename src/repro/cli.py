@@ -18,6 +18,13 @@ Commands:
   [--on-error raise|report] [options]`` -- shard a workload across a
   process pool with a persistent on-disk description cache, retrying
   recoverable faults and quarantining poisoned blocks.
+* ``verify [--machine NAME] [--backend NAME] [options]`` -- schedule a
+  seeded workload and replay it through the independent oracle; with
+  ``--golden DIR`` check (or ``--regen`` regenerate) the golden
+  conformance corpus.
+* ``fuzz [--seed N] [--cases N] [--no-shrink] [--out DIR]`` -- run the
+  cross-backend differential fuzzer over generated HMDES descriptions,
+  shrinking any divergence to a minimal reproducer.
 * ``stats --machine NAME [--prom]`` -- run one observed workload and
   print the obs metrics registry (optionally Prometheus exposition).
 * ``trace --machine NAME [-o FILE]`` -- run one observed workload and
@@ -376,6 +383,7 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
         retry=RetryPolicy(retries=args.retries),
         timeout=TimeoutPolicy(chunk_seconds=args.chunk_timeout),
         on_error=args.on_error,
+        verify=args.verify,
     )
     # The wall clock is an obs span, not an ad-hoc perf_counter: the
     # same timing lands in the trace tree and the JSON obs digest.
@@ -433,6 +441,10 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
                     "quarantined": result.quarantined,
                     "errors": [f.to_dict() for f in result.errors],
                 },
+                "verify": (
+                    result.verify_report.summary()
+                    if result.verify_report is not None else None
+                ),
                 "obs": obs.summary(),
             },
             indent=2,
@@ -451,6 +463,13 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
         print(f"description cache:   {cache.disk_hits} disk hit(s), "
               f"{cache.disk_misses} miss(es), {cache.disk_stores} "
               f"store(s), {cache.disk_quarantined} quarantined")
+    if result.verify_report is not None:
+        report = result.verify_report
+        verdict = "ok" if report.ok else (
+            f"FAILED ({len(report.diagnostics)} diagnostics)"
+        )
+        print(f"oracle verification: {verdict} "
+              f"({report.blocks_checked} blocks replayed)")
     if (result.retries or result.timeouts or result.pool_restarts
             or result.degraded or result.errors):
         print(f"resilience:          {result.retries} retry(ies), "
@@ -461,6 +480,136 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
             print(f"  quarantined block {failure.block_index}: "
                   f"{failure.error_type}: {failure.message}")
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import engine_names
+    from repro.scheduler import schedule_workload
+    from repro.verify import check_corpus, verify_schedule, write_corpus
+    from repro.workloads import WorkloadConfig, generate_blocks
+
+    if args.golden:
+        if args.regen:
+            written = write_corpus(args.golden)
+            for path in written:
+                print(f"wrote {path}")
+            return 0
+        mismatches = check_corpus(args.golden)
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"golden mismatch: {mismatch}", file=sys.stderr)
+            print(
+                f"{len(mismatches)} golden-corpus mismatch(es); "
+                f"regenerate with: repro verify --golden {args.golden} "
+                "--regen",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"golden corpus {args.golden}: ok")
+        return 0
+
+    machines = [args.machine] if args.machine else list(MACHINE_NAMES)
+    backends = [args.backend] if args.backend else list(engine_names())
+    results = []
+    failed = False
+    for machine_name in machines:
+        machine = get_machine(machine_name)
+        blocks = generate_blocks(machine, WorkloadConfig(
+            total_ops=args.ops, seed=args.seed,
+        ))
+        for backend in backends:
+            from repro.engine import create_engine
+
+            engine = create_engine(backend, machine, stage=args.stage)
+            run = schedule_workload(
+                machine, None, blocks, keep_schedules=True,
+                direction=args.direction, engine=engine,
+            )
+            report = verify_schedule(
+                machine, run, direction=args.direction
+            )
+            summary = report.summary()
+            summary["backend"] = backend
+            results.append(summary)
+            if not report.ok:
+                failed = True
+                if not args.json:
+                    for diagnostic in report.diagnostics:
+                        print(f"  {diagnostic}", file=sys.stderr)
+            if not args.json:
+                verdict = "ok" if report.ok else (
+                    f"FAILED ({len(report.diagnostics)} diagnostics)"
+                )
+                print(
+                    f"{machine_name:11s} {backend:13s} "
+                    f"{report.blocks_checked:4d} blocks "
+                    f"{report.ops_checked:6d} ops  {verdict}"
+                )
+    if args.json:
+        print(json.dumps(results, indent=2))
+    return 1 if failed else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.verify import fuzz
+    from repro.workloads.trace import write_trace
+
+    def progress(done: int, failures: int) -> None:
+        if not args.json and done % 25 == 0:
+            print(f"  {done}/{args.cases} cases, {failures} failure(s)")
+
+    report = fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    artifacts = []
+    if report.failures and args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for failure in report.failures:
+            stem = os.path.join(args.out, f"fuzz_{failure.seed}")
+            with open(f"{stem}.hmdes", "w") as handle:
+                handle.write(failure.shrunk_source)
+            with open(f"{stem}.trace", "w") as handle:
+                handle.write(write_trace(
+                    failure.case.blocks, failure.case.machine.name
+                ))
+            with open(f"{stem}.json", "w") as handle:
+                json.dump(failure.summary(), handle, indent=2)
+            artifacts.extend(
+                [f"{stem}.hmdes", f"{stem}.trace", f"{stem}.json"]
+            )
+    if args.json:
+        print(json.dumps({
+            "seed": report.seed,
+            "cases": report.cases,
+            "failures": [f.summary() for f in report.failures],
+            "artifacts": artifacts,
+        }, indent=2))
+    else:
+        print(
+            f"fuzz: {report.cases} cases from seed {report.seed}: "
+            f"{len(report.failures)} failure(s)"
+        )
+        for failure in report.failures:
+            ops, options, usages = failure.shrunk_size
+            print(
+                f"  seed {failure.seed}: "
+                f"{len(failure.divergences)} divergence(s), shrunk to "
+                f"{ops} op(s) / {options} option(s) / {usages} usage(s) "
+                f"in {failure.shrink_steps} cut(s)"
+            )
+            for divergence in failure.divergences[:5]:
+                print(f"    {divergence}")
+        for path in artifacts:
+            print(f"  wrote {path}")
+    return 1 if report.failures else 0
 
 
 def _obs_demo_run(args: argparse.Namespace):
@@ -676,6 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
             "the result"
         ),
     )
+    batch.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "replay the assembled schedules through the independent "
+            "oracle after the run"
+        ),
+    )
     batch.add_argument("--json", action="store_true",
                        help="emit a machine-readable result document")
     batch.add_argument(
@@ -685,6 +841,59 @@ def build_parser() -> argparse.ArgumentParser:
             "worker spans (forces obs on)"
         ),
     )
+
+    verify = commands.add_parser(
+        "verify",
+        help=(
+            "replay schedules through the independent oracle, or check "
+            "the golden conformance corpus"
+        ),
+    )
+    verify.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                        default=None,
+                        help="one machine (default: the paper's four)")
+    verify.add_argument("--backend", choices=engine_names(), default=None,
+                        help="one backend (default: every registered one)")
+    verify.add_argument("--ops", type=int, default=2000)
+    verify.add_argument("--seed", type=int, default=20161202)
+    verify.add_argument("--stage", type=int, default=4,
+                        help="transformation stage 0-4")
+    verify.add_argument("--direction", choices=("forward", "backward"),
+                        default="forward")
+    verify.add_argument(
+        "--golden", default=None, metavar="DIR",
+        help="check the golden corpus under DIR instead of scheduling",
+    )
+    verify.add_argument(
+        "--regen", action="store_true",
+        help="with --golden: regenerate the corpus files",
+    )
+    verify.add_argument("--json", action="store_true",
+                        help="emit machine-readable verdicts")
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz",
+        help=(
+            "differential-fuzz generated HMDES descriptions across "
+            "every backend and transform stage"
+        ),
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="base seed; case i uses seed+i")
+    fuzz_cmd.add_argument("--cases", type=int, default=50)
+    fuzz_cmd.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw failing cases without minimizing them",
+    )
+    fuzz_cmd.add_argument(
+        "--out", default=None, metavar="DIR",
+        help=(
+            "write each failure's minimal reproducer (.hmdes, .trace, "
+            ".json) under DIR"
+        ),
+    )
+    fuzz_cmd.add_argument("--json", action="store_true",
+                          help="emit a machine-readable report")
 
     def _obs_demo_args(sub) -> None:
         sub.add_argument("--machine", choices=ALL_MACHINE_NAMES,
@@ -736,6 +945,8 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
     "schedule-batch": _cmd_schedule_batch,
+    "verify": _cmd_verify,
+    "fuzz": _cmd_fuzz,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "report": _cmd_report,

@@ -63,5 +63,19 @@ class ChunkTimeoutError(ServiceError):
     """One dispatched chunk exceeded its wall-clock budget."""
 
 
+class VerificationError(ServiceError):
+    """A finished schedule failed independent oracle verification.
+
+    Raised by the batch service when ``BatchConfig.verify`` is set and
+    the oracle rejects the assembled schedules (``on_error="raise"``
+    mode).  Carries the full :class:`~repro.verify.oracle.VerifyReport`
+    as ``report``.
+    """
+
+    def __init__(self, message, report=None, failures=()):
+        super().__init__(message, failures)
+        self.report = report
+
+
 class WorkerCrashError(ServiceError):
     """A pool worker died (or a crash was injected) mid-chunk."""

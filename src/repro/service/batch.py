@@ -69,7 +69,7 @@ from repro.engine.diskcache import (
 )
 from repro.engine.registry import create_engine
 from repro.engine.table import TableEngine
-from repro.errors import ChunkTimeoutError, ServiceError
+from repro.errors import ChunkTimeoutError, ServiceError, VerificationError
 from repro.ir.block import BasicBlock
 from repro.lowlevel.checker import CheckStats
 from repro.machines import get_machine
@@ -119,6 +119,11 @@ class BatchConfig:
             block ends up quarantined; ``"report"`` returns them as
             typed ``BatchResult.errors`` records alongside the
             surviving schedules.
+        verify: Replay the assembled schedules through the independent
+            oracle (:mod:`repro.verify`) after the run.  The report
+            lands in ``BatchResult.verify_report``; in ``"raise"`` mode
+            a failed verification raises
+            :class:`~repro.errors.VerificationError`.
     """
 
     backend: Optional[str] = None
@@ -131,6 +136,7 @@ class BatchConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     timeout: TimeoutPolicy = field(default_factory=TimeoutPolicy)
     on_error: str = "raise"
+    verify: bool = False
 
     def validate(self) -> None:
         if self.backend and self.lmdes_path:
@@ -180,6 +186,8 @@ class BatchResult:
     timeouts: int = 0
     pool_restarts: int = 0
     degraded: bool = False
+    #: Oracle report when the run asked for ``BatchConfig.verify``.
+    verify_report: Optional[Any] = None
 
     @property
     def attempts_per_op(self) -> float:
@@ -816,10 +824,37 @@ def schedule_batch(
             help="Wall seconds per batch-service run.",
             backend=config.backend_label,
         )
+    if config.verify:
+        # Late import: repro.verify sits above the service layer.
+        from repro.verify import verify_schedule
+
+        with obs.span(
+            "verify:batch", machine=machine.name,
+            blocks=len(result.schedules),
+        ):
+            result.verify_report = verify_schedule(
+                machine, result.schedules, direction=config.direction
+            )
+        obs.count(
+            "repro_verify_batch_runs_total",
+            help="Batch runs verified by the oracle.",
+            ok=str(result.verify_report.ok).lower(),
+        )
     if result.errors and config.on_error == "raise":
         raise ServiceError(
             f"{len(result.errors)} block(s) quarantined out of "
             f"{len(block_list)} on {machine.name}",
             failures=result.errors,
+        )
+    if (
+        result.verify_report is not None
+        and not result.verify_report.ok
+        and config.on_error == "raise"
+    ):
+        raise VerificationError(
+            f"oracle rejected {machine.name} batch: "
+            f"{len(result.verify_report.diagnostics)} diagnostic(s) "
+            f"over {result.verify_report.blocks_checked} block(s)",
+            report=result.verify_report,
         )
     return result

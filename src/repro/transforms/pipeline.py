@@ -130,12 +130,20 @@ class PipelineResult:
         return self.stages[self.stage_names.index(name)]
 
 
-def run_pipeline(mdes: Mdes, direction: str = "forward") -> PipelineResult:
+def run_pipeline(
+    mdes: Mdes,
+    direction: str = "forward",
+    stage_hook: Callable[[str, Mdes], None] = None,
+) -> PipelineResult:
     """Run every stage, keeping the intermediate descriptions.
 
     ``direction`` selects the usage-time shift heuristic (section 7): the
     same description is automatically tuned for forward or backward list
     schedulers.
+
+    ``stage_hook`` is called as ``stage_hook(name, result)`` after each
+    stage completes; the differential verifier uses it to check, stage
+    by stage, that a transform preserved the description's semantics.
     """
     names = ["input"]
     stages = [mdes]
@@ -146,6 +154,8 @@ def run_pipeline(mdes: Mdes, direction: str = "forward") -> PipelineResult:
                 current = _traced(name, transform, current, direction)
             else:
                 current = _traced(name, transform, current)
+            if stage_hook is not None:
+                stage_hook(name, current)
             names.append(name)
             stages.append(current)
     return PipelineResult(names, stages)

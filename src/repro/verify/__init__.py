@@ -1,0 +1,93 @@
+"""``repro.verify`` -- the independent correctness layer.
+
+Three instruments, all judging the optimized pipeline from outside it:
+
+* the **oracle** (:mod:`repro.verify.oracle`): replays finished
+  schedules against the raw, untransformed high-level description --
+  a deliberately naive interpreter that shares no code with the
+  engines it checks;
+* the **differential fuzzer** (:mod:`repro.verify.fuzz`,
+  :mod:`repro.verify.generate`, :mod:`repro.verify.differential`,
+  :mod:`repro.verify.shrink`): seeded random descriptions scheduled
+  through every backend and every transform stage, disagreements
+  shrunk to minimal HMDES reproducers;
+* the **golden corpus** (:mod:`repro.verify.golden`): pinned schedule
+  digests for the four paper machines across every backend, checked in
+  under ``tests/golden/``.
+
+Entry points: :func:`verify_schedule` (also re-exported from
+``repro.api``), :func:`fuzz`, and the CLI's ``verify``/``fuzz``
+commands.
+"""
+
+from repro.verify.differential import (
+    DEFAULT_STAGES,
+    Divergence,
+    differential_runs,
+    verify_transform_stages,
+)
+from repro.verify.fuzz import (
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    generate_case,
+    run_case,
+)
+from repro.verify.generate import DEFAULT_GRAMMAR, FuzzGrammar
+from repro.verify.golden import (
+    CORPUS_SEED,
+    CORPUS_STAGE,
+    CORPUS_VERSION,
+    check_corpus,
+    corpus_workload,
+    schedule_digest,
+    write_corpus,
+)
+from repro.verify.oracle import (
+    LATENCY_VIOLATION,
+    RESOURCE_CONFLICT,
+    SEARCH_BUDGET_EXCEEDED,
+    UNKNOWN_CLASS,
+    UNPLACED_OPERATION,
+    Diagnostic,
+    ScheduleOracle,
+    VerifyReport,
+    verify_schedule,
+)
+from repro.verify.shrink import shrink_case
+
+__all__ = [
+    # Oracle
+    "Diagnostic",
+    "ScheduleOracle",
+    "VerifyReport",
+    "verify_schedule",
+    "RESOURCE_CONFLICT",
+    "LATENCY_VIOLATION",
+    "UNKNOWN_CLASS",
+    "UNPLACED_OPERATION",
+    "SEARCH_BUDGET_EXCEEDED",
+    # Differential fuzzer
+    "DEFAULT_GRAMMAR",
+    "DEFAULT_STAGES",
+    "Divergence",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzGrammar",
+    "FuzzReport",
+    "differential_runs",
+    "fuzz",
+    "generate_case",
+    "run_case",
+    "shrink_case",
+    "verify_transform_stages",
+    # Golden corpus
+    "CORPUS_SEED",
+    "CORPUS_STAGE",
+    "CORPUS_VERSION",
+    "check_corpus",
+    "corpus_workload",
+    "schedule_digest",
+    "write_corpus",
+]

@@ -1,0 +1,223 @@
+"""Cross-backend and cross-stage differential execution.
+
+The paper's central semantics claim is that every transform stage and
+every compiled representation answers availability queries identically,
+so a greedy list scheduler must produce the *exact same schedule* (and
+the same attempt/success counts) no matter which (stage, backend) pair
+serves it.  This module turns that claim into an executable check:
+
+* :func:`differential_runs` schedules one workload through the full
+  legal stage x backend matrix and compares, against the first run,
+  - the per-block schedule signatures,
+  - the ``CheckStats``-visible query answers (attempts and successes --
+    the counts that are representation-independent; per-option and
+    per-usage check counts legitimately differ across backends),
+  - the independent oracle's verdict on every run.
+* :func:`verify_transform_stages` replays the same workload after every
+  individual pipeline stage (via ``run_pipeline``'s ``stage_hook``), so
+  a semantics-breaking transform is pinned to the stage that broke it.
+
+Disagreements come back as typed :class:`Divergence` records; an empty
+list is the "all representations agree" verdict the fuzzer relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.mdes import Mdes
+from repro.engine.cache import DescriptionCache
+from repro.engine.registry import create_engine, engine_names, get_engine_spec
+from repro.engine.table import TableEngine
+from repro.lowlevel.compiled import compile_mdes
+from repro.scheduler.list_scheduler import schedule_workload
+from repro.transforms.pipeline import FINAL_STAGE, run_pipeline
+from repro.verify.oracle import ScheduleOracle
+
+#: Stage pair the fuzzer exercises by default: the raw description and
+#: the fully transformed one (the extremes bound the middle stages).
+DEFAULT_STAGES: Tuple[int, ...] = (0, FINAL_STAGE)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between two configurations.
+
+    Attributes:
+        kind: ``"error"`` (a run raised), ``"schedule"`` (signatures
+            differ), ``"stats"`` (query answers differ), ``"oracle"``
+            (the independent oracle rejected a run's schedules), or
+            ``"transform"`` (a pipeline stage changed the schedule).
+        where: The configuration that diverged, e.g. ``"stage4/automata"``.
+        reference: The configuration it was compared against.
+        detail: Human-readable description of the disagreement.
+    """
+
+    kind: str
+    where: str
+    reference: str = ""
+    detail: str = ""
+
+    def __str__(self) -> str:
+        against = f" vs {self.reference}" if self.reference else ""
+        return f"{self.kind}: {self.where}{against}: {self.detail}"
+
+
+def _first_signature_delta(
+    reference: tuple, candidate: tuple
+) -> str:
+    """Locate the first differing block between two run signatures."""
+    if len(reference) != len(candidate):
+        return (
+            f"block counts differ: {len(reference)} vs {len(candidate)}"
+        )
+    for block_index, (ref, got) in enumerate(zip(reference, candidate)):
+        if ref != got:
+            return f"first differing block: index {block_index}"
+    return "signatures differ"
+
+
+def differential_runs(
+    machine,
+    blocks,
+    stages: Sequence[int] = DEFAULT_STAGES,
+    backends: Optional[Sequence[str]] = None,
+    cache: Optional[DescriptionCache] = None,
+    oracle: Optional[ScheduleOracle] = None,
+) -> List[Divergence]:
+    """Schedule ``blocks`` through the stage x backend matrix and compare.
+
+    Returns every observed divergence (empty list == full agreement).
+    A private description cache keeps one case's compiles from aliasing
+    another's in the process-wide cache.
+    """
+    from repro import obs
+
+    if backends is None:
+        backends = engine_names()
+    if cache is None:
+        cache = DescriptionCache(name="verify")
+    if oracle is None:
+        oracle = ScheduleOracle(machine)
+    blocks = list(blocks)
+
+    divergences: List[Divergence] = []
+    reference = None  # (where, signature, attempts, successes)
+    with obs.span(
+        "verify:differential", machine=machine.name,
+        stages=",".join(str(stage) for stage in stages),
+    ):
+        for stage in stages:
+            for backend in backends:
+                if stage < get_engine_spec(backend).min_stage:
+                    continue
+                where = f"stage{stage}/{backend}"
+                try:
+                    engine = create_engine(
+                        backend, machine, stage=stage, cache=cache
+                    )
+                    run = schedule_workload(
+                        machine, None, blocks,
+                        keep_schedules=True, engine=engine,
+                    )
+                except Exception as exc:  # any failure is a finding
+                    divergences.append(Divergence(
+                        "error", where,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                report = oracle.verify(run.schedules)
+                if not report.ok:
+                    sample = "; ".join(
+                        str(diag) for diag in report.diagnostics[:3]
+                    )
+                    divergences.append(Divergence(
+                        "oracle", where,
+                        detail=(
+                            f"{len(report.diagnostics)} diagnostics: "
+                            f"{sample}"
+                        ),
+                    ))
+                signature = run.signature()
+                answers = (run.stats.attempts, run.stats.successes)
+                if reference is None:
+                    reference = (where, signature, answers)
+                    continue
+                if signature != reference[1]:
+                    divergences.append(Divergence(
+                        "schedule", where, reference=reference[0],
+                        detail=_first_signature_delta(
+                            reference[1], signature
+                        ),
+                    ))
+                if answers != reference[2]:
+                    divergences.append(Divergence(
+                        "stats", where, reference=reference[0],
+                        detail=(
+                            f"(attempts, successes) {answers} vs "
+                            f"{reference[2]}"
+                        ),
+                    ))
+    if divergences:
+        obs.count(
+            "repro_verify_divergences_total", len(divergences),
+            help="Differential-run disagreements observed.",
+            machine=machine.name,
+        )
+    return divergences
+
+
+def verify_transform_stages(
+    machine,
+    blocks,
+    direction: str = "forward",
+    oracle: Optional[ScheduleOracle] = None,
+) -> List[Divergence]:
+    """Run the workload after each individual pipeline stage.
+
+    Uses ``run_pipeline``'s ``stage_hook`` to capture every intermediate
+    description, schedules the same blocks against each one (bit-vector
+    table engine -- the production default), and reports the first stage
+    whose schedule or oracle verdict deviates from the raw input's.
+    """
+    if oracle is None:
+        oracle = ScheduleOracle(machine, direction=direction)
+    blocks = list(blocks)
+    captured: List[Tuple[str, Mdes]] = [("input", machine.build_andor())]
+    run_pipeline(
+        captured[0][1], direction=direction,
+        stage_hook=lambda name, mdes: captured.append((name, mdes)),
+    )
+
+    divergences: List[Divergence] = []
+    reference = None  # (stage name, signature)
+    for stage_name, mdes in captured:
+        where = f"pipeline/{stage_name}"
+        try:
+            engine = TableEngine(compile_mdes(mdes, bitvector=True))
+            run = schedule_workload(
+                machine, None, blocks,
+                keep_schedules=True, direction=direction, engine=engine,
+            )
+        except Exception as exc:
+            divergences.append(Divergence(
+                "error", where, detail=f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        report = oracle.verify(run.schedules)
+        if not report.ok:
+            sample = "; ".join(str(d) for d in report.diagnostics[:3])
+            divergences.append(Divergence(
+                "oracle", where,
+                detail=f"{len(report.diagnostics)} diagnostics: {sample}",
+            ))
+        signature = run.signature()
+        if reference is None:
+            reference = (where, signature)
+        elif signature != reference[1]:
+            divergences.append(Divergence(
+                "transform", where, reference=reference[0],
+                detail=_first_signature_delta(reference[1], signature),
+            ))
+    return divergences

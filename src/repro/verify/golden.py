@@ -1,0 +1,183 @@
+"""The golden conformance corpus: machine x backend -> schedule digest.
+
+Schedules in this library are deterministic: a fixed machine, a fixed
+seeded workload, and a fixed (stage, backend) pair always produce the
+same placement.  The golden corpus pins those placements down as SHA-256
+digests checked into ``tests/golden/`` -- one JSON file per machine,
+one entry per registered backend, each carrying the digest, the run
+totals, and the oracle's verdict.  Any future transform or engine
+change that shifts a schedule fails the corpus check loudly, and the
+reviewer regenerates the files (``repro verify --golden tests/golden
+--regen``) only after deciding the shift is intended.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.registry import create_engine, engine_names
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler.list_scheduler import schedule_workload
+from repro.transforms.pipeline import FINAL_STAGE
+from repro.verify.oracle import ScheduleOracle
+from repro.workloads.generator import WorkloadConfig, generate_blocks
+
+#: Bump when the corpus file layout changes (not when schedules do).
+CORPUS_VERSION = 1
+#: The pinned workload: small enough to check in tier-1, large enough
+#: that every machine exercises multi-option trees and cascading.
+CORPUS_OPS = 160
+CORPUS_SEED = 20161202
+CORPUS_STAGE = FINAL_STAGE
+
+
+def corpus_path(directory, machine_name: str) -> Path:
+    """The corpus file for one machine."""
+    return Path(directory) / f"{machine_name.lower()}.json"
+
+
+def schedule_digest(signature: tuple) -> str:
+    """Stable digest of a run signature (tuples of ints and strings)."""
+    return hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()
+
+
+def corpus_workload(machine_name: str):
+    """The pinned (machine, blocks) pair the corpus schedules."""
+    machine = get_machine(machine_name)
+    blocks = generate_blocks(machine, WorkloadConfig(
+        total_ops=CORPUS_OPS, seed=CORPUS_SEED,
+    ))
+    return machine, blocks
+
+
+def compute_document(
+    machine_name: str, backends: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Recompute one machine's corpus document from scratch."""
+    from repro import obs
+
+    if backends is None:
+        backends = engine_names()
+    machine, blocks = corpus_workload(machine_name)
+    oracle = ScheduleOracle(machine)
+    entries: List[Dict[str, object]] = []
+    with obs.span("verify:golden", machine=machine_name):
+        for backend in backends:
+            engine = create_engine(backend, machine, stage=CORPUS_STAGE)
+            run = schedule_workload(
+                machine, None, blocks, keep_schedules=True, engine=engine
+            )
+            report = oracle.verify(run.schedules)
+            entries.append({
+                "backend": backend,
+                "digest": schedule_digest(run.signature()),
+                "total_ops": run.total_ops,
+                "total_cycles": run.total_cycles,
+                "oracle_ok": report.ok,
+                "oracle_diagnostics": len(report.diagnostics),
+            })
+    return {
+        "version": CORPUS_VERSION,
+        "machine": machine_name,
+        "workload": {
+            "total_ops": CORPUS_OPS,
+            "seed": CORPUS_SEED,
+            "stage": CORPUS_STAGE,
+        },
+        "entries": entries,
+    }
+
+
+def write_corpus(
+    directory,
+    machines: Sequence[str] = MACHINE_NAMES,
+    backends: Optional[Sequence[str]] = None,
+) -> List[Path]:
+    """(Re)generate the corpus files; returns the paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for machine_name in machines:
+        document = compute_document(machine_name, backends)
+        path = corpus_path(directory, machine_name)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written
+
+
+def check_corpus(
+    directory,
+    machines: Sequence[str] = MACHINE_NAMES,
+    backends: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Compare current behavior against the stored corpus.
+
+    Returns human-readable mismatch strings; an empty list means every
+    machine x backend pair still produces its pinned schedule and
+    oracle verdict.
+    """
+    from repro import obs
+
+    mismatches: List[str] = []
+    for machine_name in machines:
+        path = corpus_path(directory, machine_name)
+        if not path.exists():
+            mismatches.append(f"{machine_name}: missing corpus file {path}")
+            continue
+        try:
+            stored = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            mismatches.append(f"{machine_name}: unreadable corpus: {exc}")
+            continue
+        if stored.get("version") != CORPUS_VERSION:
+            mismatches.append(
+                f"{machine_name}: corpus version "
+                f"{stored.get('version')} != {CORPUS_VERSION}"
+            )
+            continue
+        current = compute_document(machine_name, backends)
+        if stored.get("workload") != current["workload"]:
+            mismatches.append(
+                f"{machine_name}: pinned workload changed: "
+                f"{stored.get('workload')} != {current['workload']}"
+            )
+            continue
+        stored_entries = {
+            entry.get("backend"): entry
+            for entry in stored.get("entries", [])
+        }
+        for entry in current["entries"]:
+            backend = entry["backend"]
+            pinned = stored_entries.pop(backend, None)
+            if pinned is None:
+                mismatches.append(
+                    f"{machine_name}/{backend}: no pinned entry "
+                    "(regenerate the corpus)"
+                )
+                continue
+            for key in (
+                "digest", "total_ops", "total_cycles",
+                "oracle_ok", "oracle_diagnostics",
+            ):
+                if pinned.get(key) != entry[key]:
+                    mismatches.append(
+                        f"{machine_name}/{backend}: {key} changed: "
+                        f"pinned {pinned.get(key)!r}, got {entry[key]!r}"
+                    )
+        for backend in stored_entries:
+            mismatches.append(
+                f"{machine_name}/{backend}: pinned entry for an "
+                "unregistered backend"
+            )
+    obs.count(
+        "repro_verify_golden_checks_total",
+        help="Golden-corpus comparisons.",
+        result="mismatch" if mismatches else "ok",
+    )
+    return mismatches

@@ -60,6 +60,38 @@ def toy_mdes(resources, load_and_or_tree):
     return mdes
 
 
+#: Session-wide memo of generated workloads, keyed (machine, ops, seed).
+_WORKLOAD_CACHE = {}
+
+
+def shared_workload(machine_name, ops, seed):
+    """Memoized (machine, blocks) for a deterministic workload key.
+
+    Several suites regenerate identical workloads per test; the
+    generator is pure, so one copy per key is safe to share as long as
+    callers never mutate the blocks (copy-then-replace instead).
+    """
+    key = (machine_name, ops, seed)
+    if key not in _WORKLOAD_CACHE:
+        from repro.machines import get_machine
+        from repro.workloads import WorkloadConfig, generate_blocks
+
+        machine = get_machine(machine_name)
+        _WORKLOAD_CACHE[key] = (
+            machine,
+            generate_blocks(
+                machine, WorkloadConfig(total_ops=ops, seed=seed)
+            ),
+        )
+    return _WORKLOAD_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def workload_factory():
+    """The memoized workload builder, as a session-scoped fixture."""
+    return shared_workload
+
+
 @pytest.fixture(scope="session")
 def small_suite():
     """A small-but-real experiment suite shared across analysis tests."""

@@ -5,6 +5,7 @@ acceptable outcomes are success or an ``HmdesError`` subclass with a
 message -- never an unrelated exception or a hang.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import HmdesError
@@ -12,6 +13,8 @@ from repro.hmdes.lexer import tokenize
 from repro.hmdes.parser import parse_source
 from repro.hmdes.preprocess import preprocess
 from repro.hmdes.translate import load_mdes
+
+pytestmark = pytest.mark.fuzz
 
 #: Characters that exercise every token class plus invalid ones.
 _ALPHABET = "abAB01 _;:{}[].,$->\n\t@#/*"

@@ -44,3 +44,34 @@ class TestRoundTrip:
         assert text.startswith("mdes Toy;")
         assert "section resource" in text
         assert_roundtrip(toy_mdes)
+
+
+class TestLmdesDigest:
+    """Writer round-trips must survive the *whole* two-tier toolchain.
+
+    Equality of the high-level trees (above) is necessary but not
+    sufficient: a writer bug that perturbed sharing or usage order could
+    still change the translated low-level file.  So: build each paper
+    machine, run it through the pipeline and serialize (the reference
+    digest), then write -> re-parse -> translate the same way -- the
+    LMDES bytes must be identical.
+    """
+
+    @staticmethod
+    def _digest(mdes):
+        import hashlib
+
+        from repro.lowlevel.compiled import compile_mdes
+        from repro.lowlevel.serialize import save_lmdes
+        from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
+
+        staged = staged_mdes(mdes, FINAL_STAGE)
+        text = save_lmdes(compile_mdes(staged, bitvector=True))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_lmdes_digest_survives_write_reparse(self, machine_name):
+        mdes = get_machine(machine_name).build()
+        reference = self._digest(mdes)
+        reparsed = load_mdes(write_mdes(mdes))
+        assert self._digest(reparsed) == reference

@@ -10,6 +10,7 @@ over randomly generated constraint trees:
 * the RU map is a proper reversible resource ledger.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.expand import expand_to_or_tree
@@ -22,6 +23,8 @@ from repro.lowlevel.compiled import CompiledOption, compile_mdes
 from repro.transforms.factor import factor_and_or_tree
 from repro.transforms.option_elim import prune_or_tree
 from repro.transforms.usage_sort import sort_option_usages
+
+pytestmark = pytest.mark.slow
 
 #: One shared resource table: 4 disjoint pools of 4 resources each.
 _RESOURCES = ResourceTable()

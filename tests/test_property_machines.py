@@ -9,6 +9,7 @@ descriptions and workloads:
 * LMDES serialization preserves sizes and checker behaviour.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.mdes import Mdes, OperationClass
@@ -21,6 +22,8 @@ from repro.lowlevel.compiled import compile_mdes
 from repro.lowlevel.layout import mdes_size_bytes
 from repro.scheduler import schedule_workload
 from repro.transforms import run_pipeline
+
+pytestmark = pytest.mark.slow
 
 
 @st.composite

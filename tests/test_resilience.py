@@ -21,7 +21,6 @@ import pytest
 from repro import obs
 from repro.engine import create_engine
 from repro.errors import ServiceError, WorkerCrashError
-from repro.machines import get_machine
 from repro.scheduler import schedule_workload
 from repro.service import (
     BatchConfig,
@@ -33,7 +32,8 @@ from repro.service import (
 from repro.service import faults
 from repro.service.faults import FaultPlan, FaultRule
 from repro.service.resilience import is_retryable
-from repro.workloads import WorkloadConfig, generate_blocks
+
+from tests.conftest import shared_workload
 
 MACHINE = "K5"
 CHUNK = 4
@@ -52,10 +52,7 @@ def _no_leaked_fault_plan():
 
 
 def workload(ops=160, seed=11, machine_name=MACHINE):
-    machine = get_machine(machine_name)
-    return machine, generate_blocks(
-        machine, WorkloadConfig(total_ops=ops, seed=seed)
-    )
+    return shared_workload(machine_name, ops, seed)
 
 
 def clean_serial(machine_name, blocks, **knobs):

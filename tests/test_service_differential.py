@@ -26,7 +26,7 @@ from repro.lowlevel.checker import CheckStats
 from repro.machines import MACHINE_NAMES, get_machine
 from repro.scheduler import schedule_workload
 from repro.service import BatchConfig, schedule_batch
-from repro.workloads import WorkloadConfig, generate_blocks
+from tests.conftest import shared_workload
 
 #: Worker count for the parallel leg; CI sets REPRO_BATCH_WORKERS=2.
 N_WORKERS = max(2, int(os.environ.get("REPRO_BATCH_WORKERS", "2")))
@@ -36,10 +36,7 @@ BACKENDS = engine_names()
 
 
 def workload(machine_name, ops=220, seed=11):
-    machine = get_machine(machine_name)
-    return machine, generate_blocks(
-        machine, WorkloadConfig(total_ops=ops, seed=seed)
-    )
+    return shared_workload(machine_name, ops, seed)
 
 
 def serial_chunked_reference(machine, blocks, backend, chunk=CHUNK):
@@ -157,6 +154,7 @@ class TestDifferential:
                 op.opcode for op in block
             ]
 
+    @pytest.mark.slow
     @settings(
         max_examples=6,
         deadline=None,
