@@ -40,12 +40,13 @@ def _usable_cpus():
         return os.cpu_count() or 1
 
 
-def _timed_batch(blocks, workers, cache_dir):
+def _timed_batch(blocks, workers, cache_dir, shared=True):
     config = BatchConfig(
         backend="bitvector",
         workers=workers,
         chunk_size=CHUNK_SIZE,
         cache_dir=cache_dir,
+        shared_descriptions=shared,
     )
     started = time.perf_counter()
     result = schedule_batch("SuperSPARC", blocks, config)
@@ -92,20 +93,30 @@ def test_batch_service_regenerate(results_dir, benchmark, tmp_path):
         parallel_s, parallel = _timed_batch(
             blocks, PARALLEL_WORKERS, cache_dir
         )
-        return serial_s, serial, parallel_s, parallel
+        unshared_s, unshared = _timed_batch(
+            blocks, PARALLEL_WORKERS, cache_dir, shared=False
+        )
+        return serial_s, serial, parallel_s, parallel, unshared_s, unshared
 
-    serial_s, serial, parallel_s, parallel = benchmark.pedantic(
-        run_all, rounds=1, iterations=1
+    serial_s, serial, parallel_s, parallel, unshared_s, unshared = (
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
     )
     # The timed runs themselves must satisfy the differential invariant.
     assert parallel.signature() == serial.signature()
     assert parallel.stats == serial.stats
     assert parallel.total_ops == serial.total_ops >= BENCH_OPS
+    assert unshared.signature() == serial.signature()
+    assert unshared.stats == serial.stats
+    assert parallel.shared_descriptions
+    assert not unshared.shared_descriptions
 
     cold_s, warm_s = _median_load_times(tmp_path)
     cpus = _usable_cpus()
     speedup = serial_s / parallel_s if parallel_s else 0.0
     warm_speedup = cold_s / warm_s if warm_s else 0.0
+    # A pool on fewer cores than workers can only measure overhead;
+    # say so in the artifact instead of publishing a junk speedup.
+    speedup_meaningful = cpus >= 4 and PARALLEL_WORKERS >= 4
 
     text = format_table(
         ("Measure", "Value"),
@@ -116,6 +127,15 @@ def test_batch_service_regenerate(results_dir, benchmark, tmp_path):
             ("serial seconds", f"{serial_s:.3f}"),
             (f"{PARALLEL_WORKERS}-worker seconds", f"{parallel_s:.3f}"),
             ("parallel speedup", f"{speedup:.2f}x"),
+            ("speedup meaningful", str(speedup_meaningful)),
+            (
+                "chunk setup seconds (shared)",
+                f"{parallel.chunk_setup_seconds:.4f}",
+            ),
+            (
+                "chunk setup seconds (unshared)",
+                f"{unshared.chunk_setup_seconds:.4f}",
+            ),
             ("cold compile seconds (median)", f"{cold_s:.4f}"),
             ("warm disk-load seconds (median)", f"{warm_s:.4f}"),
             ("warm load speedup", f"{warm_speedup:.1f}x"),
@@ -132,6 +152,11 @@ def test_batch_service_regenerate(results_dir, benchmark, tmp_path):
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "parallel_speedup": speedup,
+        "speedup_meaningful": speedup_meaningful,
+        "unshared_parallel_seconds": unshared_s,
+        "shared_descriptions": True,
+        "chunk_setup_seconds_shared": parallel.chunk_setup_seconds,
+        "chunk_setup_seconds_unshared": unshared.chunk_setup_seconds,
         "cold_compile_seconds": cold_s,
         "warm_load_seconds": warm_s,
         "warm_load_speedup": warm_speedup,
@@ -145,5 +170,5 @@ def test_batch_service_regenerate(results_dir, benchmark, tmp_path):
     assert warm_speedup >= 5.0
     # Sharding only pays off when the cores exist; a 1-CPU container
     # measures pure pool overhead, so gate the floor on the hardware.
-    if cpus >= 4 and PARALLEL_WORKERS >= 4:
+    if speedup_meaningful:
         assert speedup >= 2.0

@@ -46,9 +46,15 @@ from repro.errors import (
     VerificationError,
     WorkerCrashError,
 )
+from repro.engine.shared import SharedDescriptionSpec
 from repro.hmdes import load_mdes
 from repro.ir.block import BasicBlock
 from repro.lowlevel.compiled import CompiledMdes, compile_mdes
+from repro.lowlevel.packed import (
+    PACKED_WORD_BUDGET,
+    numpy_available,
+    packing_eligible,
+)
 from repro.machines import MACHINE_NAMES, get_machine
 from repro.scheduler import BlockSchedule, RunResult, schedule_workload
 from repro.service import (
@@ -146,7 +152,11 @@ __all__ = [
     "CompiledMdes",
     "DEFAULT_BACKEND",
     "FINAL_STAGE",
+    "PACKED_WORD_BUDGET",
+    "SharedDescriptionSpec",
     "engine_names",
+    "numpy_available",
+    "packing_eligible",
     # Service types
     "BatchConfig",
     "BatchResult",

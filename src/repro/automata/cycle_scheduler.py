@@ -56,6 +56,10 @@ class EngineBackend:
         """Move to the next cycle."""
         self._cycle += 1
 
+    def advance_many(self, count: int) -> None:
+        """Move ``count`` cycles forward in one step (idle gaps)."""
+        self._cycle += count
+
     @property
     def stats(self) -> CheckStats:
         """Constraint-check statistics."""
@@ -96,6 +100,11 @@ class AutomatonBackend:
         """Move to the next cycle."""
         self._state = self.automaton.advance(self._state)
 
+    def advance_many(self, count: int) -> None:
+        """Advance ``count`` cycles; each is a real state transition."""
+        for _ in range(count):
+            self._state = self.automaton.advance(self._state)
+
     def work_units(self) -> int:
         """Cost measure: transition lookups (hits are O(1))."""
         return self.automaton.stats.lookups
@@ -118,7 +127,8 @@ def cycle_schedule_block(
     unscheduled = set(ops_by_index)
 
     backend.reset()
-    for cycle in range(max_cycles):
+    cycle = 0
+    while cycle < max_cycles:
         ready = sorted(
             (
                 index
@@ -143,7 +153,26 @@ def cycle_schedule_block(
                     earliest[edge.succ] = required
         if not unscheduled:
             return result
-        backend.advance()
+        if ready:
+            backend.advance()
+            cycle += 1
+        else:
+            # Latency gap: nothing can become ready before the smallest
+            # pending earliest-cycle, so fast-forward to it in one step.
+            # No issue test is skipped (the cycles in between had no
+            # candidates), so stats and schedules are untouched.
+            horizon = min(
+                (
+                    earliest.get(index, 0)
+                    for index in unscheduled
+                    if remaining_preds[index] == 0
+                    and earliest.get(index, 0) > cycle
+                ),
+                default=cycle + 1,
+            )
+            step = max(1, min(horizon, max_cycles) - cycle)
+            backend.advance_many(step)
+            cycle += step
     raise SchedulingError(
         f"cycle scheduler exceeded {max_cycles} cycles on {block!r}"
     )

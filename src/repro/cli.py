@@ -210,13 +210,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.engine import engine_names, get_engine_spec
+    from repro.lowlevel.packed import (
+        PACKED_WORD_BUDGET,
+        numpy_available,
+        word_count_for,
+    )
 
     for name in engine_names():
         spec = get_engine_spec(name)
         packing = "bitvector" if spec.bitvector else "scalar"
+        flags = ",".join(
+            flag for flag, enabled in (
+                ("modulo", spec.supports_modulo),
+                ("vectorized", spec.vectorized),
+            ) if enabled
+        ) or "-"
         print(
             f"{name:13s} {spec.rep:5s} {packing:9s} "
-            f"min-stage {spec.min_stage}  {spec.description}"
+            f"min-stage {spec.min_stage}  [{flags}]  {spec.description}"
+        )
+    numpy_state = "available" if numpy_available() else "unavailable"
+    print(
+        f"\npacked layout: numpy {numpy_state}, word budget "
+        f"{PACKED_WORD_BUDGET} ({PACKED_WORD_BUDGET * 64} resources)"
+    )
+    for name in ALL_MACHINE_NAMES:
+        mdes = get_machine(name).build()
+        words = word_count_for(len(mdes.resources))
+        eligible = (
+            "packed" if numpy_available() and words <= PACKED_WORD_BUDGET
+            else "scalar fallback"
+        )
+        print(
+            f"  {name:11s} {len(mdes.resources):3d} resources  "
+            f"{words} word(s)  {eligible}"
         )
     return 0
 

@@ -37,6 +37,7 @@ from repro.engine.registry import (
     get_engine_spec,
     register_engine,
 )
+from repro.engine.shared import SharedDescriptionSpec
 
 __all__ = [
     "AutomatonEngine",
@@ -48,6 +49,7 @@ __all__ = [
     "GLOBAL_CACHE",
     "QueryEngine",
     "Reservation",
+    "SharedDescriptionSpec",
     "TableEngine",
     "create_engine",
     "description_digest",

@@ -76,4 +76,4 @@ class AutomatonEngine(QueryEngine):
         for abs_cycle, mask in pairs:
             state.reserve(abs_cycle, mask)
         self.stats.record_attempt(options, checks, True, class_name)
-        return Reservation(state, pairs)
+        return Reservation(state, pairs, cycle)

@@ -41,16 +41,23 @@ class Reservation:
     :meth:`QueryEngine.release` needs nothing but the handle -- the shape
     backtracking schedulers (operation scheduling, iterative modulo
     scheduling) want.  Iterating yields the absolute ``(cycle, mask)``
-    pairs, which eviction heuristics inspect for overlap.
+    pairs, which eviction heuristics inspect for overlap.  ``cycle``
+    records the issue cycle the attempt succeeded at, which is what lets
+    :meth:`QueryEngine.try_reserve_many` callers learn *which* candidate
+    won without reverse-engineering the pairs.
     """
 
-    __slots__ = ("state", "pairs")
+    __slots__ = ("state", "pairs", "cycle")
 
     def __init__(
-        self, state: RUMap, pairs: Tuple[Tuple[int, int], ...]
+        self,
+        state: RUMap,
+        pairs: Tuple[Tuple[int, int], ...],
+        cycle: Optional[int] = None,
     ) -> None:
         self.state = state
         self.pairs = pairs
+        self.cycle = cycle
 
     def __iter__(self):
         return iter(self.pairs)
@@ -75,6 +82,12 @@ class QueryEngine(abc.ABC):
     #: interval.  Backends without release-able state (the automaton)
     #: set this False -- the capability gap of paper section 10.
     supports_modulo: bool = True
+
+    #: Whether the backend implements :meth:`try_reserve_many` /
+    #: :meth:`probe_window` with a real bulk evaluation rather than the
+    #: protocol-default scalar loop.  Purely informational (the defaults
+    #: are always correct); surfaced by ``repro engines``.
+    supports_vectorized: bool = False
 
     def __init__(
         self,
@@ -127,6 +140,47 @@ class QueryEngine(abc.ABC):
         ``None`` when the class cannot issue at this cycle.  Every
         backend accounts the attempt in :attr:`stats`.
         """
+
+    def try_reserve_many(
+        self, state: RUMap, class_name: str, cycles
+    ) -> Optional[Reservation]:
+        """First-feasible scheduling attempt over candidate ``cycles``.
+
+        Semantically identical to calling :meth:`try_reserve` for each
+        cycle in order and returning the first success: every candidate
+        up to and including the winning one is accounted in
+        :attr:`stats` (a batch probe of *k* cycles counts *k* attempts),
+        and candidates after the winner are never examined.  Backends
+        with :attr:`supports_vectorized` override this with a bulk
+        evaluation producing the same reservations and the same
+        counters, bit for bit.
+        """
+        for cycle in cycles:
+            reservation = self.try_reserve(state, class_name, cycle)
+            if reservation is not None:
+                if reservation.cycle is None:
+                    reservation.cycle = cycle
+                return reservation
+        return None
+
+    def probe_window(
+        self, state: RUMap, class_name: str, lo: int, hi: int
+    ) -> int:
+        """Read-only feasibility bitmask for the window ``[lo, hi)``.
+
+        Bit *i* of the result is set when the class could issue at cycle
+        ``lo + i`` against the *current* state (each probe is
+        independent; nothing stays reserved).  Every probed cycle is one
+        attempt in :attr:`stats`, exactly as a scalar probe loop would
+        record it.
+        """
+        bitmask = 0
+        for offset in range(max(0, hi - lo)):
+            reservation = self.try_reserve(state, class_name, lo + offset)
+            if reservation is not None:
+                self.release(reservation)
+                bitmask |= 1 << offset
+        return bitmask
 
     def release(self, reservation: Reservation) -> None:
         """Undo a successful :meth:`try_reserve` (unscheduling)."""

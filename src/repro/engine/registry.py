@@ -21,6 +21,7 @@ from repro.engine.cache import GLOBAL_CACHE, DescriptionCache
 from repro.engine.table import EichenbergerEngine, TableEngine
 from repro.errors import MdesError
 from repro.lowlevel.checker import CheckStats
+from repro.lowlevel.packed import numpy_available
 from repro.transforms.pipeline import FINAL_STAGE
 
 
@@ -46,6 +47,27 @@ class EngineSpec:
     reduce: bool = False
     min_stage: int = 0
     description: str = ""
+
+    @property
+    def supports_modulo(self) -> bool:
+        """Whether engines from this spec can wrap state modulo an II."""
+        return self.engine_cls.supports_modulo
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this backend serves the packed bulk-probe fast path.
+
+        True when the engine class implements real vectorized queries
+        *and* the spec compiles bit-vector check lists (the packed
+        layout evaluates merged per-cycle masks).  Per-machine
+        eligibility additionally needs the machine to fit the packed
+        word budget -- see :func:`repro.lowlevel.packed.packing_eligible`.
+        """
+        return (
+            self.engine_cls.supports_vectorized
+            and self.bitvector
+            and numpy_available()
+        )
 
 
 _REGISTRY: "OrderedDict[str, EngineSpec]" = OrderedDict()

@@ -1,0 +1,303 @@
+"""Zero-copy publication of compiled descriptions to pool workers.
+
+The paper's core workflow is "translate the machine description once,
+ship the compact low-level form to every consumer" (section 4).  The
+batch service already applies that idea across *time* through the disk
+cache; this module applies it across *space*: the parent process
+serializes the compiled description into the packed wire format of
+:mod:`repro.lowlevel.packed` exactly once, publishes the bytes as a
+``multiprocessing.shared_memory`` segment, and every pool worker
+*attaches* the segment instead of re-deserializing the LMDES JSON
+artifact -- the constraint tables the vectorized query path reads are
+``numpy`` views directly over the shared pages, so N workers hold one
+physical copy.
+
+Lifecycle rules (the part that has to survive PR-4's fault injection):
+
+* The parent owns every segment it publishes, in a refcounted
+  process-local registry.  ``publish`` on a digest already live bumps
+  the refcount and returns the existing spec; ``release`` decrements
+  and unlinks at zero.  The batch driver brackets each pooled run in
+  ``publish``/``release``, so pool restarts inside one run reuse the
+  segment and the run's end removes it.
+* An ``atexit`` sweeper unlinks anything still registered, so even an
+  exception path that skips ``release`` cannot leak ``/dev/shm``
+  segments past the parent's lifetime.
+* Workers attach read-only and *never* unlink.  CPython's
+  ``resource_tracker`` auto-registers attached segments and would
+  error (and unlink prematurely) when worker and parent both track the
+  name, so the attach path immediately unregisters the worker-side
+  tracking -- ownership stays with the parent alone.
+* Every failure mode on the worker side -- missing segment, torn
+  magic, import error -- degrades to ``None`` and the worker falls
+  back to the normal disk-cache path.  Sharing is an optimization,
+  never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.lowlevel.compiled import CompiledMdes
+from repro.lowlevel.packed import (
+    SHARED_MAGIC,
+    compiled_from_shared_buffer,
+    compiled_to_shared_bytes,
+    numpy_available,
+)
+
+logger = logging.getLogger("repro.engine.shared")
+
+__all__ = [
+    "SharedDescriptionSpec",
+    "attach",
+    "available",
+    "publish",
+    "release",
+]
+
+
+def available() -> bool:
+    """Whether this platform can publish shared descriptions at all."""
+    if not numpy_available():
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SharedDescriptionSpec:
+    """Everything a worker needs to attach one published description.
+
+    Picklable by construction (plain strings/ints/bools): it rides in
+    the pool initializer's arguments.  ``token`` through ``reduce`` are
+    the exact cache-key fields, so the worker can seed its
+    :class:`~repro.engine.cache.DescriptionCache` under the same key the
+    scheduling path looks up.
+    """
+
+    segment: str
+    digest: str
+    machine_name: str
+    token: str
+    rep: str
+    stage: int
+    bitvector: bool
+    reduce: bool
+    size: int
+
+
+@dataclass
+class _Segment:
+    """Parent-side registry entry for one live segment."""
+
+    shm: object
+    spec: SharedDescriptionSpec
+    refcount: int = 1
+
+
+#: Parent-side registry of published segments, keyed by digest.
+_SEGMENTS: Dict[str, _Segment] = {}
+_SEGMENTS_LOCK = threading.Lock()
+_SWEEPER_INSTALLED = False
+
+#: Worker-side memo of attached segments: segment name ->
+#: (shared_memory handle, reconstructed description).  The handle is
+#: kept referenced so the mapping (and every numpy view into it) stays
+#: valid for the worker's lifetime.
+_ATTACHED: Dict[str, tuple] = {}
+
+
+def _sweep() -> None:
+    """Unlink every still-registered segment (atexit safety net)."""
+    with _SEGMENTS_LOCK:
+        entries = list(_SEGMENTS.values())
+        _SEGMENTS.clear()
+    for entry in entries:
+        _close_and_unlink(entry.shm, entry.spec.segment)
+
+
+def _install_sweeper() -> None:
+    global _SWEEPER_INSTALLED
+    if not _SWEEPER_INSTALLED:
+        atexit.register(_sweep)
+        _SWEEPER_INSTALLED = True
+
+
+def _close_and_unlink(shm, name: str) -> None:
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - already-closed mapping
+        pass
+    try:
+        shm.unlink()
+    except OSError:
+        logger.warning("could not unlink shared segment %s", name)
+
+
+def publish(
+    compiled: CompiledMdes,
+    machine_name: str,
+    token: str,
+    rep: str,
+    stage: int,
+    bitvector: bool,
+    reduce: bool = False,
+) -> Optional[SharedDescriptionSpec]:
+    """Publish one compiled description; ``None`` when sharing is off.
+
+    Idempotent per configuration: a digest already live bumps its
+    refcount and returns the existing spec, so nested or restarted runs
+    share one segment.  Callers must pair every successful ``publish``
+    with exactly one :func:`release`.
+    """
+    if not available():
+        return None
+    from multiprocessing import shared_memory
+
+    from repro.engine.diskcache import description_digest
+
+    digest = description_digest(token, rep, stage, bitvector, reduce)
+    with _SEGMENTS_LOCK:
+        entry = _SEGMENTS.get(digest)
+        if entry is not None:
+            entry.refcount += 1
+            return entry.spec
+    try:
+        blob = compiled_to_shared_bytes(compiled)
+    except Exception:
+        logger.exception(
+            "could not serialize %s for shared publication", machine_name
+        )
+        return None
+    base = f"repro_{digest[:16]}_{os.getpid():x}"
+    shm = None
+    for suffix in range(8):
+        name = base if suffix == 0 else f"{base}_{suffix}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=len(blob)
+            )
+            break
+        except FileExistsError:
+            continue
+        except OSError:
+            logger.exception("could not create shared segment %s", name)
+            return None
+    if shm is None:
+        logger.warning(
+            "could not find a free shared-segment name for %s", base
+        )
+        return None
+    shm.buf[: len(blob)] = blob
+    spec = SharedDescriptionSpec(
+        segment=shm.name,
+        digest=digest,
+        machine_name=machine_name,
+        token=token,
+        rep=rep,
+        stage=stage,
+        bitvector=bitvector,
+        reduce=reduce,
+        size=len(blob),
+    )
+    _install_sweeper()
+    with _SEGMENTS_LOCK:
+        raced = _SEGMENTS.get(digest)
+        if raced is not None:  # pragma: no cover - concurrent publish
+            raced.refcount += 1
+            spec = raced.spec
+        else:
+            _SEGMENTS[digest] = _Segment(shm=shm, spec=spec)
+            raced = None
+    if raced is not None:  # pragma: no cover - concurrent publish
+        _close_and_unlink(shm, shm.name)
+    return spec
+
+
+def release(spec: Optional[SharedDescriptionSpec]) -> None:
+    """Drop one reference; the last one unlinks the segment."""
+    if spec is None:
+        return
+    with _SEGMENTS_LOCK:
+        entry = _SEGMENTS.get(spec.digest)
+        if entry is None:
+            return
+        entry.refcount -= 1
+        if entry.refcount > 0:
+            return
+        del _SEGMENTS[spec.digest]
+    _close_and_unlink(entry.shm, entry.spec.segment)
+
+
+def live_segments() -> int:
+    """How many segments this process currently owns (for tests)."""
+    with _SEGMENTS_LOCK:
+        return len(_SEGMENTS)
+
+
+def attach(
+    spec: Optional[SharedDescriptionSpec],
+) -> Optional[CompiledMdes]:
+    """Worker-side attach; ``None`` on any failure (fallback to disk).
+
+    Memoized per segment name: a worker that schedules many chunks
+    reconstructs the description once and keeps the mapping (and every
+    array view into it) alive for its whole lifetime.  Attached
+    segments are immediately unregistered from this process's
+    ``resource_tracker`` -- the parent alone owns unlinking, and a
+    worker exiting must not tear the mapping out from under its
+    siblings.
+    """
+    if spec is None:
+        return None
+    cached = _ATTACHED.get(spec.segment)
+    if cached is not None:
+        return cached[1]
+    try:
+        from multiprocessing import resource_tracker, shared_memory
+
+        # CPython < 3.13 registers attached segments with the resource
+        # tracker exactly as if this process had created them; with
+        # forked workers all sharing the parent's tracker daemon, those
+        # spurious registrations end in premature unlinks and noisy
+        # KeyErrors.  Suppress registration for the attach -- the
+        # parent alone owns this segment's lifetime.
+        original_register = resource_tracker.register
+
+        def _no_register(name, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - defensive
+                original_register(name, rtype)
+
+        resource_tracker.register = _no_register
+        try:
+            shm = shared_memory.SharedMemory(
+                name=spec.segment, create=False
+            )
+        finally:
+            resource_tracker.register = original_register
+        buffer = bytes(shm.buf[: len(SHARED_MAGIC)])
+        if buffer != SHARED_MAGIC:
+            logger.warning(
+                "shared segment %s has a torn header; falling back",
+                spec.segment,
+            )
+            shm.close()
+            return None
+        compiled = compiled_from_shared_buffer(shm.buf)
+    except Exception:
+        logger.exception(
+            "could not attach shared segment %s; falling back",
+            spec.segment,
+        )
+        return None
+    _ATTACHED[spec.segment] = (shm, compiled)
+    return compiled

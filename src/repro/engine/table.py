@@ -6,6 +6,18 @@ in the compiled description handed to the constructor (flat versus
 AND/OR constraint trees, scalar versus bit-vector check lists), not in
 the check algorithm.  The Eichenberger-Davidson backend is the same
 algorithm again over a description whose options were reduced first.
+
+The bit-vector backends additionally carry the *vectorized* batch path:
+when the machine fits the packed word budget
+(:mod:`repro.lowlevel.packed`), :meth:`TableEngine.new_state` hands out
+array-shadowed RU maps and :meth:`TableEngine.try_reserve_many` /
+:meth:`TableEngine.probe_window` answer whole candidate windows with one
+numpy pass instead of one Python call per cycle.  The vectorized
+evaluation reproduces the scalar checker's counters exactly, so the
+engine switches freely between paths: a short scalar prefix catches the
+common place-almost-immediately case (numpy's fixed per-call overhead
+would lose there), then escalating windows amortize that overhead over
+the long probe tails where the batch path wins.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.engine.base import QueryEngine, Reservation
+from repro.lowlevel import packed
 from repro.lowlevel.bitvector import RUMap
 from repro.lowlevel.checker import CheckStats, ConstraintChecker
 from repro.lowlevel.compiled import CompiledMdes
@@ -22,15 +35,60 @@ class TableEngine(QueryEngine):
     """Reservation tables checked against a bit-vector RU map."""
 
     name = "table"
+    supports_vectorized = True
+
+    #: Candidate cycles tried scalar before the first vectorized window.
+    #: Most placements succeed within a few cycles of the earliest
+    #: feasible one; numpy's fixed setup cost only pays off on tails.
+    SCALAR_PREFIX = 8
+
+    #: First vectorized window size, growth factor, and cap.  The
+    #: shape is aggressive because window cost is dominated by fixed
+    #: per-call overhead, not width: deep scans (congested regions,
+    #: modulo II search) want few large windows rather than many small
+    #: ones, and overshooting the winner only wastes compute -- the
+    #: counters stay exact either way.
+    WINDOW_START = 64
+    WINDOW_GROWTH = 8
+    WINDOW_MAX = 4096
 
     def __init__(
         self,
         compiled: CompiledMdes,
         stats: Optional[CheckStats] = None,
         name: Optional[str] = None,
+        vectorized: Optional[bool] = None,
     ) -> None:
         super().__init__(compiled, stats, name)
         self._checker = ConstraintChecker(self.stats)
+        if vectorized is None:
+            vectorized = compiled.bitvector
+        self._vectorized = bool(vectorized) and packed.packing_eligible(
+            compiled
+        )
+        self._packed = (
+            packed.packed_layout(compiled) if self._vectorized else None
+        )
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this instance serves packed states and bulk probes."""
+        return self._vectorized
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+
+    def new_state(self, ii: Optional[int] = None) -> RUMap:
+        if not self._vectorized:
+            return super().new_state(ii)
+        if ii is None:
+            return packed.PackedRUMap(self._packed.word_count)
+        return packed.ModuloPackedRUMap(ii, self._packed.word_count)
+
+    # ------------------------------------------------------------------
+    # Scalar query
+    # ------------------------------------------------------------------
 
     def try_reserve(
         self, state: RUMap, class_name: str, cycle: int
@@ -43,7 +101,118 @@ class TableEngine(QueryEngine):
         )
         if handle is None:
             return None
-        return Reservation(state, handle)
+        return Reservation(state, handle, cycle)
+
+    # ------------------------------------------------------------------
+    # Vectorized queries
+    # ------------------------------------------------------------------
+
+    def _packed_constraint(self, state, class_name: str):
+        """The packed constraint when the bulk path applies, else None."""
+        if not self._vectorized:
+            return None
+        if not isinstance(
+            state, (packed.PackedRUMap, packed.ModuloPackedRUMap)
+        ):
+            return None
+        return self._packed.constraints.get(class_name)
+
+    def _record_window(self, opts, checks, wins: int, class_name) -> None:
+        """Fold one window's counter arrays into :attr:`stats`.
+
+        ``np.unique`` collapses the options axis to a tiny histogram
+        (distinct option counts, not window width), so accounting stays
+        O(distinct) instead of O(window).
+        """
+        values, counts = packed.np.unique(opts, return_counts=True)
+        self.stats.record_attempts_folded(
+            {int(v): int(n) for v, n in zip(values, counts)},
+            int(checks.sum()), wins, class_name,
+        )
+
+    def _vector_attempt(
+        self, state, class_name: str, constraint, chunk
+    ) -> Optional[Reservation]:
+        """One vectorized window: account it, reserve on first success."""
+        success, opts, checks, chosen = packed.evaluate_window(
+            constraint, state, chunk
+        )
+        if success.any():
+            hit = int(success.argmax())
+            upto = hit + 1
+            wins = 1
+        else:
+            hit = -1
+            upto = chunk.shape[0]
+            wins = 0
+        # Candidates past the first success were never examined by the
+        # scalar loop, so they are not accounted here either.
+        self._record_window(opts[:upto], checks[:upto], wins, class_name)
+        if hit < 0:
+            return None
+        cycle = int(chunk[hit])
+        pairs = packed.reservation_pairs(constraint, chosen[hit], cycle)
+        for abs_cycle, mask in pairs:
+            state.reserve(abs_cycle, mask)
+        return Reservation(state, pairs, cycle)
+
+    def try_reserve_many(
+        self, state: RUMap, class_name: str, cycles
+    ) -> Optional[Reservation]:
+        constraint = self._packed_constraint(state, class_name)
+        try:
+            total = len(cycles)
+        except TypeError:  # a generator: only the scalar loop can serve it
+            constraint = None
+            total = 0
+        if constraint is None:
+            return super().try_reserve_many(state, class_name, cycles)
+
+        prefix = min(self.SCALAR_PREFIX, total)
+        for i in range(prefix):
+            reservation = self.try_reserve(state, class_name, cycles[i])
+            if reservation is not None:
+                return reservation
+        position = prefix
+        window = self.WINDOW_START
+        while position < total:
+            end = min(total, position + window)
+            piece = cycles[position:end]
+            if isinstance(piece, range):
+                # np.asarray walks a range element by element; arange
+                # builds the same chunk at C speed.
+                chunk = packed.np.arange(
+                    piece.start, piece.stop, piece.step,
+                    dtype=packed.np.int64,
+                )
+            else:
+                chunk = packed.np.asarray(piece, dtype=packed.np.int64)
+            reservation = self._vector_attempt(
+                state, class_name, constraint, chunk
+            )
+            if reservation is not None:
+                return reservation
+            position = end
+            window = min(window * self.WINDOW_GROWTH, self.WINDOW_MAX)
+        return None
+
+    def probe_window(
+        self, state: RUMap, class_name: str, lo: int, hi: int
+    ) -> int:
+        constraint = (
+            self._packed_constraint(state, class_name) if hi > lo else None
+        )
+        if constraint is None:
+            return super().probe_window(state, class_name, lo, hi)
+        chunk = packed.np.arange(lo, hi, dtype=packed.np.int64)
+        success, opts, checks, _ = packed.evaluate_window(
+            constraint, state, chunk
+        )
+        self._record_window(opts, checks, int(success.sum()), class_name)
+        bitmask = 0
+        for index in packed.np.nonzero(success)[0]:
+            bitmask |= 1 << int(index)
+        return bitmask
 
 
 class EichenbergerEngine(TableEngine):

@@ -11,6 +11,9 @@ This subpackage is the "efficient use" half of the paper's two-tier model:
   the paper's tables report.
 * :mod:`~repro.lowlevel.layout` -- the byte-level size model used for the
   memory-requirement tables.
+* :mod:`~repro.lowlevel.packed` -- numpy-packed array mirrors of the
+  compiled form (vectorized batch probes) and the shared wire format
+  zero-copy description sharing attaches to.
 """
 
 from repro.lowlevel.bitvector import ModuloRUMap, RUMap
@@ -23,6 +26,18 @@ from repro.lowlevel.compiled import (
 )
 from repro.lowlevel.checker import CheckStats, ConstraintChecker
 from repro.lowlevel.layout import LayoutModel, mdes_size_bytes
+from repro.lowlevel.packed import (
+    PACKED_WORD_BUDGET,
+    ModuloPackedRUMap,
+    PackedMdes,
+    PackedRUMap,
+    compiled_from_shared_buffer,
+    compiled_to_shared_bytes,
+    numpy_available,
+    pack_mdes,
+    packed_layout,
+    packing_eligible,
+)
 from repro.lowlevel.query import MdesQuery
 
 __all__ = [
@@ -34,8 +49,18 @@ __all__ = [
     "ConstraintChecker",
     "LayoutModel",
     "MdesQuery",
+    "ModuloPackedRUMap",
     "ModuloRUMap",
+    "PACKED_WORD_BUDGET",
+    "PackedMdes",
+    "PackedRUMap",
     "RUMap",
     "compile_mdes",
+    "compiled_from_shared_buffer",
+    "compiled_to_shared_bytes",
     "mdes_size_bytes",
+    "numpy_available",
+    "pack_mdes",
+    "packed_layout",
+    "packing_eligible",
 ]

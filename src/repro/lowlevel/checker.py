@@ -74,6 +74,65 @@ class CheckStats:
                 self.attempts_by_class.get(class_name, 0) + 1
             )
 
+    def record_attempts_bulk(
+        self,
+        options_counts: List[int],
+        checks_counts: List[int],
+        successes: int,
+        class_name: Optional[str] = None,
+    ) -> None:
+        """Account a batch of attempts in one call.
+
+        Equivalent to ``record_attempt`` once per element of the two
+        (equal-length) count lists, of which ``successes`` succeeded --
+        the bulk entry point for vectorized window probes, whose
+        counters must fold to the exact totals the scalar loop yields.
+        """
+        count = len(options_counts)
+        if not count:
+            return
+        self.attempts += count
+        self.successes += int(successes)
+        self.options_checked += sum(options_counts)
+        self.resource_checks += sum(checks_counts)
+        histogram = self.options_histogram
+        for value in options_counts:
+            histogram[value] = histogram.get(value, 0) + 1
+        if class_name is not None:
+            self.attempts_by_class[class_name] = (
+                self.attempts_by_class.get(class_name, 0) + count
+            )
+
+    def record_attempts_folded(
+        self,
+        options_histogram: Dict[int, int],
+        checks_total: int,
+        successes: int,
+        class_name: Optional[str] = None,
+    ) -> None:
+        """Account a batch whose per-attempt counters are pre-folded.
+
+        ``options_histogram`` maps options-examined to attempt count
+        (the vectorized caller folds it with one ``np.unique``), and
+        ``checks_total`` is the summed resource checks.  Equivalent to
+        :meth:`record_attempts_bulk` over the expanded lists, without
+        the per-attempt Python loop on the hot path.
+        """
+        count = sum(options_histogram.values())
+        if not count:
+            return
+        self.attempts += count
+        self.successes += int(successes)
+        self.resource_checks += int(checks_total)
+        histogram = self.options_histogram
+        for value, attempts in options_histogram.items():
+            self.options_checked += value * attempts
+            histogram[value] = histogram.get(value, 0) + attempts
+        if class_name is not None:
+            self.attempts_by_class[class_name] = (
+                self.attempts_by_class.get(class_name, 0) + count
+            )
+
     @property
     def options_per_attempt(self) -> float:
         """Average reservation table options checked per attempt."""

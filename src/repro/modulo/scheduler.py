@@ -245,12 +245,13 @@ def _try_schedule_at_ii(
         if index in previous_time:
             est = max(est, previous_time[index] + 1)
 
-        handle = None
-        for offset in range(ii):
-            handle = engine.try_reserve(mrt, class_name, est + offset)
-            if handle is not None:
-                times[index] = est + offset
-                break
+        # One batched probe over the II window: every distinct modulo
+        # slot reachable from ``est`` in one pass.
+        handle = engine.try_reserve_many(
+            mrt, class_name, range(est, est + ii)
+        )
+        if handle is not None:
+            times[index] = handle.cycle
 
         if handle is None:
             # Forced placement: evict whatever stands at ``est``.

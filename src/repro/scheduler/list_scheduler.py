@@ -137,9 +137,20 @@ class ListScheduler:
             _, index = heapq.heappop(ready)
             op = ops_by_index[index]
             cycle = self._earliest_cycle(graph, result.times, index)
-            placed = False
-            for probe in range(MAX_PROBE_CYCLES):
-                attempt_cycle = cycle + probe
+            limit = cycle + MAX_PROBE_CYCLES
+            # Past every producer's full latency, dependence feasibility
+            # is unconditional and the operation class stops varying
+            # (cascades and bypasses only exist below this point), so the
+            # scan splits into a scalar walk of the varying region and
+            # one batched probe over the stable tail.
+            stable = 0
+            for edge in graph.preds_of(index):
+                candidate = result.times[edge.pred] + edge.latency
+                if candidate > stable:
+                    stable = candidate
+            handle = None
+            class_name = ""
+            for attempt_cycle in range(cycle, min(stable, limit)):
                 feasible = self._cycle_feasible(
                     graph, result.times, index, attempt_cycle
                 )
@@ -154,15 +165,19 @@ class ListScheduler:
                     ru_map, class_name, attempt_cycle
                 )
                 if handle is not None:
-                    result.times[index] = attempt_cycle
-                    result.classes[index] = class_name
-                    placed = True
                     break
-            if not placed:
+            if handle is None and stable < limit:
+                class_name = self.machine.classify(op, False)
+                handle = self.engine.try_reserve_many(
+                    ru_map, class_name, range(max(cycle, stable), limit)
+                )
+            if handle is None:
                 raise SchedulingError(
                     f"operation {op!r} found no cycle within "
                     f"{MAX_PROBE_CYCLES} probes"
                 )
+            result.times[index] = handle.cycle
+            result.classes[index] = class_name
             scheduled += 1
             for edge in graph.succs_of(index):
                 remaining_preds[edge.succ] -= 1
@@ -214,22 +229,18 @@ class ListScheduler:
                 if candidate < latest:
                     latest = candidate
             class_name = self.machine.classify(op, False)
-            placed = False
-            for probe in range(MAX_PROBE_CYCLES):
-                attempt_cycle = latest - probe
-                handle = self.engine.try_reserve(
-                    ru_map, class_name, attempt_cycle
-                )
-                if handle is not None:
-                    result.times[index] = attempt_cycle
-                    result.classes[index] = class_name
-                    placed = True
-                    break
-            if not placed:
+            # One batched probe scanning downward from the latest cycle.
+            handle = self.engine.try_reserve_many(
+                ru_map, class_name,
+                range(latest, latest - MAX_PROBE_CYCLES, -1),
+            )
+            if handle is None:
                 raise SchedulingError(
                     f"operation {op!r} found no cycle within "
                     f"{MAX_PROBE_CYCLES} probes (backward)"
                 )
+            result.times[index] = handle.cycle
+            result.classes[index] = class_name
             for edge in graph.preds_of(index):
                 remaining_succs[edge.pred] -= 1
                 if remaining_succs[edge.pred] == 0:

@@ -178,18 +178,16 @@ class OperationScheduler:
                         evictions += 1
                 earliest, latest = window(index)
 
-            placed = False
             bound = latest if latest is not None else (
                 earliest + PROBE_WINDOW
             )
-            for cycle in range(earliest, bound + 1):
-                handle = engine.try_reserve(ru_map, class_name, cycle)
-                if handle is not None:
-                    times[index] = cycle
-                    handles[index] = handle
-                    placed = True
-                    break
-            if not placed:
+            handle = engine.try_reserve_many(
+                ru_map, class_name, range(earliest, bound + 1)
+            )
+            if handle is not None:
+                times[index] = handle.cycle
+                handles[index] = handle
+            else:
                 # Resource-forced: evict everything overlapping the
                 # preferred slot and take it.
                 for other in [i for i in list(times)]:

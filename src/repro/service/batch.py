@@ -61,13 +61,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.engine import shared
 from repro.engine.base import QueryEngine
 from repro.engine.cache import CacheStats, DescriptionCache
 from repro.engine.diskcache import (
     DiskDescriptionCache,
+    is_persistent_token,
     machine_content_token,
 )
-from repro.engine.registry import create_engine
+from repro.engine.registry import create_engine, get_engine_spec
 from repro.engine.table import TableEngine
 from repro.errors import ChunkTimeoutError, ServiceError, VerificationError
 from repro.ir.block import BasicBlock
@@ -124,6 +126,13 @@ class BatchConfig:
             lands in ``BatchResult.verify_report``; in ``"raise"`` mode
             a failed verification raises
             :class:`~repro.errors.VerificationError`.
+        shared_descriptions: Publish the compiled description to pool
+            workers as a zero-copy shared-memory segment
+            (:mod:`repro.engine.shared`); workers attach it instead of
+            re-deserializing the disk artifact.  Purely an
+            optimization: any attach failure falls back to the normal
+            cache path, and runs injecting cache corruption disable
+            sharing so the quarantine path stays observable.
     """
 
     backend: Optional[str] = None
@@ -137,6 +146,7 @@ class BatchConfig:
     timeout: TimeoutPolicy = field(default_factory=TimeoutPolicy)
     on_error: str = "raise"
     verify: bool = False
+    shared_descriptions: bool = True
 
     def validate(self) -> None:
         if self.backend and self.lmdes_path:
@@ -186,6 +196,11 @@ class BatchResult:
     timeouts: int = 0
     pool_restarts: int = 0
     degraded: bool = False
+    #: Whether a shared-memory description segment backed the pool.
+    shared_descriptions: bool = False
+    #: Summed per-chunk engine-construction time, in seconds -- the
+    #: setup cost zero-copy sharing is built to collapse.
+    chunk_setup_seconds: float = 0.0
     #: Oracle report when the run asked for ``BatchConfig.verify``.
     verify_report: Optional[Any] = None
 
@@ -219,6 +234,7 @@ class _ChunkOutcome:
     stats: CheckStats
     cache_stats: CacheStats
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    setup_seconds: float = 0.0
 
 
 @dataclass
@@ -248,6 +264,11 @@ class _Tally:
     timeouts: int = 0
     pool_restarts: int = 0
     degraded: bool = False
+    shared: bool = False
+    #: Disk-tier activity of the parent's publish compile, which runs
+    #: against its own cache -- folded into the result so a shared run
+    #: still reports its cold store / warm hit / quarantine counters.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
 
 def _chunk_blocks(
@@ -277,6 +298,7 @@ def _init_worker(
     cache_dir: Optional[str],
     obs_enabled: bool = False,
     plan: Optional[faults.FaultPlan] = None,
+    shared_spec: Optional[shared.SharedDescriptionSpec] = None,
 ) -> None:
     global _WORKER_CACHE
     if obs_enabled:
@@ -286,6 +308,44 @@ def _init_worker(
     faults.install(plan)
     disk = DiskDescriptionCache(cache_dir) if cache_dir else None
     _WORKER_CACHE = DescriptionCache(disk=disk)
+    if shared_spec is not None:
+        _seed_from_shared(_WORKER_CACHE, disk, shared_spec)
+
+
+def _seed_from_shared(
+    cache: DescriptionCache,
+    disk: Optional[DiskDescriptionCache],
+    spec: shared.SharedDescriptionSpec,
+) -> None:
+    """Pre-populate a worker cache from the published segment.
+
+    Attach order: the shared-memory segment first (zero-copy), then the
+    disk cache's packed sidecar (one read, no JSON parse), then nothing
+    -- the first ``create_engine`` simply takes the normal disk path.
+    Seeding touches no counters and no spans, so worker traces and
+    folded cache stats keep the exact shapes the differential harness
+    pins down.
+    """
+    compiled = shared.attach(spec)
+    if compiled is None and disk is not None:
+        blob = disk.load_packed(spec.machine_name, spec.digest)
+        if blob is not None:
+            from repro.lowlevel.packed import compiled_from_shared_buffer
+
+            try:
+                compiled = compiled_from_shared_buffer(blob)
+            except Exception:
+                logger.exception(
+                    "could not decode packed sidecar for %s; "
+                    "falling back to the LMDES artifact",
+                    spec.machine_name,
+                )
+                compiled = None
+    if compiled is not None:
+        cache.seed_compiled(
+            spec.machine_name, spec.token, spec.rep, spec.stage,
+            spec.bitvector, spec.reduce, compiled,
+        )
 
 
 def _make_engine(
@@ -323,7 +383,9 @@ def _schedule_chunk(
         with obs.span(
             "batch:chunk", index=index, blocks=len(blocks)
         ) as sp:
+            setup_start = time.perf_counter()
             engine = _make_engine(machine, config, cache)
+            setup_seconds = time.perf_counter() - setup_start
             run = schedule_workload(
                 machine,
                 None,
@@ -340,6 +402,7 @@ def _schedule_chunk(
         stats=run.stats,
         cache_stats=cache.stats.since(cache_before),
         spans=captured.spans,
+        setup_seconds=setup_seconds,
     )
 
 
@@ -534,6 +597,80 @@ def _shutdown_abandoned_pool(pool: ProcessPoolExecutor) -> None:
             )
 
 
+def _sharing_enabled(
+    config: BatchConfig, plan: Optional[faults.FaultPlan]
+) -> bool:
+    """Whether this run may publish a shared description segment.
+
+    ``lmdes_path`` runs already have their compact artifact on disk per
+    worker, and cache-corruption fault profiles exist precisely to
+    drive the disk tier's quarantine path -- seeding workers past the
+    disk would mask the behaviour those runs are asserting.
+    """
+    if not config.shared_descriptions or config.lmdes_path:
+        return False
+    if plan is not None and any(
+        rule.kind == "corrupt" for rule in plan.rules
+    ):
+        return False
+    return shared.available()
+
+
+def _publish_shared(
+    machine, config: BatchConfig, tally: _Tally
+) -> Optional[shared.SharedDescriptionSpec]:
+    """Compile once in the parent and publish the segment (best effort).
+
+    The compile runs against a discarded trace capture: the parent's
+    span tree must stay identical whether or not sharing kicked in
+    (span-merge determinism is asserted across worker counts).  When a
+    persistent disk tier is attached, the packed bytes are also
+    written through as a ``.packed.bin`` sidecar, so even a worker that
+    cannot attach shared memory skips the JSON parse.
+    """
+    try:
+        spec = get_engine_spec(config.backend or DEFAULT_BACKEND)
+    except KeyError:
+        return None
+    if config.stage < spec.min_stage:
+        return None  # the worker raises the typed error on its own
+    token = machine_content_token(machine)
+    if not is_persistent_token(token):
+        return None
+    try:
+        disk = (
+            DiskDescriptionCache(config.cache_dir)
+            if config.cache_dir else None
+        )
+        cache = DescriptionCache(disk=disk)
+        try:
+            with obs.capture():
+                compiled = cache.compiled(
+                    machine, spec.rep, config.stage, spec.bitvector,
+                    reduce=spec.reduce,
+                )
+        finally:
+            tally.cache_stats += cache.stats
+        published = shared.publish(
+            compiled, machine.name, token, spec.rep, config.stage,
+            spec.bitvector, spec.reduce,
+        )
+        if published is not None and disk is not None:
+            from repro.lowlevel.packed import compiled_to_shared_bytes
+
+            disk.store_packed(
+                machine.name, published.digest,
+                compiled_to_shared_bytes(compiled),
+            )
+        return published
+    except Exception:
+        logger.exception(
+            "could not publish a shared description for %s; workers "
+            "will warm up from the disk tier", machine.name,
+        )
+        return None
+
+
 def _run_pooled(
     machine,
     states: List[_ChunkState],
@@ -550,7 +687,37 @@ def _run_pooled(
     generation and resubmit the survivors to a fresh pool, bounded by
     ``retry.max_pool_restarts``, after which the run degrades to the
     serial path.
+
+    A shared description segment, when published, lives exactly as long
+    as this call: every pool generation reuses it (restart recovery
+    stays warm) and the ``finally`` below releases it even when the
+    run degrades or raises -- no ``/dev/shm`` segment survives the
+    driver.
     """
+    shared_spec = (
+        _publish_shared(machine, config, tally)
+        if _sharing_enabled(config, plan) else None
+    )
+    tally.shared = shared_spec is not None
+    try:
+        _run_pooled_generations(
+            machine, states, config, plan, outcomes, block_failures,
+            tally, shared_spec,
+        )
+    finally:
+        shared.release(shared_spec)
+
+
+def _run_pooled_generations(
+    machine,
+    states: List[_ChunkState],
+    config: BatchConfig,
+    plan: Optional[faults.FaultPlan],
+    outcomes: Dict[int, _ChunkOutcome],
+    block_failures: List[BlockFailure],
+    tally: _Tally,
+    shared_spec: Optional[shared.SharedDescriptionSpec],
+) -> None:
     policy = config.retry
     budget = config.timeout.chunk_seconds
     pending: Dict[int, _ChunkState] = {s.index: s for s in states}
@@ -598,7 +765,7 @@ def _run_pooled(
         pool = ProcessPoolExecutor(
             max_workers=config.workers,
             initializer=_init_worker,
-            initargs=(config.cache_dir, obs.enabled(), plan),
+            initargs=(config.cache_dir, obs.enabled(), plan, shared_spec),
         )
         broken = False
         futures: Dict[Any, _ChunkState] = {}
@@ -791,7 +958,9 @@ def schedule_batch(
             timeouts=tally.timeouts,
             pool_restarts=tally.pool_restarts,
             degraded=tally.degraded,
+            shared_descriptions=tally.shared,
         )
+        result.cache_stats += tally.cache_stats
         # Chunk order, not completion order: the stats fold, the
         # schedule list, and the grafted trace must not depend on pool
         # timing.
@@ -800,6 +969,7 @@ def schedule_batch(
             result.schedules.extend(outcome.schedules)
             result.stats += outcome.stats
             result.cache_stats += outcome.cache_stats
+            result.chunk_setup_seconds += outcome.setup_seconds
             obs.attach(outcome.spans)
         result.errors = sorted(
             block_failures, key=lambda f: f.block_index

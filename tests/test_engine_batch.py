@@ -1,0 +1,229 @@
+"""Batched query-layer tests (``try_reserve_many`` / ``probe_window``).
+
+The batch protocol's contract is *bit-for-bit* equivalence with the
+scalar loop: same reservation (including the winning cycle), same
+``CheckStats`` counters, same feasibility bitmasks.  These tests pin
+that contract for the protocol-level scalar defaults, for the
+vectorized :class:`TableEngine` override, and end-to-end through the
+list scheduler.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import create_engine, engine_names
+from repro.lowlevel.checker import CheckStats
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.scheduler import schedule_workload
+from tests.conftest import shared_workload
+
+SCALAR_BACKENDS = ["ortree", "andor", "automata"]
+VECTOR_BACKENDS = ["bitvector", "eichenberger"]
+
+
+def make_engine(backend, machine, vectorized=None):
+    """A fresh engine; ``vectorized=False`` forces the scalar path."""
+    engine = create_engine(backend, machine, stage=4)
+    if vectorized is False and getattr(engine, "vectorized", False):
+        engine = type(engine)(
+            engine.compiled, name=backend, vectorized=False
+        )
+    return engine
+
+
+def class_names_for(engine):
+    return sorted(engine.compiled.constraints)
+
+
+def dirty_state(engine, state, class_name, cycles):
+    """Reserve a few slots so windows contain real conflicts."""
+    for cycle in cycles:
+        engine.try_reserve(state, class_name, cycle)
+
+
+class TestBulkStats:
+    def test_bulk_equals_scalar_loop(self):
+        rng = random.Random(7)
+        options = [rng.randrange(0, 6) for _ in range(40)]
+        checks = [rng.randrange(0, 20) for _ in range(40)]
+        flags = [rng.random() < 0.3 for _ in range(40)]
+
+        scalar = CheckStats()
+        for opts, n_checks, ok in zip(options, checks, flags):
+            scalar.record_attempt(opts, n_checks, ok, class_name="alu")
+
+        bulk = CheckStats()
+        bulk.record_attempts_bulk(
+            options, checks, sum(flags), class_name="alu"
+        )
+        assert bulk == scalar
+
+    def test_bulk_empty_is_noop(self):
+        stats = CheckStats()
+        stats.record_attempts_bulk([], [], 0, class_name="alu")
+        assert stats == CheckStats()
+
+
+class TestProtocolDefaults:
+    """Scalar backends get batch semantics from the protocol defaults."""
+
+    @pytest.mark.parametrize("backend", SCALAR_BACKENDS)
+    def test_try_reserve_many_matches_scalar_walk(self, backend):
+        machine = get_machine("SuperSPARC")
+        batch = create_engine(backend, machine, stage=4)
+        loop = create_engine(backend, machine, stage=4)
+        for class_name in class_names_for(batch):
+            batch_state = batch.new_state()
+            loop_state = loop.new_state()
+            for engine, state in (
+                (batch, batch_state), (loop, loop_state)
+            ):
+                dirty_state(engine, state, class_name, (0, 1, 2))
+            batch.stats.__init__()
+            loop.stats.__init__()
+
+            got = batch.try_reserve_many(
+                batch_state, class_name, range(0, 12)
+            )
+            want = None
+            for cycle in range(0, 12):
+                want = loop.try_reserve(loop_state, class_name, cycle)
+                if want is not None:
+                    break
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.cycle == want.cycle
+                assert got.pairs == want.pairs
+            assert batch.stats == loop.stats
+
+    @pytest.mark.parametrize("backend", SCALAR_BACKENDS)
+    def test_probe_window_is_read_only(self, backend):
+        machine = get_machine("K5")
+        engine = create_engine(backend, machine, stage=4)
+        class_name = class_names_for(engine)[0]
+        state = engine.new_state()
+        dirty_state(engine, state, class_name, (0, 0, 1))
+
+        before = state.copy()
+        first = engine.probe_window(state, class_name, 0, 10)
+        second = engine.probe_window(state, class_name, 0, 10)
+        assert first == second
+        assert state == before
+
+    def test_probe_window_empty_range(self):
+        engine = create_engine("andor", get_machine("K5"), stage=4)
+        state = engine.new_state()
+        class_name = class_names_for(engine)[0]
+        assert engine.probe_window(state, class_name, 5, 5) == 0
+        assert engine.probe_window(state, class_name, 5, 2) == 0
+
+
+class TestVectorizedEquivalence:
+    """The numpy fast path must be indistinguishable from vectorized=False."""
+
+    @pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+    @pytest.mark.parametrize(
+        "machine_name", ["SuperSPARC", "K5", "Cydra_lite"]
+    )
+    def test_try_reserve_many_identical(self, machine_name, backend):
+        machine = get_machine(machine_name)
+        fast = create_engine(backend, machine, stage=4)
+        slow = make_engine(backend, machine, vectorized=False)
+        assert fast.vectorized
+        assert not slow.vectorized
+
+        rng = random.Random(13)
+        for class_name in class_names_for(fast):
+            fast_state = fast.new_state()
+            slow_state = slow.new_state()
+            for _ in range(120):
+                lo = rng.randrange(0, 6)
+                width = rng.randrange(1, 80)
+                a = fast.try_reserve_many(
+                    fast_state, class_name, range(lo, lo + width)
+                )
+                b = slow.try_reserve_many(
+                    slow_state, class_name, range(lo, lo + width)
+                )
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.cycle == b.cycle
+                    assert a.pairs == b.pairs
+                    if rng.random() < 0.25:
+                        fast.release(a)
+                        slow.release(b)
+            assert fast_state == slow_state
+            assert fast.stats == slow.stats
+
+    @pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+    def test_probe_window_bitmasks_identical(self, backend):
+        machine = get_machine("Pentium")
+        fast = create_engine(backend, machine, stage=4)
+        slow = make_engine(backend, machine, vectorized=False)
+        for class_name in class_names_for(fast):
+            fast_state = fast.new_state()
+            slow_state = slow.new_state()
+            for engine, state in (
+                (fast, fast_state), (slow, slow_state)
+            ):
+                dirty_state(engine, state, class_name, (0, 1, 1, 2, 4))
+            for lo, hi in ((0, 8), (-3, 5), (2, 66), (7, 7)):
+                assert fast.probe_window(
+                    fast_state, class_name, lo, hi
+                ) == slow.probe_window(slow_state, class_name, lo, hi)
+            assert fast.stats == slow.stats
+
+    def test_generator_input_without_len(self):
+        """Candidate iterables without __len__ still work."""
+        machine = get_machine("K5")
+        engine = create_engine("bitvector", machine, stage=4)
+        class_name = class_names_for(engine)[0]
+        state = engine.new_state()
+        got = engine.try_reserve_many(
+            state, class_name, (c for c in range(0, 6))
+        )
+        assert got is not None
+        assert got.cycle == 0
+
+    def test_modulo_state_windows(self):
+        machine = get_machine("Cydra_lite")
+        fast = create_engine("bitvector", machine, stage=4)
+        slow = make_engine("bitvector", machine, vectorized=False)
+        class_name = class_names_for(fast)[0]
+        for ii in (2, 3, 5):
+            fast_state = fast.new_state(ii=ii)
+            slow_state = slow.new_state(ii=ii)
+            for est in (0, 1, 4):
+                a = fast.try_reserve_many(
+                    fast_state, class_name, range(est, est + ii)
+                )
+                b = slow.try_reserve_many(
+                    slow_state, class_name, range(est, est + ii)
+                )
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.cycle == b.cycle
+            assert fast_state == slow_state
+            assert fast.stats == slow.stats
+
+
+class TestSchedulerEquivalence:
+    """End to end: schedules and stats identical with vectorization off."""
+
+    @pytest.mark.parametrize("backend", sorted(engine_names()))
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_workload_identity(self, machine_name, backend):
+        machine, blocks = shared_workload(machine_name, 120, 11)
+        fast = schedule_workload(
+            machine, None, blocks, keep_schedules=True,
+            engine=create_engine(backend, machine, stage=4),
+        )
+        slow = schedule_workload(
+            machine, None, blocks, keep_schedules=True,
+            engine=make_engine(backend, machine, vectorized=False),
+        )
+        assert [s.signature() for s in fast.schedules] == \
+            [s.signature() for s in slow.schedules]
+        assert fast.stats == slow.stats
+        assert fast.total_cycles == slow.total_cycles

@@ -1,0 +1,240 @@
+"""Zero-copy shared description tests (:mod:`repro.engine.shared`).
+
+Covers the publish/attach/release lifecycle and its refcounting, the
+batch service's sharing gate (fault profiles, LMDES-file runs, the
+opt-out knob), parity between shared and unshared pooled runs, the
+packed disk-sidecar write-through and its attach fallback, and -- the
+acceptance criterion -- that no ``/dev/shm`` segment survives a run,
+fault-injected pool restarts included.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import create_engine, machine_content_token
+from repro.engine.cache import DescriptionCache
+from repro.engine.diskcache import DiskDescriptionCache
+from repro.engine.shared import SharedDescriptionSpec
+from repro.engine import shared
+from repro.lowlevel.packed import compiled_to_shared_bytes
+from repro.machines import get_machine
+from repro.service import BatchConfig, RetryPolicy, schedule_batch
+from repro.service import faults
+from repro.service.batch import _seed_from_shared, _sharing_enabled
+from repro.service.faults import FaultPlan, parse_faults
+from tests.conftest import shared_workload
+
+pytestmark = pytest.mark.skipif(
+    not shared.available(), reason="needs numpy + shared_memory"
+)
+
+MACHINE = "K5"
+SHM_DIR = Path("/dev/shm")
+
+
+def repro_segments():
+    """Names of this-library shared segments currently in /dev/shm."""
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {p.name for p in SHM_DIR.glob("repro_*")}
+
+
+def publish_k5():
+    machine = get_machine(MACHINE)
+    compiled = create_engine("bitvector", machine, stage=4).compiled
+    token = machine_content_token(machine)
+    spec = shared.publish(
+        compiled, MACHINE, token, "andor", 4, True, reduce=False
+    )
+    return compiled, spec
+
+
+class TestLifecycle:
+    def test_publish_attach_release_round_trip(self):
+        compiled, spec = publish_k5()
+        assert spec is not None
+        assert spec.machine_name == MACHINE
+        assert spec.size > 0
+        try:
+            assert shared.live_segments() == 1
+            assert spec.segment in repro_segments()
+            attached = shared.attach(spec)
+            assert attached is not None
+            assert set(attached.constraints) == set(compiled.constraints)
+            assert attached.bitvector == compiled.bitvector
+        finally:
+            shared.release(spec)
+        assert shared.live_segments() == 0
+        assert spec.segment not in repro_segments()
+
+    def test_publish_is_refcounted_per_digest(self):
+        compiled, first = publish_k5()
+        _, second = publish_k5()
+        assert first is not None and second is not None
+        assert second.segment == first.segment
+        assert second.digest == first.digest
+        assert shared.live_segments() == 1
+
+        shared.release(first)
+        assert shared.live_segments() == 1  # one reference still out
+        assert first.segment in repro_segments()
+        shared.release(second)
+        assert shared.live_segments() == 0
+        assert first.segment not in repro_segments()
+
+    def test_release_is_forgiving(self):
+        shared.release(None)  # no-op
+        stale = SharedDescriptionSpec(
+            segment="repro_feedfeedfeedfeed_0", digest="feed" * 16,
+            machine_name=MACHINE, token="t", rep="andor", stage=4,
+            bitvector=True, reduce=False, size=64,
+        )
+        shared.release(stale)  # unknown digest: no-op, no raise
+        assert shared.live_segments() == 0
+
+    def test_attach_missing_segment_returns_none(self):
+        stale = SharedDescriptionSpec(
+            segment="repro_does_not_exist_0", digest="dead" * 16,
+            machine_name=MACHINE, token="t", rep="andor", stage=4,
+            bitvector=True, reduce=False, size=64,
+        )
+        assert shared.attach(stale) is None
+
+    def test_attach_none_spec(self):
+        assert shared.attach(None) is None
+
+
+class TestSharingGate:
+    def test_default_config_shares(self):
+        assert _sharing_enabled(BatchConfig(), None)
+        assert _sharing_enabled(BatchConfig(), FaultPlan())
+
+    def test_opt_out_knob(self):
+        config = BatchConfig(shared_descriptions=False)
+        assert not _sharing_enabled(config, None)
+
+    def test_lmdes_file_runs_never_share(self):
+        config = BatchConfig(lmdes_path="/tmp/some.lmdes.json")
+        assert not _sharing_enabled(config, None)
+
+    def test_corrupt_fault_profile_disables_sharing(self):
+        plan = parse_faults("seed=1;corrupt@0#*")
+        assert not _sharing_enabled(BatchConfig(), plan)
+
+    def test_crash_and_sched_profiles_keep_sharing(self):
+        assert _sharing_enabled(BatchConfig(), parse_faults("crash@0"))
+        assert _sharing_enabled(
+            BatchConfig(), parse_faults("seed=2;sched@0#*")
+        )
+
+
+class TestBatchIntegration:
+    def config(self, **kwargs):
+        kwargs.setdefault("backend", "bitvector")
+        kwargs.setdefault("stage", 4)
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("chunk_size", 4)
+        return BatchConfig(**kwargs)
+
+    def test_shared_run_matches_unshared(self):
+        machine, blocks = shared_workload(MACHINE, 60, 23)
+        on = schedule_batch(machine, blocks, self.config())
+        off = schedule_batch(
+            machine, blocks, self.config(shared_descriptions=False)
+        )
+        assert on.shared_descriptions
+        assert not off.shared_descriptions
+        assert [s.signature() for s in on.schedules] == \
+            [s.signature() for s in off.schedules]
+        assert on.stats == off.stats
+        assert on.total_ops == off.total_ops
+        assert on.total_cycles == off.total_cycles
+
+    def test_in_process_run_does_not_share(self):
+        machine, blocks = shared_workload(MACHINE, 20, 23)
+        result = schedule_batch(machine, blocks, self.config(workers=1))
+        assert not result.shared_descriptions
+
+    def test_no_segment_leak_after_run(self):
+        machine, blocks = shared_workload(MACHINE, 60, 23)
+        before = repro_segments()
+        result = schedule_batch(machine, blocks, self.config())
+        assert result.shared_descriptions
+        assert shared.live_segments() == 0
+        assert repro_segments() <= before
+
+    def test_no_segment_leak_with_crash_faults(self):
+        machine, blocks = shared_workload(MACHINE, 48, 23)
+        before = repro_segments()
+        plan = parse_faults("seed=7;crash@0")
+        with faults.injected(plan):
+            result = schedule_batch(
+                machine, blocks,
+                self.config(retry=RetryPolicy(retries=2)),
+            )
+        assert result.shared_descriptions
+        assert result.pool_restarts >= 1
+        assert shared.live_segments() == 0
+        assert repro_segments() <= before
+
+    def test_corrupt_faults_fall_back_to_unshared(self, tmp_path):
+        machine, blocks = shared_workload(MACHINE, 24, 23)
+        plan = parse_faults("seed=7;corrupt@0")
+        with faults.injected(plan):
+            result = schedule_batch(
+                machine, blocks,
+                self.config(
+                    cache_dir=str(tmp_path),
+                    retry=RetryPolicy(retries=2),
+                ),
+            )
+        assert not result.shared_descriptions
+        assert shared.live_segments() == 0
+
+    def test_sidecar_write_through(self, tmp_path):
+        machine, blocks = shared_workload(MACHINE, 24, 23)
+        result = schedule_batch(
+            machine, blocks, self.config(cache_dir=str(tmp_path))
+        )
+        assert result.shared_descriptions
+        sidecars = list(tmp_path.glob("*.packed.bin"))
+        assert len(sidecars) == 1
+        from repro.lowlevel.packed import SHARED_MAGIC
+
+        assert sidecars[0].read_bytes()[: len(SHARED_MAGIC)] == \
+            SHARED_MAGIC
+
+
+class TestSeedFallback:
+    def test_seed_falls_back_to_disk_sidecar(self, tmp_path):
+        """A dead segment still seeds the worker via the sidecar."""
+        machine = get_machine(MACHINE)
+        compiled = create_engine("bitvector", machine, stage=4).compiled
+        token = machine_content_token(machine)
+        disk = DiskDescriptionCache(tmp_path)
+        digest = "ab" * 32
+        disk.store_packed(MACHINE, digest, compiled_to_shared_bytes(compiled))
+
+        spec = SharedDescriptionSpec(
+            segment="repro_gone_after_crash_0", digest=digest,
+            machine_name=MACHINE, token=token, rep="andor", stage=4,
+            bitvector=True, reduce=False, size=0,
+        )
+        cache = DescriptionCache()
+        _seed_from_shared(cache, disk, spec)
+        key = ("lmdes", MACHINE, token, "andor", 4, True, False)
+        assert key in cache._entries
+        assert set(cache._entries[key].constraints) == \
+            set(compiled.constraints)
+
+    def test_seed_without_disk_is_silent(self):
+        spec = SharedDescriptionSpec(
+            segment="repro_gone_after_crash_1", digest="cd" * 32,
+            machine_name=MACHINE, token="t", rep="andor", stage=4,
+            bitvector=True, reduce=False, size=0,
+        )
+        cache = DescriptionCache()
+        _seed_from_shared(cache, None, spec)
+        assert not cache._entries
