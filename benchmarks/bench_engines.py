@@ -27,7 +27,7 @@ def test_engines_regenerate(results_dir, benchmark):
             blocks = generate_blocks(
                 machine, WorkloadConfig(total_ops=BENCH_OPS)
             )
-            for backend in engine_names():
+            for backend in engine_names(scheduler="list"):
                 engine = create_engine(backend, machine)
                 started = time.perf_counter()
                 run = schedule_workload(
@@ -72,7 +72,8 @@ def test_engines_regenerate(results_dir, benchmark):
     write_result(results_dir, "engines.txt", text, payload=payload)
     # Protocol sanity: every backend scheduled the full workload, and
     # every backend saw the same ops for one machine.
-    assert len(rows) == len(MACHINE_NAMES) * len(engine_names())
+    expected = len(MACHINE_NAMES) * len(engine_names(scheduler="list"))
+    assert len(rows) == expected
     for machine_name in MACHINE_NAMES:
         per_machine = {
             ops for name, _, ops, _, _, _ in rows if name == machine_name

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.engine.cache import DescriptionCache
-from repro.engine.registry import create_engine, engine_names
+from repro.engine.registry import create_engine, engine_names, get_engine_spec
 from repro.errors import (
     CacheCorruptionError,
     ChunkTimeoutError,
@@ -56,6 +56,12 @@ from repro.lowlevel.packed import (
     packing_eligible,
 )
 from repro.machines import MACHINE_NAMES, get_machine
+from repro.exact import (
+    ExactBlockResult,
+    ExactBudget,
+    ExactRunResult,
+    schedule_workload_exact,
+)
 from repro.scheduler import BlockSchedule, RunResult, schedule_workload
 from repro.service import (
     DEFAULT_BACKEND,
@@ -67,7 +73,12 @@ from repro.service import (
     schedule_batch,
 )
 from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
-from repro.verify import Diagnostic, VerifyReport, verify_schedule
+from repro.verify import (
+    Diagnostic,
+    VerifyReport,
+    exact_oracle_divergences,
+    verify_schedule,
+)
 from repro.workloads import WorkloadConfig, generate_blocks
 
 
@@ -120,18 +131,53 @@ def schedule(
     stage: int = FINAL_STAGE,
     direction: str = "forward",
     keep_schedules: bool = True,
-) -> RunResult:
+) -> Union[RunResult, ExactRunResult]:
     """Schedule one workload in-process and return the run statistics.
 
     The single-request counterpart of :func:`schedule_batch`: one
     engine, one pass over ``blocks``, the paper's ``CheckStats``
-    attached to the result.
+    attached to the result.  Backends registered with
+    ``scheduler="exact"`` dispatch to :func:`schedule_exact` and return
+    an :class:`ExactRunResult` (forward direction only).
     """
     machine = _resolve_machine(machine)
+    if get_engine_spec(backend).scheduler == "exact":
+        if direction != "forward":
+            raise ValueError(
+                "exact backends schedule forward only; "
+                f"direction {direction!r} is not supported"
+            )
+        return schedule_exact(machine, blocks, backend=backend, stage=stage)
     engine = create_engine(backend, machine, stage=stage)
     return schedule_workload(
         machine, None, blocks,
         keep_schedules=keep_schedules, direction=direction, engine=engine,
+    )
+
+
+def schedule_exact(
+    machine: Union[str, object],
+    blocks: Sequence[BasicBlock],
+    backend: str = "exact",
+    stage: int = FINAL_STAGE,
+    budget: Optional[ExactBudget] = None,
+    max_block_ops: Optional[int] = None,
+) -> ExactRunResult:
+    """Schedule one workload with the branch-and-bound exact scheduler.
+
+    Returns an :class:`ExactRunResult` whose per-block entries carry
+    the proven-optimal flag, the lower bound, the heuristic seed
+    length, and the search-effort counters -- the data behind the
+    optimality-gap benchmark (``benchmarks/bench_optimality.py``).
+    """
+    machine = _resolve_machine(machine)
+    spec = get_engine_spec(backend)
+    if spec.scheduler != "exact":
+        raise ValueError(f"backend {backend!r} is not an exact scheduler")
+    engine = create_engine(backend, machine, stage=stage)
+    return schedule_workload_exact(
+        machine, blocks, engine=engine,
+        budget=budget, max_block_ops=max_block_ops,
     )
 
 
@@ -141,6 +187,7 @@ __all__ = [
     "get_engine",
     "schedule",
     "schedule_batch",
+    "schedule_exact",
     "verify_schedule",
     # Machines and workloads
     "MACHINE_NAMES",
@@ -166,9 +213,14 @@ __all__ = [
     # Results
     "BlockSchedule",
     "RunResult",
+    # Exact scheduling
+    "ExactBlockResult",
+    "ExactBudget",
+    "ExactRunResult",
     # Verification
     "Diagnostic",
     "VerifyReport",
+    "exact_oracle_divergences",
     # Error taxonomy
     "VerificationError",
     "ReproError",

@@ -13,6 +13,10 @@ Commands:
   trace.
 * ``schedule (--machine NAME | --trace FILE) [options]`` -- schedule a
   workload and report the paper's statistics.
+* ``exact --machine NAME [--ops N] [--node-budget N]
+  [--time-budget S] [--max-block-ops N]`` -- schedule a small workload
+  with the branch-and-bound exact scheduler and report the per-block
+  optimality gap against the list-scheduler seed.
 * ``schedule-batch (--machine NAME | --trace FILE) [--workers N]
   [--cache-dir DIR] [--retries N] [--chunk-timeout S]
   [--on-error raise|report] [options]`` -- shard a workload across a
@@ -223,6 +227,7 @@ def _cmd_engines(args: argparse.Namespace) -> int:
             flag for flag, enabled in (
                 ("modulo", spec.supports_modulo),
                 ("vectorized", spec.vectorized),
+                ("exact", spec.scheduler == "exact"),
             ) if enabled
         ) or "-"
         print(
@@ -289,6 +294,14 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         blocks = generate_blocks(
             machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
         )
+    if args.backend:
+        from repro.engine import get_engine_spec
+
+        if get_engine_spec(args.backend).scheduler == "exact":
+            return _run_exact_cmd(
+                machine, blocks, args.backend, args.stage,
+                None, None, args.json,
+            )
     with obs.span("cli:schedule", machine=machine.name) as sp:
         if args.backend:
             from repro.engine import create_engine
@@ -353,6 +366,105 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(f"checks/attempt:      {stats.checks_per_attempt:.2f}")
     print(f"checks/option:       {stats.checks_per_option:.2f}")
     return 0
+
+
+def _run_exact_cmd(
+    machine, blocks, backend, stage, budget, max_block_ops, as_json,
+) -> int:
+    """Shared body of ``exact`` and ``schedule --backend exact``."""
+    import json
+
+    from repro import obs
+    from repro.api import schedule_exact
+
+    if as_json:
+        obs.enable()
+        obs.reset()
+    with obs.span("cli:exact", machine=machine.name) as sp:
+        run = schedule_exact(
+            machine, blocks, backend=backend, stage=stage,
+            budget=budget, max_block_ops=max_block_ops,
+        )
+    per_block = [
+        {
+            "ops": len(result.schedule.block),
+            "length": result.length,
+            "heuristic_length": result.heuristic_length,
+            "gap": result.gap,
+            "lower_bound": result.lower_bound,
+            "optimal": result.optimal,
+            "reason": result.reason,
+            "nodes": result.nodes,
+            "repairs": result.repairs,
+            "seconds": result.seconds,
+        }
+        for result in run.results
+    ]
+    if as_json:
+        print(json.dumps(
+            {
+                "machine": machine.name,
+                "backend": backend,
+                "stage": stage,
+                "blocks": len(run.results),
+                "ops": run.total_ops,
+                "cycles": run.total_cycles,
+                "heuristic_cycles": run.heuristic_cycles,
+                "gap_cycles": run.gap_cycles,
+                "optimal_blocks": run.optimal_blocks,
+                "nodes": run.nodes,
+                "repairs": run.repairs,
+                "pruned": run.pruned,
+                "wall_seconds": sp.seconds,
+                "per_block": per_block,
+                "obs": obs.summary(),
+            },
+            indent=2,
+        ))
+        return 0
+    print(f"machine:             {machine.name} (backend {backend}, "
+          f"stage {stage})")
+    print(f"blocks:              {len(run.results)} "
+          f"({run.optimal_blocks} proven optimal)")
+    print(f"operations:          {run.total_ops}")
+    print(f"exact cycles:        {run.total_cycles}")
+    print(f"heuristic cycles:    {run.heuristic_cycles}")
+    print(f"gap (cycles saved):  {run.gap_cycles}")
+    print(f"search nodes:        {run.nodes} "
+          f"({run.repairs} repair(s), {run.pruned} pruned)")
+    print(f"wall seconds:        {run.seconds:.3f}")
+    print()
+    print("block   ops  exact  heur  gap  lower  reason       nodes")
+    for index, entry in enumerate(per_block):
+        print(
+            f"{index:5d} {entry['ops']:5d} {entry['length']:6d} "
+            f"{entry['heuristic_length']:5d} {entry['gap']:4d} "
+            f"{entry['lower_bound']:6d}  {entry['reason']:11s} "
+            f"{entry['nodes']:6d}"
+        )
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from repro.exact import ExactBudget
+    from repro.workloads import WorkloadConfig, generate_blocks
+
+    machine = get_machine(args.machine)
+    blocks = generate_blocks(
+        machine, WorkloadConfig(total_ops=args.ops, seed=args.seed)
+    )
+    default = ExactBudget()
+    budget = ExactBudget(
+        max_nodes=(
+            args.node_budget if args.node_budget is not None
+            else default.max_nodes
+        ),
+        max_seconds=args.time_budget,
+    )
+    return _run_exact_cmd(
+        machine, blocks, args.backend, args.stage, budget,
+        args.max_block_ops, args.json,
+    )
 
 
 def _batch_workload(args: argparse.Namespace):
@@ -538,7 +650,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 0
 
     machines = [args.machine] if args.machine else list(MACHINE_NAMES)
-    backends = [args.backend] if args.backend else list(engine_names())
+    backends = (
+        [args.backend] if args.backend
+        else list(engine_names(scheduler="list"))
+    )
     results = []
     failed = False
     for machine_name in machines:
@@ -547,13 +662,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             total_ops=args.ops, seed=args.seed,
         ))
         for backend in backends:
-            from repro.engine import create_engine
+            from repro.engine import create_engine, get_engine_spec
 
-            engine = create_engine(backend, machine, stage=args.stage)
-            run = schedule_workload(
-                machine, None, blocks, keep_schedules=True,
-                direction=args.direction, engine=engine,
-            )
+            if get_engine_spec(backend).scheduler == "exact":
+                from repro.api import schedule_exact
+
+                if args.direction != "forward":
+                    print(
+                        "verify --backend exact schedules forward only",
+                        file=sys.stderr,
+                    )
+                    return 2
+                run = schedule_exact(
+                    machine, blocks, backend=backend, stage=args.stage
+                )
+            else:
+                engine = create_engine(backend, machine, stage=args.stage)
+                run = schedule_workload(
+                    machine, None, blocks, keep_schedules=True,
+                    direction=args.direction, engine=engine,
+                )
             report = verify_schedule(
                 machine, run, direction=args.direction
             )
@@ -802,6 +930,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's span tree as JSONL (forces obs on)",
     )
 
+    exact = commands.add_parser(
+        "exact",
+        help=(
+            "schedule a workload with the branch-and-bound exact "
+            "scheduler and report the optimality gap"
+        ),
+    )
+    exact.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+                       required=True)
+    exact.add_argument("--ops", type=int, default=200,
+                       help="workload size (exact search is exponential; "
+                            "keep this small)")
+    exact.add_argument("--seed", type=int, default=20161202)
+    exact.add_argument("--stage", type=int, default=4,
+                       help="transformation stage 0-4")
+    exact.add_argument(
+        "--backend", choices=engine_names(scheduler="exact"),
+        default="exact",
+        help="exact-scheduler backend from the engine registry",
+    )
+    exact.add_argument(
+        "--node-budget", type=int, default=None, metavar="N",
+        help="search-node budget per block (default: the registry's)",
+    )
+    exact.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per block (default: unbounded)",
+    )
+    exact.add_argument(
+        "--max-block-ops", type=int, default=None, metavar="N",
+        help=(
+            "largest block to search exactly; bigger blocks keep the "
+            "heuristic schedule (default: the registry's cap)"
+        ),
+    )
+    exact.add_argument("--json", action="store_true",
+                       help="emit a machine-readable result document "
+                            "(forces obs on)")
+
     batch = commands.add_parser(
         "schedule-batch",
         help=(
@@ -971,6 +1138,7 @@ _HANDLERS = {
     "expand": _cmd_expand,
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
+    "exact": _cmd_exact,
     "schedule-batch": _cmd_schedule_batch,
     "verify": _cmd_verify,
     "fuzz": _cmd_fuzz,

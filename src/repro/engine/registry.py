@@ -37,6 +37,13 @@ class EngineSpec:
         reduce: Apply the Eichenberger-Davidson option reduction first.
         min_stage: Lowest transformation stage the backend can accept
             (the automaton needs stage >= 3 for non-negative times).
+        scheduler: Which scheduling algorithm the backend drives:
+            ``"list"`` (the greedy heuristic) or ``"exact"`` (the
+            budget-bounded branch-and-bound in :mod:`repro.exact`).
+        max_block_ops: Largest block the backend guarantees to handle;
+            ``None`` means unbounded.  The exact backend is capped --
+            oversized blocks fall back to the heuristic seed and are
+            flagged non-optimal.
         description: One line for listings.
     """
 
@@ -46,6 +53,8 @@ class EngineSpec:
     engine_cls: Type[QueryEngine]
     reduce: bool = False
     min_stage: int = 0
+    scheduler: str = "list"
+    max_block_ops: Optional[int] = None
     description: str = ""
 
     @property
@@ -80,9 +89,19 @@ def register_engine(spec: EngineSpec, replace: bool = False) -> None:
     _REGISTRY[spec.name] = spec
 
 
-def engine_names() -> Tuple[str, ...]:
-    """Registered backend names, in registration order."""
-    return tuple(_REGISTRY)
+def engine_names(scheduler: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered backend names, in registration order.
+
+    ``scheduler`` filters by the algorithm a backend drives --
+    ``engine_names(scheduler="list")`` is every interchangeable
+    heuristic backend, excluding the capability-flagged exact solver.
+    """
+    if scheduler is None:
+        return tuple(_REGISTRY)
+    return tuple(
+        name for name, spec in _REGISTRY.items()
+        if spec.scheduler == scheduler
+    )
 
 
 def get_engine_spec(name: str) -> EngineSpec:
@@ -176,4 +195,16 @@ register_engine(EngineSpec(
     engine_cls=EichenbergerEngine,
     reduce=True,
     description="Eichenberger-Davidson reduced reservation tables",
+))
+register_engine(EngineSpec(
+    name="exact",
+    rep="andor",
+    bitvector=True,
+    engine_cls=TableEngine,
+    scheduler="exact",
+    max_block_ops=12,
+    description=(
+        "branch-and-bound exact scheduler over bit-vector tables "
+        "(small blocks, budget-bounded)"
+    ),
 ))

@@ -1,0 +1,97 @@
+"""Complete option assignment for a fixed set of placements.
+
+A query engine's ``try_reserve`` is *greedy*: it commits the first
+available option of each OR-tree and never reconsiders.  That is the
+behavior the paper's schedulers exhibit, but it is incomplete as a
+feasibility test -- a cycle assignment can be resource-feasible even
+though the greedy option choice paints itself into a corner.  The
+independent :class:`~repro.verify.oracle.ScheduleOracle` defines
+feasibility as "*some* option assignment exists", so an exact scheduler
+must decide exactly that.
+
+This module does: given every placed operation's compiled constraint and
+issue cycle, a backtracking search assigns one option per OR-tree such
+that all reservations are simultaneously disjoint.  The search is
+complete up to a node budget; running out of budget is reported
+distinctly from proven infeasibility so the caller can downgrade its
+optimality claim instead of mispruning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lowlevel.bitvector import RUMap
+from repro.lowlevel.compiled import CompiledAndOrTree, CompiledConstraint
+
+#: One option alternative: absolute (cycle, mask) reservations.
+Alternative = Tuple[Tuple[int, int], ...]
+
+SAT = "sat"
+UNSAT = "unsat"
+BUDGET = "budget"
+
+
+def constraint_slots(
+    constraint: CompiledConstraint, issue_cycle: int
+) -> List[List[Alternative]]:
+    """One slot per OR-tree, alternatives shifted to absolute cycles."""
+    if isinstance(constraint, CompiledAndOrTree):
+        or_trees: Iterable = constraint.or_trees
+    else:
+        or_trees = (constraint,)
+    slots: List[List[Alternative]] = []
+    for or_tree in or_trees:
+        slots.append([
+            tuple(
+                (issue_cycle + time, mask)
+                for time, mask in option.reserve_mask_by_time
+            )
+            for option in or_tree.options
+        ])
+    return slots
+
+
+def find_assignment(
+    slots: List[List[Alternative]],
+    max_nodes: int = 20_000,
+) -> Tuple[str, Optional[List[Alternative]], int]:
+    """Pick one alternative per slot with all reservations disjoint.
+
+    Returns ``(status, chosen, nodes)`` where status is :data:`SAT`
+    (``chosen`` holds one alternative per slot, in input order),
+    :data:`UNSAT` (proven impossible), or :data:`BUDGET` (undecided
+    within ``max_nodes`` extension attempts).
+    """
+    order = sorted(range(len(slots)), key=lambda i: len(slots[i]))
+    ru = RUMap()
+    chosen: List[Optional[Alternative]] = [None] * len(slots)
+    nodes = 0
+
+    def extend(depth: int) -> str:
+        nonlocal nodes
+        if depth == len(order):
+            return SAT
+        slot = slots[order[depth]]
+        for alternative in slot:
+            nodes += 1
+            if nodes > max_nodes:
+                return BUDGET
+            free = all(ru.is_free(cycle, mask) for cycle, mask in alternative)
+            if not free:
+                continue
+            for cycle, mask in alternative:
+                ru.reserve(cycle, mask)
+            chosen[order[depth]] = alternative
+            status = extend(depth + 1)
+            if status != UNSAT:
+                return status
+            for cycle, mask in alternative:
+                ru.release(cycle, mask)
+            chosen[order[depth]] = None
+        return UNSAT
+
+    status = extend(0)
+    if status == SAT:
+        return SAT, [alt for alt in chosen], nodes
+    return status, None, nodes

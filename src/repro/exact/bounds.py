@@ -1,0 +1,124 @@
+"""Lower bounds on the last issue cycle of a basic block.
+
+The branch-and-bound search in :mod:`repro.exact.scheduler` proves
+optimality by matching a schedule against a lower bound, so the bounds
+here must hold for *every* feasible schedule -- including ones that ride
+forwarding shortcuts.  Both bounds therefore use each dependence edge's
+``min_latency`` (the shortcut distance when one exists), never the
+normal ``latency``.
+
+Two bounds are computed:
+
+* **critical path** -- the longest min-latency dependence chain.  An
+  operation issuing at cycle *c* forces some chain of successors out to
+  cycle ``c + tail``, so the block's last issue cycle is at least
+  ``max(asap[i] + tail[i])``.
+* **resource density** -- for an operation class whose compiled
+  constraint admits at most ``cap`` concurrent issues per cycle, *n*
+  operations of that class need ``ceil(n / cap)`` distinct cycles, the
+  first no earlier than the class's earliest ASAP cycle.  Operations
+  whose class can vary (a cascade-eligible incoming edge substitutes the
+  cascaded class) are excluded from the counts, which keeps the bound
+  sound at the cost of some tightness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.dependence import DependenceGraph
+from repro.lowlevel.compiled import CompiledAndOrTree, CompiledConstraint
+
+
+def min_asap(graph: DependenceGraph) -> Dict[int, int]:
+    """Earliest issue cycle of each operation under min latencies."""
+    asap: Dict[int, int] = {}
+    for op in graph.block.operations:
+        best = 0
+        for edge in graph.preds_of(op.index):
+            candidate = asap[edge.pred] + edge.min_latency
+            if candidate > best:
+                best = candidate
+        asap[op.index] = best
+    return asap
+
+
+def min_tails(graph: DependenceGraph) -> Dict[int, int]:
+    """Longest min-latency path from each operation to any leaf.
+
+    If operation *i* issues at cycle *c*, some transitive successor must
+    issue no earlier than ``c + tail[i]`` -- the per-operation bound the
+    search uses to clamp candidate cycles against the incumbent.
+    """
+    tails: Dict[int, int] = {}
+    for op in reversed(graph.block.operations):
+        best = 0
+        for edge in graph.succs_of(op.index):
+            candidate = edge.min_latency + tails[edge.succ]
+            if candidate > best:
+                best = candidate
+        tails[op.index] = best
+    return tails
+
+
+def critical_path_bound(
+    asap: Dict[int, int], tails: Dict[int, int]
+) -> int:
+    """Lower bound on the last issue cycle from the dependence chains."""
+    return max(
+        (asap[index] + tails[index] for index in asap), default=0
+    )
+
+
+def class_capacity(constraint: CompiledConstraint) -> Optional[int]:
+    """Max concurrent same-cycle issues the constraint could admit.
+
+    Every issue of an AND/OR-tree class holds one option per OR-tree,
+    and distinct issues in one cycle must hold options with disjoint
+    reservations, so an OR-tree with *k* reserving options caps the
+    class at *k* issues per cycle.  An option that reserves nothing
+    imposes no cap.  Returns ``None`` when no OR-tree caps the class.
+    This over-estimates true capacity (options may share resources),
+    which is the safe direction for a lower bound on cycles.
+    """
+    if isinstance(constraint, CompiledAndOrTree):
+        or_trees = constraint.or_trees
+    else:
+        or_trees = (constraint,)
+    cap: Optional[int] = None
+    for or_tree in or_trees:
+        if any(
+            not option.reserve_mask_by_time for option in or_tree.options
+        ):
+            continue
+        count = len(or_tree.options)
+        if cap is None or count < cap:
+            cap = count
+    return cap
+
+
+def resource_bound(
+    asap: Dict[int, int],
+    class_of: Dict[int, Optional[str]],
+    capacity_of: Dict[str, Optional[int]],
+) -> int:
+    """Lower bound on the last issue cycle from per-class capacities.
+
+    ``class_of`` maps operation index to its invariant class, or
+    ``None`` when the class can change across schedules (such
+    operations are excluded).  ``capacity_of`` maps class name to
+    :func:`class_capacity`.
+    """
+    members: Dict[str, list] = {}
+    for index, class_name in class_of.items():
+        if class_name is not None and capacity_of.get(class_name):
+            members.setdefault(class_name, []).append(index)
+    bound = 0
+    for class_name, indices in members.items():
+        cap = capacity_of[class_name]
+        earliest = min(asap[index] for index in indices)
+        cycles_needed = -(-len(indices) // cap)
+        candidate = earliest + cycles_needed - 1
+        if candidate > bound:
+            bound = candidate
+    return bound

@@ -1,0 +1,89 @@
+"""Dependence-feasibility of one (operation, cycle) placement.
+
+Both forward schedulers -- the greedy list scheduler and the exact
+branch-and-bound scheduler (:mod:`repro.exact`) -- ask the same two
+questions while placing an operation against already-placed
+predecessors:
+
+* what is the earliest cycle its dependences admit, and
+* is a *specific* cycle admissible, and if so, does issuing there ride
+  a forwarding shortcut (which may substitute the operation class)?
+
+The answers must agree bit for bit between the schedulers (a schedule
+the exact scheduler proves optimal has to be one the list scheduler's
+dependence model also accepts), so the logic lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.dependence import FLOW, DependenceGraph
+
+
+def earliest_cycle(
+    graph: DependenceGraph, times: Dict[int, int], index: int
+) -> int:
+    """Earliest cycle the placed predecessors admit via shortcuts.
+
+    Uses each edge's ``min_latency`` (the forwarding-shortcut distance
+    when one exists), so the result is a valid *lower* bound on the
+    issue cycle; individual cycles at or above it still need
+    :func:`cycle_feasibility`.
+    """
+    earliest = 0
+    for edge in graph.preds_of(index):
+        candidate = times[edge.pred] + edge.min_latency
+        if candidate > earliest:
+            earliest = candidate
+    return earliest
+
+
+def cycle_feasibility(
+    graph: DependenceGraph,
+    times: Dict[int, int],
+    index: int,
+    cycle: int,
+) -> Optional[Tuple[bool, str]]:
+    """Data-dependence feasibility of placing ``index`` at ``cycle``.
+
+    Returns ``None`` when some placed predecessor forbids the cycle,
+    else ``(cascaded, bypass_class)``: whether some flow producer
+    completes only via a forwarding shortcut, and the substitute
+    operation class the shortcut demands (empty when none does).
+    """
+    cascaded = False
+    bypass_class = ""
+    for edge in graph.preds_of(index):
+        produced_at = times[edge.pred]
+        if cycle >= produced_at + edge.latency:
+            continue
+        if (
+            edge.kind == FLOW
+            and edge.is_cascade_eligible
+            and cycle == produced_at + edge.min_latency
+        ):
+            cascaded = True
+            if edge.bypass_class:
+                bypass_class = edge.bypass_class
+            continue
+        return None
+    return cascaded, bypass_class
+
+
+def stable_cycle(
+    graph: DependenceGraph, times: Dict[int, int], index: int
+) -> int:
+    """First cycle past which dependence feasibility stops varying.
+
+    Beyond every placed producer's full latency the placement is
+    unconditionally admissible and no shortcut applies, so the
+    operation class is the static one -- the point where a scalar
+    feasibility walk can hand over to a batched resource probe.
+    """
+    stable = 0
+    for edge in graph.preds_of(index):
+        candidate = times[edge.pred] + edge.latency
+        if candidate > stable:
+            stable = candidate
+    return stable

@@ -25,9 +25,14 @@ from repro.engine.base import QueryEngine
 from repro.engine.table import TableEngine
 from repro.errors import SchedulingError
 from repro.ir.block import BasicBlock
-from repro.ir.dependence import FLOW, DependenceGraph, build_dependence_graph
+from repro.ir.dependence import build_dependence_graph
 from repro.lowlevel.checker import CheckStats
 from repro.lowlevel.compiled import CompiledMdes
+from repro.scheduler.feasibility import (
+    cycle_feasibility,
+    earliest_cycle,
+    stable_cycle,
+)
 from repro.scheduler.priority import compute_heights
 from repro.scheduler.schedule import BlockSchedule, RunResult
 
@@ -69,48 +74,6 @@ class ListScheduler:
     # Forward scheduling
     # ------------------------------------------------------------------
 
-    def _earliest_cycle(
-        self, graph: DependenceGraph, times: Dict[int, int], index: int
-    ) -> int:
-        earliest = 0
-        for edge in graph.preds_of(index):
-            candidate = times[edge.pred] + edge.min_latency
-            if candidate > earliest:
-                earliest = candidate
-        return earliest
-
-    def _cycle_feasible(
-        self,
-        graph: DependenceGraph,
-        times: Dict[int, int],
-        index: int,
-        cycle: int,
-    ) -> Optional[Tuple[bool, str]]:
-        """Data-dependence feasibility of ``cycle``.
-
-        Returns ``None`` when infeasible, else ``(cascaded,
-        bypass_class)``: whether some flow producer completes only via a
-        forwarding shortcut, and the substitute operation class the
-        shortcut demands (empty when none does).
-        """
-        cascaded = False
-        bypass_class = ""
-        for edge in graph.preds_of(index):
-            produced_at = times[edge.pred]
-            if cycle >= produced_at + edge.latency:
-                continue
-            if (
-                edge.kind == FLOW
-                and edge.is_cascade_eligible
-                and cycle == produced_at + edge.min_latency
-            ):
-                cascaded = True
-                if edge.bypass_class:
-                    bypass_class = edge.bypass_class
-                continue
-            return None
-        return cascaded, bypass_class
-
     def _schedule_block_forward(self, block: BasicBlock) -> BlockSchedule:
         graph = build_dependence_graph(
             block,
@@ -136,22 +99,18 @@ class ListScheduler:
         while ready:
             _, index = heapq.heappop(ready)
             op = ops_by_index[index]
-            cycle = self._earliest_cycle(graph, result.times, index)
+            cycle = earliest_cycle(graph, result.times, index)
             limit = cycle + MAX_PROBE_CYCLES
             # Past every producer's full latency, dependence feasibility
             # is unconditional and the operation class stops varying
             # (cascades and bypasses only exist below this point), so the
             # scan splits into a scalar walk of the varying region and
             # one batched probe over the stable tail.
-            stable = 0
-            for edge in graph.preds_of(index):
-                candidate = result.times[edge.pred] + edge.latency
-                if candidate > stable:
-                    stable = candidate
+            stable = stable_cycle(graph, result.times, index)
             handle = None
             class_name = ""
             for attempt_cycle in range(cycle, min(stable, limit)):
-                feasible = self._cycle_feasible(
+                feasible = cycle_feasibility(
                     graph, result.times, index, attempt_cycle
                 )
                 if feasible is None:

@@ -24,6 +24,7 @@ from repro.verify.differential import (
     DEFAULT_STAGES,
     Divergence,
     differential_runs,
+    exact_oracle_divergences,
     verify_transform_stages,
 )
 from repro.verify.fuzz import (
@@ -40,7 +41,9 @@ from repro.verify.golden import (
     CORPUS_STAGE,
     CORPUS_VERSION,
     check_corpus,
+    compute_exact_entry,
     corpus_workload,
+    exact_corpus_workload,
     schedule_digest,
     write_corpus,
 )
@@ -77,6 +80,7 @@ __all__ = [
     "FuzzGrammar",
     "FuzzReport",
     "differential_runs",
+    "exact_oracle_divergences",
     "fuzz",
     "generate_case",
     "run_case",
@@ -87,7 +91,9 @@ __all__ = [
     "CORPUS_STAGE",
     "CORPUS_VERSION",
     "check_corpus",
+    "compute_exact_entry",
     "corpus_workload",
+    "exact_corpus_workload",
     "schedule_digest",
     "write_corpus",
 ]

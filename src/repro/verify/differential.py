@@ -16,6 +16,12 @@ serves it.  This module turns that claim into an executable check:
 * :func:`verify_transform_stages` replays the same workload after every
   individual pipeline stage (via ``run_pipeline``'s ``stage_hook``), so
   a semantics-breaking transform is pinned to the stage that broke it.
+* :func:`exact_oracle_divergences` runs the branch-and-bound exact
+  scheduler (:mod:`repro.exact`) as a third independent oracle: a
+  heuristic schedule *shorter* than a proven optimum is an instant
+  ``"optimality"`` divergence (the heuristic run booked fewer cycles
+  than the machine model admits), and an exact schedule the replay
+  oracle rejects is a bug in ``repro.exact`` itself.
 
 Disagreements come back as typed :class:`Divergence` records; an empty
 list is the "all representations agree" verdict the fuzzer relies on.
@@ -40,6 +46,19 @@ from repro.verify.oracle import ScheduleOracle
 DEFAULT_STAGES: Tuple[int, ...] = (0, FINAL_STAGE)
 
 
+def _default_exact_budget():
+    """The exact leg's fuzz budget: tight on purpose.
+
+    Here the exact scheduler is an oracle, not a benchmark -- both of
+    its checks are one-sided (budget-exhausted blocks simply skip the
+    gap comparison), so a small node budget trades a little optimality
+    coverage for an order of magnitude of fuzz throughput.
+    """
+    from repro.exact import ExactBudget
+
+    return ExactBudget(max_nodes=2_000, repair_nodes=4_000)
+
+
 @dataclass(frozen=True)
 class Divergence:
     """One observed disagreement between two configurations.
@@ -47,8 +66,10 @@ class Divergence:
     Attributes:
         kind: ``"error"`` (a run raised), ``"schedule"`` (signatures
             differ), ``"stats"`` (query answers differ), ``"oracle"``
-            (the independent oracle rejected a run's schedules), or
-            ``"transform"`` (a pipeline stage changed the schedule).
+            (the independent oracle rejected a run's schedules),
+            ``"transform"`` (a pipeline stage changed the schedule), or
+            ``"optimality"`` (a heuristic schedule is shorter than the
+            exact scheduler's proven optimum).
         where: The configuration that diverged, e.g. ``"stage4/automata"``.
         reference: The configuration it was compared against.
         detail: Human-readable description of the disagreement.
@@ -78,6 +99,98 @@ def _first_signature_delta(
     return "signatures differ"
 
 
+def _signature_lengths(run_signature: tuple) -> List[int]:
+    """Per-block schedule lengths recovered from a run signature."""
+    lengths: List[int] = []
+    for block_signature in run_signature:
+        if not block_signature:
+            lengths.append(0)
+            continue
+        times = [time for _, time, _ in block_signature]
+        lengths.append(max(times) - min(times) + 1)
+    return lengths
+
+
+def exact_oracle_divergences(
+    machine,
+    blocks,
+    reference_lengths: Optional[Sequence[int]] = None,
+    reference_where: str = "",
+    backend: str = "exact",
+    stage: int = FINAL_STAGE,
+    cache: Optional[DescriptionCache] = None,
+    oracle: Optional[ScheduleOracle] = None,
+    budget=None,
+) -> List[Divergence]:
+    """Run the exact scheduler as an independent third oracle.
+
+    Two checks, both one-sided and therefore robust to budget
+    exhaustion (non-optimal exact results skip the gap comparison):
+
+    * every exact schedule must pass the replay oracle -- a rejection
+      is a bug in :mod:`repro.exact`, not in the backend under test;
+    * ``reference_lengths[i]`` (a heuristic run's per-block schedule
+      lengths, e.g. from :func:`_signature_lengths`) must never beat a
+      *proven* optimum -- a shorter heuristic schedule means its engine
+      admitted a placement the machine model forbids.
+    """
+    from repro.exact import schedule_workload_exact
+
+    spec = get_engine_spec(backend)
+    if spec.scheduler != "exact":
+        raise ValueError(f"backend {backend!r} is not an exact scheduler")
+    if budget is None:
+        budget = _default_exact_budget()
+    if oracle is None:
+        oracle = ScheduleOracle(machine)
+    blocks = list(blocks)
+    where = f"stage{stage}/{backend}"
+
+    divergences: List[Divergence] = []
+    try:
+        engine = create_engine(backend, machine, stage=stage, cache=cache)
+        run = schedule_workload_exact(
+            machine, blocks, engine=engine, budget=budget
+        )
+    except Exception as exc:  # any failure is a finding
+        return [Divergence(
+            "error", where, detail=f"{type(exc).__name__}: {exc}",
+        )]
+
+    report = oracle.verify(run.schedules)
+    if not report.ok:
+        sample = "; ".join(str(diag) for diag in report.diagnostics[:3])
+        divergences.append(Divergence(
+            "oracle", where,
+            detail=f"{len(report.diagnostics)} diagnostics: {sample}",
+        ))
+    if reference_lengths is not None:
+        if len(reference_lengths) != len(run.results):
+            divergences.append(Divergence(
+                "optimality", reference_where or "reference",
+                reference=where,
+                detail=(
+                    f"block counts differ: {len(reference_lengths)} vs "
+                    f"{len(run.results)}"
+                ),
+            ))
+            return divergences
+        for block_index, result in enumerate(run.results):
+            if not result.optimal:
+                continue
+            if reference_lengths[block_index] < result.length:
+                divergences.append(Divergence(
+                    "optimality", reference_where or "reference",
+                    reference=where,
+                    detail=(
+                        f"block {block_index}: heuristic length "
+                        f"{reference_lengths[block_index]} < proven "
+                        f"optimum {result.length}"
+                    ),
+                ))
+    return divergences
+
+
 def differential_runs(
     machine,
     blocks,
@@ -96,6 +209,14 @@ def differential_runs(
 
     if backends is None:
         backends = engine_names()
+    heuristic_backends = [
+        name for name in backends
+        if get_engine_spec(name).scheduler == "list"
+    ]
+    exact_backends = [
+        name for name in backends
+        if get_engine_spec(name).scheduler == "exact"
+    ]
     if cache is None:
         cache = DescriptionCache(name="verify")
     if oracle is None:
@@ -109,7 +230,7 @@ def differential_runs(
         stages=",".join(str(stage) for stage in stages),
     ):
         for stage in stages:
-            for backend in backends:
+            for backend in heuristic_backends:
                 if stage < get_engine_spec(backend).min_stage:
                     continue
                 where = f"stage{stage}/{backend}"
@@ -159,6 +280,16 @@ def differential_runs(
                             f"{reference[2]}"
                         ),
                     ))
+        for backend in exact_backends:
+            divergences.extend(exact_oracle_divergences(
+                machine, blocks,
+                reference_lengths=(
+                    _signature_lengths(reference[1])
+                    if reference is not None else None
+                ),
+                reference_where=reference[0] if reference else "",
+                backend=backend, cache=cache, oracle=oracle,
+            ))
     if divergences:
         obs.count(
             "repro_verify_divergences_total", len(divergences),

@@ -26,12 +26,20 @@ from repro.verify.oracle import ScheduleOracle
 from repro.workloads.generator import WorkloadConfig, generate_blocks
 
 #: Bump when the corpus file layout changes (not when schedules do).
-CORPUS_VERSION = 1
+#: Version 2 added the pinned exact-scheduler section.
+CORPUS_VERSION = 2
 #: The pinned workload: small enough to check in tier-1, large enough
 #: that every machine exercises multi-option trees and cascading.
 CORPUS_OPS = 160
 CORPUS_SEED = 20161202
 CORPUS_STAGE = FINAL_STAGE
+#: The exact-scheduler section's own pinned workload: small blocks the
+#: branch-and-bound search solves quickly, and a *node-only* budget --
+#: a wall-clock budget would truncate the search at a machine-dependent
+#: point and break bit-for-bit reproducibility.
+EXACT_OPS = 48
+EXACT_BLOCK_RANGE = (3, 8)
+EXACT_NODE_BUDGET = 200_000
 
 
 def corpus_path(directory, machine_name: str) -> Path:
@@ -53,6 +61,40 @@ def corpus_workload(machine_name: str):
     return machine, blocks
 
 
+def exact_corpus_workload(machine_name: str):
+    """The pinned small-block workload of the exact section."""
+    machine = get_machine(machine_name)
+    blocks = generate_blocks(machine, WorkloadConfig(
+        total_ops=EXACT_OPS, seed=CORPUS_SEED,
+        block_size_range=EXACT_BLOCK_RANGE,
+    ))
+    return machine, blocks
+
+
+def compute_exact_entry(machine_name: str) -> Dict[str, object]:
+    """Recompute one machine's pinned exact-scheduler results."""
+    from repro.exact import ExactBudget, schedule_workload_exact
+
+    machine, blocks = exact_corpus_workload(machine_name)
+    engine = create_engine("exact", machine, stage=CORPUS_STAGE)
+    run = schedule_workload_exact(
+        machine, blocks, engine=engine,
+        budget=ExactBudget(max_nodes=EXACT_NODE_BUDGET, max_seconds=None),
+    )
+    report = ScheduleOracle(machine).verify(run.schedules)
+    return {
+        "backend": "exact",
+        "digest": schedule_digest(run.signature()),
+        "blocks": len(run.results),
+        "total_ops": run.total_ops,
+        "total_cycles": run.total_cycles,
+        "heuristic_cycles": run.heuristic_cycles,
+        "optimal_blocks": run.optimal_blocks,
+        "oracle_ok": report.ok,
+        "oracle_diagnostics": len(report.diagnostics),
+    }
+
+
 def compute_document(
     machine_name: str, backends: Optional[Sequence[str]] = None
 ) -> Dict[str, object]:
@@ -60,7 +102,7 @@ def compute_document(
     from repro import obs
 
     if backends is None:
-        backends = engine_names()
+        backends = engine_names(scheduler="list")
     machine, blocks = corpus_workload(machine_name)
     oracle = ScheduleOracle(machine)
     entries: List[Dict[str, object]] = []
@@ -79,6 +121,7 @@ def compute_document(
                 "oracle_ok": report.ok,
                 "oracle_diagnostics": len(report.diagnostics),
             })
+        exact_entry = compute_exact_entry(machine_name)
     return {
         "version": CORPUS_VERSION,
         "machine": machine_name,
@@ -87,7 +130,15 @@ def compute_document(
             "seed": CORPUS_SEED,
             "stage": CORPUS_STAGE,
         },
+        "exact_workload": {
+            "total_ops": EXACT_OPS,
+            "seed": CORPUS_SEED,
+            "stage": CORPUS_STAGE,
+            "block_size_range": list(EXACT_BLOCK_RANGE),
+            "node_budget": EXACT_NODE_BUDGET,
+        },
         "entries": entries,
+        "exact": exact_entry,
     }
 
 
@@ -175,6 +226,32 @@ def check_corpus(
                 f"{machine_name}/{backend}: pinned entry for an "
                 "unregistered backend"
             )
+        if stored.get("exact_workload") != current["exact_workload"]:
+            mismatches.append(
+                f"{machine_name}: pinned exact workload changed: "
+                f"{stored.get('exact_workload')} != "
+                f"{current['exact_workload']}"
+            )
+            continue
+        pinned_exact = stored.get("exact")
+        if pinned_exact is None:
+            mismatches.append(
+                f"{machine_name}/exact: no pinned exact section "
+                "(regenerate the corpus)"
+            )
+            continue
+        current_exact = current["exact"]
+        for key in (
+            "digest", "blocks", "total_ops", "total_cycles",
+            "heuristic_cycles", "optimal_blocks",
+            "oracle_ok", "oracle_diagnostics",
+        ):
+            if pinned_exact.get(key) != current_exact[key]:
+                mismatches.append(
+                    f"{machine_name}/exact: {key} changed: "
+                    f"pinned {pinned_exact.get(key)!r}, "
+                    f"got {current_exact[key]!r}"
+                )
     obs.count(
         "repro_verify_golden_checks_total",
         help="Golden-corpus comparisons.",

@@ -92,6 +92,63 @@ def workload_factory():
     return shared_workload
 
 
+#: Session-wide memo of replay oracles, keyed (machine, direction).
+_ORACLE_CACHE = {}
+
+
+def shared_oracle(machine_name, direction="forward"):
+    """Memoized :class:`ScheduleOracle` for a registered machine.
+
+    The oracle rebuilds the raw high-level description in its
+    constructor and is read-only afterwards, so one instance per
+    (machine, direction) can serve every test that needs one.
+    """
+    key = (machine_name, direction)
+    if key not in _ORACLE_CACHE:
+        from repro.machines import get_machine
+        from repro.verify import ScheduleOracle
+
+        _ORACLE_CACHE[key] = ScheduleOracle(
+            get_machine(machine_name), direction=direction
+        )
+    return _ORACLE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def oracle_factory():
+    """The memoized oracle builder, as a session-scoped fixture."""
+    return shared_oracle
+
+
+#: Session-wide memo of query engines, keyed (backend, machine, stage).
+_ENGINE_CACHE = {}
+
+
+def shared_engine(backend, machine_name, stage=4):
+    """Memoized query engine for stats-insensitive protocol tests.
+
+    Scheduling state lives in caller-owned state objects, so sharing
+    the engine is safe for tests that only exercise the query protocol.
+    Tests that compare the engine's cumulative ``CheckStats`` against a
+    fresh baseline must keep building their own engines.
+    """
+    key = (backend, machine_name, stage)
+    if key not in _ENGINE_CACHE:
+        from repro.engine import create_engine
+        from repro.machines import get_machine
+
+        _ENGINE_CACHE[key] = create_engine(
+            backend, get_machine(machine_name), stage=stage
+        )
+    return _ENGINE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def engine_factory():
+    """The memoized engine builder, as a session-scoped fixture."""
+    return shared_engine
+
+
 @pytest.fixture(scope="session")
 def small_suite():
     """A small-but-real experiment suite shared across analysis tests."""

@@ -21,7 +21,9 @@ from repro.machines import MACHINE_NAMES, get_machine
 from repro.scheduler import schedule_workload
 from repro.workloads import WorkloadConfig, generate_blocks
 
-ALL_BACKENDS = ("ortree", "andor", "bitvector", "automata", "eichenberger")
+ALL_BACKENDS = (
+    "ortree", "andor", "bitvector", "automata", "eichenberger", "exact",
+)
 
 
 def small_workload(machine, ops=120, seed=3):

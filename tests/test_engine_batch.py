@@ -16,7 +16,7 @@ from repro.engine import create_engine, engine_names
 from repro.lowlevel.checker import CheckStats
 from repro.machines import MACHINE_NAMES, get_machine
 from repro.scheduler import schedule_workload
-from tests.conftest import shared_workload
+from tests.conftest import shared_engine, shared_workload
 
 SCALAR_BACKENDS = ["ortree", "andor", "automata"]
 VECTOR_BACKENDS = ["bitvector", "eichenberger"]
@@ -99,8 +99,8 @@ class TestProtocolDefaults:
 
     @pytest.mark.parametrize("backend", SCALAR_BACKENDS)
     def test_probe_window_is_read_only(self, backend):
-        machine = get_machine("K5")
-        engine = create_engine(backend, machine, stage=4)
+        # Stats-insensitive: the shared engine memo is safe here.
+        engine = shared_engine(backend, "K5")
         class_name = class_names_for(engine)[0]
         state = engine.new_state()
         dirty_state(engine, state, class_name, (0, 0, 1))
@@ -112,7 +112,7 @@ class TestProtocolDefaults:
         assert state == before
 
     def test_probe_window_empty_range(self):
-        engine = create_engine("andor", get_machine("K5"), stage=4)
+        engine = shared_engine("andor", "K5")
         state = engine.new_state()
         class_name = class_names_for(engine)[0]
         assert engine.probe_window(state, class_name, 5, 5) == 0
@@ -176,8 +176,7 @@ class TestVectorizedEquivalence:
 
     def test_generator_input_without_len(self):
         """Candidate iterables without __len__ still work."""
-        machine = get_machine("K5")
-        engine = create_engine("bitvector", machine, stage=4)
+        engine = shared_engine("bitvector", "K5")
         class_name = class_names_for(engine)[0]
         state = engine.new_state()
         got = engine.try_reserve_many(

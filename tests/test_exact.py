@@ -1,0 +1,382 @@
+"""The branch-and-bound exact scheduler (``repro.exact``).
+
+Four claims under test:
+
+* **soundness** -- every exact schedule passes the independent replay
+  oracle, on the paper machines and on randomly generated ones;
+* **optimality** -- the exact scheduler never books more cycles than
+  any list-scheduler backend, and on a hand-built greedy trap it
+  strictly beats the heuristic (proving the option-repair search runs);
+* **budget degradation** -- an exhausted budget still returns a valid,
+  oracle-clean schedule, honestly flagged ``optimal=False``;
+* **the oracle wiring** -- a heuristic "shorter than the proven
+  optimum" is reported as an ``"optimality"`` divergence (mutation
+  smoke test with fabricated reference lengths).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.core.mdes import Mdes, OperationClass
+from repro.core.resource import ResourceTable
+from repro.core.tables import OrTree, ReservationTable
+from repro.core.usage import ResourceUsage
+from repro.engine.registry import create_engine, engine_names, get_engine_spec
+from repro.exact import (
+    REASON_BOUND_MET,
+    REASON_NODE_BUDGET,
+    REASON_OPTIMAL,
+    REASON_OVERSIZE,
+    ExactBudget,
+    ExactScheduler,
+    schedule_workload_exact,
+)
+from repro.hmdes import write_mdes
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+from repro.machines import MACHINE_NAMES, get_machine
+from repro.machines.base import KIND_INT, Machine, OpcodeSpec
+from repro.scheduler import schedule_workload
+from repro.verify import (
+    ScheduleOracle,
+    differential_runs,
+    exact_oracle_divergences,
+    generate_case,
+)
+from tests.conftest import shared_oracle, shared_workload
+
+#: Generous node-only budget: deterministic across hosts, big enough
+#: that the small test workloads all close as proven optimal.
+PINNED_BUDGET = ExactBudget(max_nodes=200_000, max_seconds=None)
+
+
+# ----------------------------------------------------------------------
+# A hand-built greedy trap: list scheduling is provably suboptimal
+# ----------------------------------------------------------------------
+
+
+def greedy_trap_machine():
+    """Two resources, two classes, one wrong greedy choice.
+
+    ``cy`` can issue on R0 or R1 (R0 listed first); ``cx`` only on R0.
+    A block of one OPY then one OPX: the greedy list scheduler hands R0
+    to OPY and pushes OPX to cycle 1, while the exact search repairs
+    OPY onto R1 and fits both in one cycle.  Used at stage 0 -- the
+    tree-sort transform is free to reorder options, which would defuse
+    the trap at later stages.
+    """
+    resources = ResourceTable()
+    r0, r1 = resources.declare_many(["R0", "R1"])
+    cx = OrTree((ReservationTable((ResourceUsage(0, r0),)),), name="OT_x")
+    cy = OrTree(
+        (
+            ReservationTable((ResourceUsage(0, r0),)),
+            ReservationTable((ResourceUsage(0, r1),)),
+        ),
+        name="OT_y",
+    )
+    mdes = Mdes(
+        name="Greedy_trap",
+        resources=resources,
+        op_classes={
+            "cx": OperationClass("cx", cx, latency=1),
+            "cy": OperationClass("cy", cy, latency=1),
+        },
+        opcode_map={"OPX": "cx", "OPY": "cy"},
+    )
+    mdes.validate()
+    return Machine(
+        name="Greedy_trap",
+        hmdes_source=write_mdes(mdes),
+        opcode_profile=(
+            OpcodeSpec("OPX", 1.0, src_choices=(0,), has_dest=True,
+                       kind=KIND_INT),
+            OpcodeSpec("OPY", 1.0, src_choices=(0,), has_dest=True,
+                       kind=KIND_INT),
+        ),
+        classifier=lambda op, cascaded: {"OPX": "cx", "OPY": "cy"}[
+            op.opcode
+        ],
+        wrap_or_trees=True,
+    )
+
+
+def trap_block():
+    """OPY before OPX, independent registers (no dependences)."""
+    return BasicBlock("trap", [
+        Operation(0, "OPY", dests=("a",), srcs=()),
+        Operation(1, "OPX", dests=("b",), srcs=()),
+    ])
+
+
+class TestGreedyTrap:
+    def test_list_scheduler_walks_into_the_trap(self):
+        machine = greedy_trap_machine()
+        run = schedule_workload(
+            machine, None, [trap_block()], keep_schedules=True,
+            engine=create_engine("bitvector", machine, stage=0),
+        )
+        assert run.schedules[0].length == 2
+
+    def test_exact_escapes_via_option_repair(self):
+        machine = greedy_trap_machine()
+        scheduler = ExactScheduler(
+            machine, engine=create_engine("exact", machine, stage=0)
+        )
+        result = scheduler.schedule_block(trap_block())
+        assert result.heuristic_length == 2
+        assert result.length == 1
+        assert result.optimal
+        assert result.gap == 1
+        # The win *requires* reassigning OPY's option: the greedy
+        # placement of OPX at cycle 0 fails until repair moves OPY.
+        assert result.repairs > 0
+        report = ScheduleOracle(machine).verify([result.schedule])
+        assert report.ok, report.diagnostics
+
+    def test_zero_budget_degrades_to_the_heuristic_seed(self):
+        machine = greedy_trap_machine()
+        scheduler = ExactScheduler(
+            machine,
+            engine=create_engine("exact", machine, stage=0),
+            budget=ExactBudget(max_nodes=0),
+        )
+        result = scheduler.schedule_block(trap_block())
+        assert not result.optimal
+        assert result.reason == REASON_NODE_BUDGET
+        assert result.length == 2          # the seed, still valid
+        assert result.lower_bound == 1     # best bound found so far
+        report = ScheduleOracle(machine).verify([result.schedule])
+        assert report.ok, report.diagnostics
+
+
+# ----------------------------------------------------------------------
+# Paper machines: optimality, budgets, determinism
+# ----------------------------------------------------------------------
+
+
+class TestPaperMachines:
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_exact_at_most_every_list_backend(self, machine_name):
+        machine, blocks = shared_workload(machine_name, 48, 20161202)
+        run = schedule_workload_exact(
+            machine, blocks, budget=PINNED_BUDGET
+        )
+        report = shared_oracle(machine_name).verify(run.schedules)
+        assert report.ok, report.diagnostics
+        for backend in engine_names(scheduler="list"):
+            stage = max(4, get_engine_spec(backend).min_stage)
+            heuristic = schedule_workload(
+                machine, None, blocks, keep_schedules=True,
+                engine=create_engine(backend, machine, stage=stage),
+            )
+            for result, schedule in zip(run.results, heuristic.schedules):
+                assert result.length <= schedule.length, backend
+
+    @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
+    def test_runs_are_deterministic(self, machine_name):
+        machine, blocks = shared_workload(machine_name, 48, 20161202)
+        first = schedule_workload_exact(
+            machine, blocks, budget=PINNED_BUDGET
+        )
+        second = schedule_workload_exact(
+            machine, blocks, budget=PINNED_BUDGET
+        )
+        assert first.signature() == second.signature()
+        assert [r.reason for r in first.results] == [
+            r.reason for r in second.results
+        ]
+        assert [r.nodes for r in first.results] == [
+            r.nodes for r in second.results
+        ]
+
+    def test_tiny_budget_flags_and_still_verifies(self):
+        machine, blocks = shared_workload("SuperSPARC", 60, 11)
+        run = schedule_workload_exact(
+            machine, blocks, budget=ExactBudget(max_nodes=0)
+        )
+        report = shared_oracle("SuperSPARC").verify(run.schedules)
+        assert report.ok, report.diagnostics
+        for result in run.results:
+            assert result.length >= result.lower_bound
+            assert result.length <= result.heuristic_length
+            if result.reason == REASON_NODE_BUDGET:
+                # Honest flag: only a met bound may still claim
+                # optimality after the budget tripped.
+                assert (
+                    not result.optimal
+                    or result.length == result.lower_bound
+                )
+            elif result.reason in (REASON_BOUND_MET, REASON_OPTIMAL):
+                assert result.optimal
+
+    def test_oversize_blocks_keep_the_heuristic_schedule(self):
+        machine, blocks = shared_workload("K5", 60, 11)
+        run = schedule_workload_exact(machine, blocks, max_block_ops=2)
+        assert any(
+            result.reason == REASON_OVERSIZE for result in run.results
+        )
+        report = shared_oracle("K5").verify(run.schedules)
+        assert report.ok, report.diagnostics
+
+
+# ----------------------------------------------------------------------
+# Registry, API, and CLI-facing surface
+# ----------------------------------------------------------------------
+
+
+class TestSurface:
+    def test_registry_capability_flags(self):
+        spec = get_engine_spec("exact")
+        assert spec.scheduler == "exact"
+        assert spec.max_block_ops == 12
+        assert "exact" in engine_names()
+        assert "exact" in engine_names(scheduler="exact")
+        assert "exact" not in engine_names(scheduler="list")
+
+    def test_api_schedule_dispatches_on_backend(self):
+        machine, blocks = shared_workload("Pentium", 30, 5)
+        run = api.schedule(machine, blocks, backend="exact")
+        assert hasattr(run, "optimal_blocks")
+        assert run.total_cycles <= run.heuristic_cycles
+
+    def test_api_schedule_exact_rejects_list_backends(self):
+        machine, blocks = shared_workload("Pentium", 30, 5)
+        with pytest.raises(ValueError, match="not an exact scheduler"):
+            api.schedule_exact(machine, blocks, backend="bitvector")
+
+    def test_api_exact_backend_rejects_backward(self):
+        machine, blocks = shared_workload("Pentium", 30, 5)
+        with pytest.raises(ValueError, match="forward only"):
+            api.schedule(
+                machine, blocks, backend="exact", direction="backward"
+            )
+
+    def test_empty_block_schedules_to_nothing(self):
+        machine = get_machine("K5")
+        result = ExactScheduler(machine).schedule_block(
+            BasicBlock("empty", [])
+        )
+        assert result.length == 0
+        assert result.optimal
+
+
+# ----------------------------------------------------------------------
+# Differential wiring: exact as a third oracle
+# ----------------------------------------------------------------------
+
+
+class TestDifferentialWiring:
+    def test_differential_includes_exact_and_agrees(self):
+        machine, blocks = shared_workload("SuperSPARC", 60, 7)
+        divergences = differential_runs(
+            machine, blocks, backends=("bitvector", "exact")
+        )
+        assert divergences == []
+
+    def test_non_exact_backend_is_rejected(self):
+        machine, blocks = shared_workload("K5", 30, 5)
+        with pytest.raises(ValueError, match="not an exact scheduler"):
+            exact_oracle_divergences(
+                machine, blocks, backend="bitvector"
+            )
+
+    def test_fabricated_shorter_heuristic_fires_optimality(self):
+        """Mutation smoke test: lie that the heuristic beat a proven
+        optimum by one cycle, and the gap check must fire."""
+        machine, blocks = shared_workload("Pentium", 40, 9)
+        run = schedule_workload_exact(
+            machine, blocks, budget=PINNED_BUDGET
+        )
+        assert any(
+            r.optimal and r.length > 0 for r in run.results
+        ), "workload produced no proven-optimal block"
+        fabricated = [
+            r.length - 1 if r.optimal and r.length > 0 else r.length
+            for r in run.results
+        ]
+        divergences = exact_oracle_divergences(
+            machine, blocks,
+            reference_lengths=fabricated,
+            reference_where="stage4/bitvector",
+            budget=PINNED_BUDGET,
+        )
+        assert divergences, "planted shorter-than-optimal not reported"
+        assert all(d.kind == "optimality" for d in divergences)
+        assert all(d.where == "stage4/bitvector" for d in divergences)
+        assert any("proven optimum" in d.detail for d in divergences)
+
+    def test_block_count_mismatch_is_a_divergence(self):
+        machine, blocks = shared_workload("K5", 30, 5)
+        divergences = exact_oracle_divergences(
+            machine, blocks, reference_lengths=[1],
+            budget=PINNED_BUDGET,
+        )
+        assert [d.kind for d in divergences] == ["optimality"]
+        assert "block counts differ" in divergences[0].detail
+
+
+# ----------------------------------------------------------------------
+# Property suite over generated machines (hypothesis, marked slow)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestExactProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2_000))
+    def test_exact_sound_and_never_beaten(self, seed):
+        case = generate_case(seed)
+        budget = ExactBudget(max_nodes=2_000, repair_nodes=4_000)
+        run = schedule_workload_exact(
+            case.machine, case.blocks, budget=budget
+        )
+        report = ScheduleOracle(case.machine).verify(run.schedules)
+        assert report.ok, report.diagnostics
+        heuristic = schedule_workload(
+            case.machine, None, case.blocks, keep_schedules=True,
+            engine=create_engine("bitvector", case.machine),
+        )
+        for result, schedule in zip(run.results, heuristic.schedules):
+            assert result.length <= schedule.length
+            assert result.length >= result.lower_bound
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2_000))
+    def test_exhausted_budget_is_flagged_and_clean(self, seed):
+        case = generate_case(seed)
+        run = schedule_workload_exact(
+            case.machine, case.blocks, budget=ExactBudget(max_nodes=0)
+        )
+        report = ScheduleOracle(case.machine).verify(run.schedules)
+        assert report.ok, report.diagnostics
+        for result in run.results:
+            if result.optimal:
+                assert (
+                    result.reason in (REASON_BOUND_MET, REASON_OPTIMAL)
+                    or result.length == result.lower_bound
+                )
+            else:
+                assert result.length <= result.heuristic_length
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzz with exact in the matrix (marked fuzz, like the others)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.fuzz
+class TestExactFuzz:
+    def test_25_seeded_cases_with_exact_in_matrix(self):
+        """The acceptance invariant: 25 random machines through the
+        heuristic matrix *plus* the exact third oracle -- zero
+        divergences of any kind."""
+        backends = tuple(engine_names())
+        assert "exact" in backends
+        for i in range(25):
+            case = generate_case(1000 + i)
+            divergences = differential_runs(
+                case.machine, case.blocks, backends=backends
+            )
+            assert divergences == [], (case.seed, divergences)

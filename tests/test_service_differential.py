@@ -32,7 +32,7 @@ from tests.conftest import shared_workload
 N_WORKERS = max(2, int(os.environ.get("REPRO_BATCH_WORKERS", "2")))
 CHUNK = 8
 STAGE = 4
-BACKENDS = engine_names()
+BACKENDS = engine_names(scheduler="list")
 
 
 def workload(machine_name, ops=220, seed=11):

@@ -38,7 +38,6 @@ from repro.verify import (
     RESOURCE_CONFLICT,
     UNKNOWN_CLASS,
     UNPLACED_OPERATION,
-    ScheduleOracle,
     check_corpus,
     corpus_workload,
     differential_runs,
@@ -48,7 +47,7 @@ from repro.verify import (
     write_corpus,
 )
 
-from tests.conftest import shared_workload
+from tests.conftest import shared_oracle, shared_workload
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 STAGE = CORPUS_STAGE
@@ -95,7 +94,7 @@ class TestOracleDiagnostics:
     def test_pigeonhole_resource_conflict(self, machine_name):
         """capacity+1 independent same-class ops in one cycle: at least
         two must share an option, whose usages then collide."""
-        oracle = ScheduleOracle(get_machine(machine_name))
+        oracle = shared_oracle(machine_name)
         opcode, class_name = plain_opcode(oracle.mdes)
         n = capacity(oracle.mdes.op_classes[class_name].constraint) + 1
         block = BasicBlock("conflict", independent_ops(opcode, n))
@@ -112,7 +111,7 @@ class TestOracleDiagnostics:
     @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
     def test_clean_schedule_has_no_diagnostics(self, machine_name):
         """The same ops spaced far apart replay without conflicts."""
-        oracle = ScheduleOracle(get_machine(machine_name))
+        oracle = shared_oracle(machine_name)
         opcode, class_name = plain_opcode(oracle.mdes)
         n = capacity(oracle.mdes.op_classes[class_name].constraint) + 1
         block = BasicBlock("clean", independent_ops(opcode, n))
@@ -128,7 +127,7 @@ class TestOracleDiagnostics:
         """A consumer placed at distance L-1 under a flow edge of
         latency L >= 2 (no forwarding shortcut) must be flagged."""
         machine = get_machine(machine_name)
-        oracle = ScheduleOracle(machine)
+        oracle = shared_oracle(machine_name)
         _, consumer_class = plain_opcode(oracle.mdes)
         consumer_opcode, _ = plain_opcode(oracle.mdes)
 
@@ -178,7 +177,7 @@ class TestOracleDiagnostics:
         pytest.fail(f"{machine_name}: no flow edge with latency >= 2")
 
     def test_unknown_class_is_flagged(self):
-        oracle = ScheduleOracle(get_machine("K5"))
+        oracle = shared_oracle("K5")
         opcode, _ = plain_opcode(oracle.mdes)
         block = BasicBlock("unknown", independent_ops(opcode, 1))
         schedule = BlockSchedule(block, {0: 0}, {0: "no_such_class"})
@@ -186,7 +185,7 @@ class TestOracleDiagnostics:
         assert codes == [UNKNOWN_CLASS]
 
     def test_unplaced_and_phantom_operations_are_flagged(self):
-        oracle = ScheduleOracle(get_machine("K5"))
+        oracle = shared_oracle("K5")
         opcode, class_name = plain_opcode(oracle.mdes)
         block = BasicBlock("unplaced", independent_ops(opcode, 2))
         # Op 1 never scheduled; index 7 scheduled but not in the block.
@@ -197,7 +196,7 @@ class TestOracleDiagnostics:
         assert codes.count(UNPLACED_OPERATION) == 2
 
     def test_diagnostic_renders_location(self):
-        oracle = ScheduleOracle(get_machine("K5"))
+        oracle = shared_oracle("K5")
         opcode, class_name = plain_opcode(oracle.mdes)
         n = capacity(oracle.mdes.op_classes[class_name].constraint) + 1
         block = BasicBlock("render", independent_ops(opcode, n))
@@ -218,7 +217,7 @@ class TestOracleDiagnostics:
 
 
 class TestAcceptanceMatrix:
-    @pytest.mark.parametrize("backend", engine_names())
+    @pytest.mark.parametrize("backend", engine_names(scheduler="list"))
     @pytest.mark.parametrize("machine_name", MACHINE_NAMES)
     def test_every_backend_schedule_verifies(self, machine_name, backend):
         from repro.engine.registry import create_engine
@@ -358,9 +357,17 @@ class TestGoldenCorpus:
                 )
             )
             assert [e["backend"] for e in document["entries"]] == list(
-                engine_names()
+                engine_names(scheduler="list")
             )
             assert all(e["oracle_ok"] for e in document["entries"])
+            exact = document["exact"]
+            assert exact["backend"] == "exact"
+            assert exact["oracle_ok"]
+            assert exact["oracle_diagnostics"] == 0
+            # The exact scheduler never books more cycles than its
+            # list-scheduler seed.
+            assert exact["total_cycles"] <= exact["heuristic_cycles"]
+            assert 0 < exact["optimal_blocks"] <= exact["blocks"]
 
     def test_check_reports_a_planted_digest_mismatch(self, tmp_path):
         write_corpus(tmp_path, machines=["K5"])
