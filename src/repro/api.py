@@ -72,6 +72,16 @@ from repro.service import (
     TimeoutPolicy,
     schedule_batch,
 )
+from repro.obs.bench import run_suite as run_bench_suite
+from repro.obs.perf import (
+    BenchRecord,
+    Comparison,
+    compare_records,
+    env_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.obs.prof import flamegraph, hot_spans, self_seconds
 from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
 from repro.verify import (
     Diagnostic,
@@ -221,6 +231,17 @@ __all__ = [
     "Diagnostic",
     "VerifyReport",
     "exact_oracle_divergences",
+    # Continuous performance + profiling
+    "BenchRecord",
+    "Comparison",
+    "run_bench_suite",
+    "compare_records",
+    "env_fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "flamegraph",
+    "hot_spans",
+    "self_seconds",
     # Error taxonomy
     "VerificationError",
     "ReproError",

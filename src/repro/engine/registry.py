@@ -138,8 +138,8 @@ def create_engine(
         )
     cache = cache if cache is not None else GLOBAL_CACHE
     with obs.span(
-        "engine:create", backend=spec.name, machine=machine.name,
-        stage=stage,
+        "engine:create", memory=True, backend=spec.name,
+        machine=machine.name, stage=stage,
     ):
         # Registration survives obs.reset() because every engine
         # creation re-asserts it (idempotent for the same object).

@@ -235,6 +235,11 @@ class ExactScheduler:
 
     def schedule_block(self, block: BasicBlock) -> ExactBlockResult:
         """Exactly schedule one block (or degrade per the budget)."""
+        from repro import obs
+
+        # The perf_counter pair only feeds the result's ``seconds``
+        # field (kept for API stability); timing for observability
+        # flows through the exact:* spans below.
         start = perf_counter()
         if len(block) == 0:
             return ExactBlockResult(
@@ -243,10 +248,12 @@ class ExactScheduler:
                 seconds=perf_counter() - start,
             )
 
-        seed = ListScheduler(
-            self.machine, engine=self.engine
-        ).schedule_block(block)
-        _normalize(seed)
+        with obs.span("exact:seed", ops=len(block)) as seed_span:
+            seed = ListScheduler(
+                self.machine, engine=self.engine
+            ).schedule_block(block)
+            _normalize(seed)
+        seed_span.set(length=seed.length)
 
         graph = build_dependence_graph(
             block,
@@ -280,7 +287,15 @@ class ExactScheduler:
             self.machine, self.engine, self.budget, block, graph,
             tails, seed,
         )
-        search.run()
+        with obs.span(
+            "exact:search", ops=len(block), lower_bound=lower_len,
+            seed_length=seed.length,
+        ) as search_span:
+            search.run()
+        search_span.set(
+            nodes=search.nodes, pruned=search.pruned,
+            repairs=search.repairs, complete=search.complete,
+        )
         best = BlockSchedule(
             block, times=search.best_times, classes=search.best_classes
         )
@@ -574,10 +589,21 @@ def schedule_workload_exact(
     before = scheduler.engine.stats.copy()
     with obs.span(
         "schedule:exact", machine=machine.name,
-        backend=scheduler.engine.name,
+        backend=scheduler.engine.name, memory=True,
     ) as sp:
-        for block in blocks:
-            block_result = scheduler.schedule_block(block)
+        for index, block in enumerate(blocks):
+            with obs.span(
+                "exact:block", index=index, ops=len(block)
+            ) as block_span:
+                block_result = scheduler.schedule_block(block)
+            block_span.set(
+                length=block_result.length,
+                optimal=block_result.optimal,
+                reason=block_result.reason,
+                nodes=block_result.nodes,
+                pruned=block_result.pruned,
+                repairs=block_result.repairs,
+            )
             result.results.append(block_result)
             result.total_ops += len(block)
     result.stats = scheduler.engine.stats.since(before)

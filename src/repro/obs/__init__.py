@@ -42,7 +42,9 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.export import (
     format_metrics,
+    format_quantiles,
     format_trace,
+    histogram_quantile,
     parse_prometheus,
     to_prometheus,
     trace_from_jsonl,
@@ -66,6 +68,12 @@ def _env_truthy(value: str) -> bool:
 #: Whether instrumentation records anything (module-level fast path).
 _ENABLED = _env_truthy(os.environ.get("REPRO_OBS", ""))
 
+#: Whether ``memory=True`` spans actually run tracemalloc accounting.
+#: Doubly opt-in: the site requests it *and* this flag is on, because
+#: tracemalloc slows allocation-heavy phases far beyond the 2% obs
+#: overhead budget.
+_MEMORY = _env_truthy(os.environ.get("REPRO_OBS_MEMORY", ""))
+
 #: The process-wide metrics registry.
 REGISTRY = MetricsRegistry()
 
@@ -74,7 +82,34 @@ TRACER = Tracer()
 
 #: The process-wide stats-view table (CheckStats/CacheStats adapters).
 VIEWS = StatsViews()
-VIEWS.install(REGISTRY)
+
+
+def _memory_samples():
+    """Pull-time Prometheus view over the trace's memory spans."""
+    from repro.obs.prof import memory_phases
+
+    samples = []
+    for name, entry in sorted(memory_phases(TRACER).items()):
+        labels = (("span", name),)
+        samples.append((
+            "repro_span_mem_peak_bytes", labels,
+            float(entry["peak_bytes"]), "gauge",
+            "Peak tracemalloc bytes over a named memory span.",
+        ))
+        samples.append((
+            "repro_span_mem_net_bytes", labels,
+            float(entry["net_bytes"]), "gauge",
+            "Net bytes allocated across a named memory span.",
+        ))
+    return samples
+
+
+def _install_views() -> None:
+    VIEWS.install(REGISTRY)
+    REGISTRY.register_view("obs:memory", _memory_samples)
+
+
+_install_views()
 
 
 def enabled() -> bool:
@@ -94,12 +129,29 @@ def disable() -> None:
     _ENABLED = False
 
 
+def memory_enabled() -> bool:
+    """Whether ``memory=True`` spans record tracemalloc figures."""
+    return _MEMORY
+
+
+def enable_memory() -> None:
+    """Turn tracemalloc accounting on for memory-requesting spans."""
+    global _MEMORY
+    _MEMORY = True
+
+
+def disable_memory() -> None:
+    """Turn tracemalloc accounting off."""
+    global _MEMORY
+    _MEMORY = False
+
+
 def reset() -> None:
     """Drop all recorded metrics, views, and spans (between CLI runs)."""
     REGISTRY.reset()
     TRACER.reset()
     VIEWS.clear()
-    VIEWS.install(REGISTRY)
+    _install_views()
 
 
 # ----------------------------------------------------------------------
@@ -107,11 +159,16 @@ def reset() -> None:
 # ----------------------------------------------------------------------
 
 
-def span(name: str, **attrs: Any):
-    """Open a trace span; the shared no-op span while disabled."""
+def span(name: str, memory: bool = False, **attrs: Any):
+    """Open a trace span; the shared no-op span while disabled.
+
+    ``memory=True`` additionally records tracemalloc peak/net bytes
+    into the span's attrs -- but only when memory profiling is enabled
+    process-wide (:func:`enable_memory` / ``REPRO_OBS_MEMORY=1``).
+    """
     if not _ENABLED:
         return NULL_SPAN
-    return TRACER.span(name, **attrs)
+    return TRACER.span(name, memory=memory and _MEMORY, **attrs)
 
 
 def capture():
@@ -202,10 +259,16 @@ def transform_effects() -> List[Dict[str, Any]]:
 
 def summary() -> Dict[str, Any]:
     """The machine-readable obs digest CLI ``--json`` output embeds."""
-    return {
+    from repro.obs.prof import memory_phases
+
+    digest = {
         "phases": phase_seconds(),
         "transforms": transform_effects(),
     }
+    memory = memory_phases(TRACER)
+    if memory:
+        digest["memory"] = memory
+    return digest
 
 
 __all__ = [
@@ -213,9 +276,11 @@ __all__ = [
     "StatsViews", "REGISTRY", "TRACER", "VIEWS",
     "DEFAULT_TIME_BUCKETS", "NULL_SPAN", "NULL_CAPTURE",
     "enabled", "enable", "disable", "reset",
+    "memory_enabled", "enable_memory", "disable_memory",
     "span", "capture", "attach", "count", "set_gauge", "observe",
     "register_check_stats", "register_cache_stats",
     "phase_seconds", "transform_effects", "summary",
     "to_prometheus", "parse_prometheus", "format_metrics", "format_trace",
+    "format_quantiles", "histogram_quantile",
     "trace_to_jsonl", "trace_from_jsonl",
 ]

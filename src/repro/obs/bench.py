@@ -1,0 +1,390 @@
+"""The curated ``repro bench`` kernel suite.
+
+One driver, one schema, one history file.  Each kernel is a named
+``setup(smoke) -> run()`` pair: setup builds the workload (excluded
+from timing), ``run()`` executes the measured region and may return a
+dict of extra metrics (speedups, node counts).  The driver times
+``run()`` wall-clock over N repeats after one warmup, normalizes
+everything into :class:`~repro.obs.perf.BenchRecord` rows, and hands
+them to :mod:`repro.obs.perf` for history/baseline/regression work.
+
+The kernels deliberately cover every paper-relevant hot path the repo
+has grown: description compilation, list scheduling on two machines,
+the vectorized first-fit batch query (the PR 6 5x win), the exact
+branch-and-bound backend, and the independent verification oracle.
+
+Two environment knobs the CI gate relies on:
+
+* ``REPRO_BENCH_SMOKE=1`` -- reduced op counts and 3 repeats, so the
+  whole suite finishes in well under a minute on a CI runner.
+* ``REPRO_BENCH_INJECT="<substr>=<seconds>"`` -- sleeps inside the
+  timed region of every kernel whose name contains ``<substr>``.  This
+  is the acceptance test for the regression gate itself: an injected
+  slowdown must flip ``repro bench --check`` to a nonzero exit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import perf
+
+#: Repeats per kernel (after one untimed warmup).
+DEFAULT_REPEATS = 5
+SMOKE_REPEATS = 3
+
+
+def _env_truthy(value: str) -> bool:
+    return value.strip().lower() in ("1", "true", "yes", "on")
+
+
+def smoke_mode() -> bool:
+    return _env_truthy(os.environ.get("REPRO_BENCH_SMOKE", ""))
+
+
+def parse_injection(
+    text: Optional[str] = None,
+) -> Optional[Tuple[str, float]]:
+    """``"exact.pentium=0.2"`` -> ``("exact.pentium", 0.2)``."""
+    if text is None:
+        text = os.environ.get("REPRO_BENCH_INJECT", "")
+    text = text.strip()
+    if not text:
+        return None
+    pattern, _, seconds = text.partition("=")
+    if not pattern or not seconds:
+        raise ValueError(
+            f"REPRO_BENCH_INJECT must be '<substr>=<seconds>': {text!r}"
+        )
+    return pattern, float(seconds)
+
+
+class KernelUnavailable(Exception):
+    """Raised by a kernel's setup when its prerequisites are missing."""
+
+
+@dataclass(frozen=True)
+class MetricMeta:
+    """How one metric is compared against the baseline."""
+
+    unit: str = "s"
+    direction: str = "lower"
+    tolerance: float = 0.35  # CI runners are noisy; stats confirm the rest
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One curated benchmark: setup once, run the measured region N times."""
+
+    name: str
+    description: str
+    setup: Callable[[bool], Callable[[], Optional[Dict[str, float]]]]
+    seconds: Optional[MetricMeta] = MetricMeta()
+    extra: Mapping[str, MetricMeta] = field(default_factory=dict)
+
+    def metrics(self) -> List[str]:
+        out = []
+        if self.seconds is not None:
+            out.append(f"{self.name}.seconds")
+        out.extend(f"{self.name}.{key}" for key in self.extra)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+
+def _k_compile(smoke: bool):
+    """Full description pipeline: transforms + compile, PA7100."""
+    from repro.lowlevel.compiled import compile_mdes
+    from repro.machines import get_machine
+    from repro.transforms import FINAL_STAGE, staged_mdes
+
+    machine = get_machine("PA7100")
+    base = machine.build_andor()
+
+    def run():
+        mdes = staged_mdes(base, FINAL_STAGE)
+        compile_mdes(mdes, bitvector=True)
+
+    return run
+
+
+def _schedule_setup(machine_name: str, full_ops: int, smoke_ops: int):
+    def setup(smoke: bool):
+        from repro.engine import create_engine
+        from repro.machines import get_machine
+        from repro.scheduler import schedule_workload
+        from repro.workloads import WorkloadConfig, generate_blocks
+
+        machine = get_machine(machine_name)
+        ops = smoke_ops if smoke else full_ops
+        blocks = generate_blocks(machine, WorkloadConfig(total_ops=ops))
+        engine = create_engine("bitvector", machine)
+
+        def run():
+            schedule_workload(machine, None, blocks, engine=engine)
+
+        return run
+
+    return setup
+
+
+def _k_first_fit(smoke: bool):
+    """Congested first-fit scan: vectorized vs forced-scalar (PR 6)."""
+    from repro.engine import create_engine
+    from repro.lowlevel.packed import numpy_available
+    from repro.machines import get_machine
+
+    if not numpy_available():
+        raise KernelUnavailable("vectorized path requires numpy")
+
+    machine = get_machine("SuperSPARC")
+    fast = create_engine("bitvector", machine)
+    slow = type(fast)(fast.compiled, name="bitvector", vectorized=False)
+
+    # The class whose saturation is cheapest to scan: fewest slots.
+    probe_state = fast.new_state()
+    class_name, best_slots = None, None
+    for candidate in sorted(fast.compiled.constraints):
+        slots = 0
+        while fast.try_reserve(probe_state, candidate, 0) is not None:
+            slots += 1
+        probe_state = fast.new_state()
+        if best_slots is None or slots < best_slots:
+            class_name, best_slots = candidate, slots
+
+    congestion = 400 if smoke else 1200
+    states = []
+    for engine in (fast, slow):
+        state = engine.new_state()
+        for cycle in range(congestion):
+            while engine.try_reserve(state, class_name, cycle) is not None:
+                pass
+        states.append(state)
+    fast_state, slow_state = states
+    window = range(0, congestion + 64)
+    scans = 3 if smoke else 8
+
+    def run():
+        t0 = time.perf_counter()
+        for _ in range(scans):
+            handle = fast.try_reserve_many(fast_state, class_name, window)
+            fast.release(handle)
+        fast_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(scans):
+            handle = slow.try_reserve_many(slow_state, class_name, window)
+            slow.release(handle)
+        scalar_seconds = time.perf_counter() - t0
+        return {
+            "vectorized_seconds": fast_seconds,
+            "scalar_seconds": scalar_seconds,
+            "speedup": scalar_seconds / fast_seconds,
+        }
+
+    return run
+
+
+def _k_exact(smoke: bool):
+    """Branch-and-bound exact scheduling on Pentium (PR 7)."""
+    from repro.exact import schedule_workload_exact
+    from repro.machines import get_machine
+    from repro.workloads import WorkloadConfig, generate_blocks
+
+    machine = get_machine("Pentium")
+    ops = 40 if smoke else 90
+    blocks = generate_blocks(machine, WorkloadConfig(total_ops=ops))
+
+    def run():
+        result = schedule_workload_exact(machine, blocks)
+        return {"nodes": float(result.nodes)}
+
+    return run
+
+
+def _k_oracle(smoke: bool):
+    """Independent schedule verification oracle replay (PR 5)."""
+    from repro.engine import create_engine
+    from repro.machines import get_machine
+    from repro.scheduler import schedule_workload
+    from repro.verify import verify_schedule
+    from repro.workloads import WorkloadConfig, generate_blocks
+
+    machine = get_machine("SuperSPARC")
+    ops = 400 if smoke else 1200
+    blocks = generate_blocks(machine, WorkloadConfig(total_ops=ops))
+    engine = create_engine("bitvector", machine)
+    result = schedule_workload(
+        machine, None, blocks, keep_schedules=True, engine=engine
+    )
+
+    def run():
+        report = verify_schedule(machine, result)
+        if not report.ok:
+            raise RuntimeError("oracle rejected a list schedule")
+
+    return run
+
+
+KERNELS: Tuple[Kernel, ...] = (
+    Kernel(
+        "compile.pa7100",
+        "transform pipeline + bit-vector compile of the PA7100 description",
+        _k_compile,
+    ),
+    Kernel(
+        "schedule.list.supersparc",
+        "list scheduler over a generated SuperSPARC workload",
+        _schedule_setup("SuperSPARC", full_ops=2500, smoke_ops=700),
+    ),
+    Kernel(
+        "schedule.list.pa7100",
+        "list scheduler over a generated PA7100 workload",
+        _schedule_setup("PA7100", full_ops=2500, smoke_ops=700),
+    ),
+    Kernel(
+        "query.first_fit",
+        "congested first-fit batch query, vectorized vs forced scalar",
+        _k_first_fit,
+        seconds=MetricMeta(direction="info"),
+        extra={
+            "vectorized_seconds": MetricMeta(tolerance=0.5),
+            "scalar_seconds": MetricMeta(direction="info"),
+            "speedup": MetricMeta(
+                unit="x", direction="higher", tolerance=0.35
+            ),
+        },
+    ),
+    Kernel(
+        "exact.pentium",
+        "branch-and-bound exact scheduler over a Pentium workload",
+        _k_exact,
+        extra={"nodes": MetricMeta(unit="count", direction="info")},
+    ),
+    Kernel(
+        "verify.oracle.supersparc",
+        "independent oracle replay of a scheduled SuperSPARC workload",
+        _k_oracle,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def select_kernels(
+    only: Optional[Sequence[str]] = None,
+    kernels: Sequence[Kernel] = KERNELS,
+) -> List[Kernel]:
+    """Kernels whose name contains any requested substring (all by
+    default); unknown patterns raise rather than silently running
+    nothing."""
+    if not only:
+        return list(kernels)
+    out: List[Kernel] = []
+    for kernel in kernels:
+        if any(pattern in kernel.name for pattern in only):
+            out.append(kernel)
+    if not out:
+        raise ValueError(
+            f"no kernel matches {list(only)!r}; "
+            f"known: {[k.name for k in kernels]}"
+        )
+    return out
+
+
+def run_suite(
+    only: Optional[Sequence[str]] = None,
+    repeats: Optional[int] = None,
+    smoke: Optional[bool] = None,
+    inject: Optional[Tuple[str, float]] = None,
+    kernels: Sequence[Kernel] = KERNELS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[List[perf.BenchRecord], List[Tuple[str, str]]]:
+    """Run the curated suite; returns (records, skipped-with-reason).
+
+    Every kernel runs under a ``bench:<name>`` obs span (a no-op unless
+    observability is enabled), gets one untimed warmup, then
+    ``repeats`` timed runs.  Wall seconds become ``<name>.seconds``;
+    extra metrics returned by the kernel become ``<name>.<key>``.
+    """
+    from repro import obs
+
+    if smoke is None:
+        smoke = smoke_mode()
+    if repeats is None:
+        repeats = SMOKE_REPEATS if smoke else DEFAULT_REPEATS
+    if inject is None:
+        inject = parse_injection()
+    env = perf.env_fingerprint()
+    # Stamp the workload scale: smoke and full runs time different
+    # workloads, so comparing across them is meaningless and
+    # compare_records() neutralizes such pairs as "scale-mismatch".
+    env["smoke"] = smoke
+    records: List[perf.BenchRecord] = []
+    skipped: List[Tuple[str, str]] = []
+    for kernel in select_kernels(only, kernels):
+        if progress:
+            progress(kernel.name)
+        delay = (
+            inject[1]
+            if inject is not None and inject[0] in kernel.name
+            else 0.0
+        )
+        with obs.span(f"bench:{kernel.name}", repeats=repeats) as sp:
+            try:
+                run = kernel.setup(smoke)
+            except KernelUnavailable as exc:
+                skipped.append((kernel.name, str(exc)))
+                sp.set(skipped=str(exc))
+                continue
+            run()  # warmup: caches, JIT-ish lazy imports, page faults
+            seconds: List[float] = []
+            extras: Dict[str, List[float]] = {}
+            for _ in range(repeats):
+                started = time.perf_counter()
+                out = run() or {}
+                if delay:
+                    time.sleep(delay)
+                seconds.append(time.perf_counter() - started)
+                for key, value in out.items():
+                    extras.setdefault(key, []).append(float(value))
+            sp.set(best_seconds=min(seconds))
+        now = time.time()
+        if kernel.seconds is not None:
+            meta = kernel.seconds
+            records.append(perf.make_record(
+                kernel.name, f"{kernel.name}.seconds", seconds,
+                unit=meta.unit, direction=meta.direction,
+                tolerance=meta.tolerance, env=env, timestamp=now,
+            ))
+        for key, meta in kernel.extra.items():
+            if key not in extras:
+                continue
+            records.append(perf.make_record(
+                kernel.name, f"{kernel.name}.{key}", extras[key],
+                unit=meta.unit, direction=meta.direction,
+                tolerance=meta.tolerance, env=env, timestamp=now,
+            ))
+    return records, skipped
+
+
+__all__ = [
+    "DEFAULT_REPEATS",
+    "SMOKE_REPEATS",
+    "Kernel",
+    "KernelUnavailable",
+    "MetricMeta",
+    "KERNELS",
+    "smoke_mode",
+    "parse_injection",
+    "select_kernels",
+    "run_suite",
+]

@@ -185,15 +185,106 @@ def parse_prometheus(text: str) -> ParsedExposition:
 
 
 # ----------------------------------------------------------------------
+# Histogram quantile estimation
+# ----------------------------------------------------------------------
+
+
+def histogram_quantile(
+    bucket_counts: List[Tuple[float, int]], q: float
+) -> float:
+    """Estimate the ``q``-quantile from cumulative (bound, count) pairs.
+
+    Standard Prometheus-style linear interpolation within the first
+    bucket whose cumulative count reaches ``rank = q * total``: the
+    bucket's observations are assumed uniform between its lower and
+    upper bound (the lower bound of the first bucket is 0, matching
+    the registry's non-negative time/size metrics).  Observations in
+    the ``+Inf`` bucket clamp to the largest finite bound -- the usual
+    "quantile saturates at the histogram's range" caveat.
+
+    Raises :class:`ValueError` on an empty histogram or ``q`` outside
+    [0, 1].
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    if not bucket_counts:
+        raise ValueError("empty bucket list")
+    total = bucket_counts[-1][1]
+    if total <= 0:
+        raise ValueError("histogram has no observations")
+    rank = q * total
+    lower_bound = 0.0
+    lower_count = 0
+    for bound, cumulative in bucket_counts:
+        if cumulative >= rank and cumulative > lower_count:
+            if bound == math.inf:
+                # No upper edge to interpolate toward.
+                return lower_bound
+            span_count = cumulative - lower_count
+            fraction = (rank - lower_count) / span_count
+            return lower_bound + (bound - lower_bound) * max(0.0, fraction)
+        if bound != math.inf:
+            lower_bound = bound
+            lower_count = cumulative
+    return lower_bound
+
+
+#: The quantiles ``repro stats`` reports.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def format_quantiles(
+    registry: MetricsRegistry,
+    quantiles: Tuple[float, ...] = DEFAULT_QUANTILES,
+) -> str:
+    """Estimated quantiles for every histogram, one aligned row each.
+
+    Empty string when the registry holds no populated histograms, so
+    the CLI can skip the section entirely.
+    """
+    header = ["histogram"] + [f"p{q * 100:g}" for q in quantiles]
+    header.append("count")
+    rows: List[List[str]] = []
+    for histogram in registry.histograms():
+        if histogram.count <= 0:
+            continue
+        counts = histogram.bucket_counts()
+        row = [f"{histogram.name}{_format_labels(histogram.labels)}"]
+        for q in quantiles:
+            row.append(f"{histogram_quantile(counts, q):.6g}")
+        row.append(str(histogram.count))
+        rows.append(row)
+    if not rows:
+        return ""
+    table = [header] + rows
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(header))
+    ]
+    return "\n".join(
+        "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        for row in table
+    )
+
+
+# ----------------------------------------------------------------------
 # JSONL traces
 # ----------------------------------------------------------------------
 
 
-def trace_to_jsonl(tracer: Tracer) -> str:
-    """One JSON document per finished root span tree, per line."""
+def trace_to_jsonl(roots) -> str:
+    """One JSON document per finished root span tree, per line.
+
+    Accepts a list of root :class:`Span` trees or a whole
+    :class:`Tracer`, like :func:`format_trace`.
+    """
+    if isinstance(roots, Tracer):
+        roots = roots.roots
     lines = [
         json.dumps(root.to_dict(), sort_keys=True)
-        for root in tracer.roots
+        for root in roots
     ]
     return "\n".join(lines) + ("\n" if lines else "")
 

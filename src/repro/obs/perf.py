@@ -1,0 +1,523 @@
+"""Continuous-performance records: schema, history, baselines, gates.
+
+Every benchmark number this repo produces flows through one normalized
+record type so results are comparable *across runs and machines*:
+
+* :class:`BenchRecord` -- suite, metric, unit, representative value,
+  the raw per-repeat values, and an environment fingerprint (git sha,
+  python/numpy versions, cpu count, platform).
+* **History** (:func:`append_history`) -- an append-only JSONL file,
+  one record per line; ``benchmarks/results/BENCH_history.jsonl`` is
+  the durable perf trajectory CI uploads per run.
+* **Baseline** (:func:`write_baseline` / :func:`load_baseline`) -- a
+  pinned snapshot, one record per metric, that later runs compare
+  against.
+* **Regression detection** (:func:`compare_records`) -- a two-stage
+  gate.  Stage one is a *threshold* on representative values (min of N
+  repeats for lower-is-better metrics; min-of-N is the classic noise
+  rejector for wall-clock benchmarks).  Stage two *confirms* with a
+  one-sided Mann-Whitney rank test over the raw repeat samples, so a
+  single noisy outlier cannot fail CI: a regression must both exceed
+  the per-metric tolerance and be statistically distinguishable
+  (p <= alpha) from the baseline sample.
+
+No third-party stats dependency: the rank test uses an exact
+permutation distribution for the small sample sizes benchmarks actually
+have, and a tie-corrected normal approximation beyond that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Significance level for the rank-test confirmation stage.
+DEFAULT_ALPHA = 0.05
+
+#: Largest pooled sample for which the permutation distribution is
+#: enumerated exactly (C(18, 9) = 48620 subsets -- instant).
+_EXACT_LIMIT = 18
+
+_DIRECTIONS = ("lower", "higher", "info")
+
+
+# ----------------------------------------------------------------------
+# Schema
+# ----------------------------------------------------------------------
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Where this measurement came from: code + interpreter + hardware."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class BenchRecord:
+    """One normalized benchmark measurement."""
+
+    suite: str                    #: kernel / bench-script the metric belongs to
+    metric: str                   #: globally unique metric name
+    unit: str                     #: "s", "x", "ops/s", "count", ...
+    value: float                  #: representative value (see below)
+    values: List[float] = field(default_factory=list)  #: raw per-repeat samples
+    repeats: int = 1
+    direction: str = "lower"      #: "lower" | "higher" | "info"
+    tolerance: float = 0.25      #: relative threshold before a delta counts
+    timestamp: float = 0.0
+    env: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}: {self.direction!r}"
+            )
+        if not self.values:
+            self.values = [self.value]
+        self.repeats = len(self.values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "metric": self.metric,
+            "unit": self.unit,
+            "value": self.value,
+            "values": list(self.values),
+            "repeats": self.repeats,
+            "direction": self.direction,
+            "tolerance": self.tolerance,
+            "timestamp": self.timestamp,
+            "env": dict(self.env),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchRecord":
+        return cls(
+            suite=data["suite"],
+            metric=data["metric"],
+            unit=data.get("unit", ""),
+            value=float(data["value"]),
+            values=[float(v) for v in data.get("values", ())],
+            direction=data.get("direction", "lower"),
+            tolerance=float(data.get("tolerance", 0.25)),
+            timestamp=float(data.get("timestamp", 0.0)),
+            env=dict(data.get("env", {})),
+        )
+
+
+def representative(values: Sequence[float], direction: str) -> float:
+    """The value a sample is judged by: min for lower-is-better (best
+    of N rejects scheduler noise), max for higher-is-better, mean for
+    informational metrics."""
+    if direction == "lower":
+        return min(values)
+    if direction == "higher":
+        return max(values)
+    return sum(values) / len(values)
+
+
+def make_record(
+    suite: str,
+    metric: str,
+    values: Sequence[float],
+    unit: str = "s",
+    direction: str = "lower",
+    tolerance: float = 0.25,
+    env: Optional[Dict[str, Any]] = None,
+    timestamp: Optional[float] = None,
+) -> BenchRecord:
+    values = [float(v) for v in values]
+    return BenchRecord(
+        suite=suite,
+        metric=metric,
+        unit=unit,
+        value=representative(values, direction),
+        values=values,
+        direction=direction,
+        tolerance=tolerance,
+        timestamp=time.time() if timestamp is None else timestamp,
+        env=dict(env) if env else env_fingerprint(),
+    )
+
+
+def records_from_payload(
+    suite: str, payload: Dict[str, Any], env: Optional[Dict[str, Any]] = None
+) -> List[BenchRecord]:
+    """Normalize a legacy bench-script JSON payload into info records.
+
+    The ~30 ``benchmarks/bench_*.py`` scripts each emit an ad-hoc dict;
+    every top-level numeric scalar becomes one informational record so
+    historical payloads land in ``BENCH_history.jsonl`` without
+    per-script schema work.  Nested dicts flatten with dotted keys.
+    """
+    env = dict(env) if env else env_fingerprint()
+    now = time.time()
+    records: List[BenchRecord] = []
+
+    def visit(prefix: str, node: Any) -> None:
+        if isinstance(node, bool):
+            return
+        if isinstance(node, (int, float)):
+            records.append(make_record(
+                suite, f"{suite}.{prefix}", [float(node)],
+                unit="", direction="info", env=env, timestamp=now,
+            ))
+        elif isinstance(node, dict):
+            for key, value in node.items():
+                visit(f"{prefix}.{key}" if prefix else str(key), value)
+
+    visit("", payload)
+    return records
+
+
+# ----------------------------------------------------------------------
+# History + baseline files
+# ----------------------------------------------------------------------
+
+
+def append_history(path: str, records: Iterable[BenchRecord]) -> int:
+    """Append records to the JSONL history; returns how many were written."""
+    records = list(records)
+    if not records:
+        return 0
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    return len(records)
+
+
+def load_history(path: str) -> List[BenchRecord]:
+    if not os.path.exists(path):
+        return []
+    out: List[BenchRecord] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(BenchRecord.from_dict(json.loads(line)))
+    return out
+
+
+def write_baseline(
+    path: str, records: Iterable[BenchRecord]
+) -> Dict[str, Any]:
+    """Pin the given records as the comparison baseline (one per metric)."""
+    by_metric = {record.metric: record.to_dict() for record in records}
+    payload = {
+        "version": 1,
+        "created": time.time(),
+        "env": env_fingerprint(),
+        "records": by_metric,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_baseline(path: str) -> Dict[str, BenchRecord]:
+    """Baseline records keyed by metric; empty when no file exists."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        metric: BenchRecord.from_dict(data)
+        for metric, data in payload.get("records", {}).items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Mann-Whitney one-sided rank test (no scipy)
+# ----------------------------------------------------------------------
+
+
+def _ranks(pooled: Sequence[float]) -> List[float]:
+    """Average ranks (1-based) with standard tie handling."""
+    order = sorted(range(len(pooled)), key=lambda i: pooled[i])
+    ranks = [0.0] * len(pooled)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and pooled[order[j + 1]] == pooled[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def rank_p_greater(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Optional[float]:
+    """One-sided Mann-Whitney p-value for "``xs`` tend larger than ``ys``".
+
+    Exact permutation distribution when the pooled sample is small
+    (benchmarks run 3-10 repeats, where the normal approximation is
+    meaningless), tie-corrected normal approximation otherwise.
+    Returns ``None`` when either sample has fewer than 2 observations
+    -- no distributional statement is possible, and callers fall back
+    to the threshold-only decision.
+
+    Note the decision rule downstream is ``p <= alpha`` *inclusive*: at
+    3-vs-3 repeats complete separation gives exactly p = 1/20 = 0.05,
+    which must count as significant or the gate could never fire in
+    smoke mode.
+    """
+    nx, ny = len(xs), len(ys)
+    if nx < 2 or ny < 2:
+        return None
+    pooled = list(xs) + list(ys)
+    ranks = _ranks(pooled)
+    observed = sum(ranks[:nx])
+    n = nx + ny
+    if n <= _EXACT_LIMIT:
+        count = 0
+        total = 0
+        # Slack for float average-rank arithmetic.
+        eps = 1e-9
+        for combo in itertools.combinations(range(n), nx):
+            total += 1
+            if sum(ranks[i] for i in combo) >= observed - eps:
+                count += 1
+        return count / total
+    # Normal approximation with tie correction and continuity correction.
+    u = observed - nx * (nx + 1) / 2.0
+    mean = nx * ny / 2.0
+    tie_term = 0.0
+    seen: Dict[float, int] = {}
+    for value in pooled:
+        seen[value] = seen.get(value, 0) + 1
+    for t in seen.values():
+        tie_term += t ** 3 - t
+    var = (nx * ny / 12.0) * ((n + 1) - tie_term / (n * (n - 1)))
+    if var <= 0:
+        return 1.0  # all observations identical: no evidence either way
+    z = (u - mean - 0.5) / math.sqrt(var)
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+# ----------------------------------------------------------------------
+# Comparison + summary
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Comparison:
+    """One metric's current-vs-baseline verdict."""
+
+    metric: str
+    #: ok|regression|suspect|improved|new|missing|info|scale-mismatch
+    status: str
+    unit: str = ""
+    direction: str = "lower"
+    value: Optional[float] = None
+    baseline: Optional[float] = None
+    delta_pct: Optional[float] = None
+    p_value: Optional[float] = None
+    tolerance: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "status": self.status,
+            "unit": self.unit,
+            "direction": self.direction,
+            "value": self.value,
+            "baseline": self.baseline,
+            "delta_pct": self.delta_pct,
+            "p_value": self.p_value,
+            "tolerance": self.tolerance,
+        }
+
+
+def compare_records(
+    current: Iterable[BenchRecord],
+    baseline: Dict[str, BenchRecord],
+    alpha: float = DEFAULT_ALPHA,
+) -> List[Comparison]:
+    """Judge each current record against the pinned baseline.
+
+    ``regression`` requires *both* the representative value to exceed
+    the per-metric relative tolerance in the bad direction *and* the
+    rank test to confirm the samples differ (``p <= alpha``); threshold
+    breaches the rank test cannot confirm come back as ``suspect``
+    (reported, not failing).  Baseline metrics absent from the current
+    run come back ``missing``.
+    """
+    current = list(current)
+    out: List[Comparison] = []
+    seen = set()
+    for record in current:
+        seen.add(record.metric)
+        base = baseline.get(record.metric)
+        comparison = Comparison(
+            metric=record.metric,
+            status="ok",
+            unit=record.unit,
+            direction=record.direction,
+            value=record.value,
+            tolerance=record.tolerance,
+        )
+        if base is None:
+            comparison.status = "new"
+            out.append(comparison)
+            continue
+        comparison.baseline = base.value
+        if base.value:
+            comparison.delta_pct = (
+                (record.value - base.value) / abs(base.value) * 100.0
+            )
+        if record.env.get("smoke") != base.env.get("smoke"):
+            # Smoke and full runs time different workloads; comparing
+            # them would only manufacture false regressions.  Re-pin
+            # the baseline at the scale being checked instead.
+            comparison.status = "scale-mismatch"
+            out.append(comparison)
+            continue
+        if record.direction == "info" or not base.value:
+            comparison.status = "info"
+            out.append(comparison)
+            continue
+        if record.direction == "lower":
+            worse = record.value > base.value * (1.0 + record.tolerance)
+            better = record.value < base.value * (1.0 - record.tolerance)
+            p = rank_p_greater(record.values, base.values)
+        else:
+            worse = record.value < base.value * (1.0 - record.tolerance)
+            better = record.value > base.value * (1.0 + record.tolerance)
+            p = rank_p_greater(base.values, record.values)
+        comparison.p_value = p
+        if worse:
+            if p is None or p <= alpha:
+                comparison.status = "regression"
+            else:
+                comparison.status = "suspect"
+        elif better:
+            comparison.status = "improved"
+        out.append(comparison)
+    for metric, base in sorted(baseline.items()):
+        if metric not in seen:
+            out.append(Comparison(
+                metric=metric, status="missing", unit=base.unit,
+                direction=base.direction, baseline=base.value,
+            ))
+    return out
+
+
+def regressions(comparisons: Iterable[Comparison]) -> List[Comparison]:
+    return [c for c in comparisons if c.status == "regression"]
+
+
+def write_summary(
+    path: str,
+    records: Iterable[BenchRecord],
+    comparisons: Iterable[Comparison],
+    env: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The repo-root ``BENCH_summary.json``: latest value + delta per
+    metric, plus the run's environment fingerprint."""
+    comparisons = {c.metric: c for c in comparisons}
+    metrics: Dict[str, Any] = {}
+    for record in records:
+        entry: Dict[str, Any] = {
+            "suite": record.suite,
+            "value": record.value,
+            "unit": record.unit,
+            "direction": record.direction,
+            "repeats": record.repeats,
+        }
+        comparison = comparisons.get(record.metric)
+        if comparison is not None:
+            entry["status"] = comparison.status
+            entry["baseline"] = comparison.baseline
+            entry["delta_pct"] = comparison.delta_pct
+        metrics[record.metric] = entry
+    payload = {
+        "version": 1,
+        "generated": time.time(),
+        "env": dict(env) if env else env_fingerprint(),
+        "metrics": metrics,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def format_comparisons(comparisons: Sequence[Comparison]) -> str:
+    """Human table for ``repro bench``: metric, value, baseline, delta."""
+    if not comparisons:
+        return "(no baseline -- run `repro bench --update-baseline`)"
+    rows = [("metric", "status", "value", "baseline", "delta", "p")]
+    for c in comparisons:
+        rows.append((
+            c.metric,
+            c.status,
+            "-" if c.value is None else f"{c.value:.6g}",
+            "-" if c.baseline is None else f"{c.baseline:.6g}",
+            "-" if c.delta_pct is None else f"{c.delta_pct:+.1f}%",
+            "-" if c.p_value is None else f"{c.p_value:.3f}",
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(
+            cell.ljust(widths[i]) if i < 2 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        for row in rows
+    )
+
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "BenchRecord",
+    "Comparison",
+    "env_fingerprint",
+    "representative",
+    "make_record",
+    "records_from_payload",
+    "append_history",
+    "load_history",
+    "write_baseline",
+    "load_baseline",
+    "rank_p_greater",
+    "compare_records",
+    "regressions",
+    "write_summary",
+    "format_comparisons",
+]

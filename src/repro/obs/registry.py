@@ -219,6 +219,16 @@ class MetricsRegistry:
     def help_for(self, name: str) -> str:
         return self._help.get(name, "")
 
+    def histograms(self) -> List[Histogram]:
+        """Every histogram instrument, in (name, labels) order."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return [
+            instrument
+            for key, instrument in sorted(instruments, key=lambda kv: kv[0])
+            if isinstance(instrument, Histogram)
+        ]
+
     def collect(self) -> List[Sample]:
         """Every sample from every instrument and view, sorted.
 

@@ -17,12 +17,21 @@ Two extra affordances exist for the batch service's process pool:
   The driver attaches chunk traces in chunk order, so the merged tree is
   identical for 1 and N workers -- the same determinism contract the
   stats fold has.
+
+Spans can additionally carry :mod:`tracemalloc` memory accounting
+(``mem_peak_bytes`` / ``mem_net_bytes`` attributes) when opened with
+``memory=True`` *and* memory profiling is enabled process-wide (see
+:func:`repro.obs.enable_memory`).  Memory frames nest on their own
+per-thread stack so a child's allocation peak propagates into every
+enclosing memory span, even though ``tracemalloc`` only exposes a
+single global peak.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import tracemalloc
 from typing import Any, Dict, List, Optional
 
 
@@ -112,19 +121,26 @@ NULL_SPAN = _NullSpan()
 class _ActiveSpan:
     """Context manager that pushes/pops one span on the tracer."""
 
-    __slots__ = ("_tracer", "span")
+    __slots__ = ("_tracer", "span", "_memory")
 
-    def __init__(self, tracer: "Tracer", span: Span) -> None:
+    def __init__(
+        self, tracer: "Tracer", span: Span, memory: bool = False
+    ) -> None:
         self._tracer = tracer
         self.span = span
+        self._memory = memory
 
     def __enter__(self) -> Span:
         self._tracer._push(self.span)
+        if self._memory:
+            self._tracer._mem_enter()
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None:
             self.span.attrs.setdefault("error", exc_type.__name__)
+        if self._memory:
+            self._tracer._mem_exit(self.span)
         self._tracer._pop(self.span)
 
 
@@ -211,12 +227,53 @@ class Tracer:
                 self.roots.append(span)
 
     # ------------------------------------------------------------------
+    # Memory frames (tracemalloc peak/net accounting per span)
+    # ------------------------------------------------------------------
+
+    def _mem_stack(self) -> List[List[int]]:
+        stack = getattr(self._local, "memstack", None)
+        if stack is None:
+            stack = []
+            self._local.memstack = stack
+        return stack
+
+    def _mem_enter(self) -> None:
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+        current, _ = tracemalloc.get_traced_memory()
+        # Frame: [bytes traced at entry, running absolute peak].  The
+        # running peak folds in child frames' peaks, because
+        # ``reset_peak`` below erases the global peak on every
+        # enter/exit boundary.
+        self._mem_stack().append([current, current])
+        tracemalloc.reset_peak()
+
+    def _mem_exit(self, span: Span) -> None:
+        stack = self._mem_stack()
+        if not stack:
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        entry, running_peak = stack.pop()
+        peak_abs = max(running_peak, peak, current)
+        span.attrs["mem_net_bytes"] = current - entry
+        span.attrs["mem_peak_bytes"] = max(0, peak_abs - entry)
+        if stack:
+            parent = stack[-1]
+            parent[1] = max(parent[1], peak_abs)
+        tracemalloc.reset_peak()
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
-        """Open a child of the current span (or a new root)."""
-        return _ActiveSpan(self, Span(name, attrs))
+    def span(self, name: str, memory: bool = False, **attrs: Any) -> _ActiveSpan:
+        """Open a child of the current span (or a new root).
+
+        With ``memory=True`` the span also records ``tracemalloc``
+        peak/net bytes for its region into ``mem_peak_bytes`` /
+        ``mem_net_bytes`` attributes.
+        """
+        return _ActiveSpan(self, Span(name, attrs), memory=memory)
 
     def current(self) -> Optional[Span]:
         stack = getattr(self._local, "stack", None)
@@ -237,11 +294,13 @@ class Tracer:
                 self.roots.extend(spans)
 
     def reset(self) -> None:
-        """Drop finished roots and this thread's stack."""
+        """Drop finished roots and this thread's stacks."""
         with self._lock:
             self.roots = []
         if getattr(self._local, "stack", None) is not None:
             del self._local.stack
+        if getattr(self._local, "memstack", None) is not None:
+            del self._local.memstack
 
     # ------------------------------------------------------------------
     # Analysis helpers

@@ -249,8 +249,8 @@ def schedule_workload(
     # Injected engines may carry prior work; report only this run's delta.
     before = scheduler.stats.copy()
     with obs.span(
-        "schedule:list", machine=machine.name, direction=direction,
-        backend=scheduler.engine.name,
+        "schedule:list", memory=True, machine=machine.name,
+        direction=direction, backend=scheduler.engine.name,
     ) as sp:
         for block in blocks:
             block_schedule = scheduler.schedule_block(block)

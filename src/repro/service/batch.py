@@ -299,12 +299,15 @@ def _init_worker(
     obs_enabled: bool = False,
     plan: Optional[faults.FaultPlan] = None,
     shared_spec: Optional[shared.SharedDescriptionSpec] = None,
+    obs_memory: bool = False,
 ) -> None:
     global _WORKER_CACHE
     if obs_enabled:
         # Spawned workers start with a fresh module flag; forked ones
         # inherit it.  Either way, make the worker match the parent.
         obs.enable()
+    if obs_memory:
+        obs.enable_memory()
     faults.install(plan)
     disk = DiskDescriptionCache(cache_dir) if cache_dir else None
     _WORKER_CACHE = DescriptionCache(disk=disk)
@@ -381,7 +384,7 @@ def _schedule_chunk(
     # regardless of the worker count.
     with obs.capture() as captured:
         with obs.span(
-            "batch:chunk", index=index, blocks=len(blocks)
+            "batch:chunk", memory=True, index=index, blocks=len(blocks)
         ) as sp:
             setup_start = time.perf_counter()
             engine = _make_engine(machine, config, cache)
@@ -765,7 +768,8 @@ def _run_pooled_generations(
         pool = ProcessPoolExecutor(
             max_workers=config.workers,
             initializer=_init_worker,
-            initargs=(config.cache_dir, obs.enabled(), plan, shared_spec),
+            initargs=(config.cache_dir, obs.enabled(), plan, shared_spec,
+                      obs.memory_enabled()),
         )
         broken = False
         futures: Dict[Any, _ChunkState] = {}
@@ -930,7 +934,7 @@ def schedule_batch(
     block_failures: List[BlockFailure] = []
     tally = _Tally()
     with obs.span(
-        "service:batch", machine=machine.name,
+        "service:batch", memory=True, machine=machine.name,
         backend=config.backend_label, workers=config.workers,
         chunks=len(chunks),
     ) as sp:

@@ -480,3 +480,192 @@ class TestObsSurfaces:
         assert "transform:redundancy-elimination" in out
         roots = trace_from_jsonl(out_path.read_text())
         assert roots, "trace file should contain at least one root tree"
+
+
+class TestTraceProfiling:
+    """``repro trace`` profiling views: --hot, --flamegraph, --input."""
+
+    @pytest.fixture(autouse=True)
+    def restore_obs(self):
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        was_memory = obs.memory_enabled()
+        yield
+        obs.enable() if was_enabled else obs.disable()
+        obs.enable_memory() if was_memory else obs.disable_memory()
+        obs.reset()
+
+    def test_trace_hot_prints_self_time_table(self, run_cli):
+        code, out, _ = run_cli(
+            "trace", "--machine", "K5", "--ops", "150", "--hot"
+        )
+        assert code == 0
+        header = out.splitlines()[0].split()
+        assert header == ["span", "calls", "self_ms", "incl_ms", "self_%"]
+        assert "schedule:list" in out
+
+    def test_trace_flamegraph_is_collapsed_stack(self, run_cli):
+        from repro.obs.prof import parse_flamegraph
+
+        code, out, _ = run_cli(
+            "trace", "--machine", "K5", "--ops", "150", "--flamegraph"
+        )
+        assert code == 0
+        parsed = parse_flamegraph(out)
+        assert parsed  # at least one stack
+        assert any("schedule:list" in stack for stack in parsed)
+        assert all(count > 0 for count in parsed.values())
+
+    def test_trace_input_replays_a_saved_trace(self, run_cli, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            "trace", "--machine", "K5", "--ops", "150",
+            "-o", str(out_path),
+        )
+        assert code == 0
+        code, out, _ = run_cli("trace", "--input", str(out_path), "--hot")
+        assert code == 0
+        assert "schedule:list" in out
+
+    def test_trace_without_machine_or_input_errors(self, run_cli):
+        with pytest.raises(SystemExit):
+            run_cli("trace", "--hot")
+
+    def test_trace_memory_prints_per_phase_table(self, run_cli):
+        code, out, _ = run_cli(
+            "trace", "--machine", "K5", "--ops", "150", "--memory"
+        )
+        assert code == 0
+        lines = out.splitlines()
+        header = next(
+            line for line in lines if line.startswith("span")
+        ).split()
+        assert header == ["span", "spans", "peak_kib", "net_kib"]
+        assert any(line.startswith("schedule:list") for line in lines)
+        assert any(line.startswith("engine:create") for line in lines)
+        # The span tree above the table carries the raw byte attrs.
+        assert "mem_peak_bytes=" in out
+
+    def test_stats_shows_estimated_quantiles(self, run_cli):
+        code, out, _ = run_cli(
+            "stats", "--machine", "K5", "--ops", "150"
+        )
+        assert code == 0
+        assert "estimated quantiles" in out
+        assert "p95" in out
+
+
+class TestBenchCli:
+    """``repro bench``: records, history, baseline, regression gate."""
+
+    @pytest.fixture(autouse=True)
+    def restore_obs(self):
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        was_memory = obs.memory_enabled()
+        yield
+        obs.enable() if was_enabled else obs.disable()
+        obs.enable_memory() if was_memory else obs.disable_memory()
+        obs.reset()
+
+    def _paths(self, tmp_path):
+        return [
+            "--baseline", str(tmp_path / "base.json"),
+            "--history", str(tmp_path / "hist.jsonl"),
+            "--summary", str(tmp_path / "summary.json"),
+        ]
+
+    def test_bench_list_names_kernels_and_metrics(self, run_cli):
+        code, out, _ = run_cli("bench", "--list")
+        assert code == 0
+        assert "compile.pa7100" in out
+        assert "compile.pa7100.seconds" in out
+        assert "exact.pentium" in out
+
+    def test_bench_run_without_baseline(self, run_cli, tmp_path):
+        import json
+
+        code, out, _ = run_cli(
+            "bench", "--smoke", "--repeats", "2",
+            "--suite", "compile", *self._paths(tmp_path),
+        )
+        assert code == 0
+        assert "no baseline" in out
+        assert (tmp_path / "hist.jsonl").exists()
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        entry = summary["metrics"]["compile.pa7100.seconds"]
+        assert entry["value"] > 0
+        # No baseline yet, so there is no comparison status.
+        assert "status" not in entry
+        assert not (tmp_path / "base.json").exists()
+
+    def test_bench_check_without_baseline_exits_2(self, run_cli, tmp_path):
+        code, _, err = run_cli(
+            "bench", "--smoke", "--repeats", "2", "--check",
+            "--suite", "compile", *self._paths(tmp_path),
+        )
+        assert code == 2
+        assert "no baseline" in err
+
+    def test_bench_acceptance_gate(self, run_cli, tmp_path, monkeypatch):
+        """Pin a baseline, pass a clean --check, fail an injected one."""
+        import json
+
+        paths = self._paths(tmp_path)
+        code, _, _ = run_cli(
+            "bench", "--smoke", "--repeats", "3", "--update-baseline",
+            "--suite", "compile", *paths,
+        )
+        assert code == 0
+        assert (tmp_path / "base.json").exists()
+
+        # Clean re-run against the pinned baseline must pass.
+        code, _, err = run_cli(
+            "bench", "--smoke", "--repeats", "3", "--check",
+            "--suite", "compile", *paths,
+        )
+        assert code == 0
+        assert "bench --check: ok" in err
+
+        # An injected slowdown must be confirmed and fail the gate.
+        monkeypatch.setenv("REPRO_BENCH_INJECT", "compile=0.2")
+        code, _, err = run_cli(
+            "bench", "--smoke", "--repeats", "3", "--check",
+            "--suite", "compile", *paths,
+        )
+        assert code == 1
+        assert "REGRESSION compile.pa7100.seconds" in err
+
+        history = [
+            json.loads(line)
+            for line in (tmp_path / "hist.jsonl").read_text().splitlines()
+        ]
+        # Three runs appended to the same history file.
+        runs = {rec["timestamp"] for rec in history}
+        assert len(history) >= 3 and len(runs) == 3
+
+    def test_bench_json_document(self, run_cli, tmp_path):
+        import json
+
+        code, out, _ = run_cli(
+            "bench", "--smoke", "--repeats", "2", "--json",
+            "--suite", "compile", *self._paths(tmp_path),
+        )
+        assert code == 0
+        document = json.loads(out)
+        metrics = [r["metric"] for r in document["records"]]
+        assert "compile.pa7100.seconds" in metrics
+        assert document["regressions"] == 0
+        assert document["summary"]["metrics"]
+        for record in document["records"]:
+            assert record["repeats"] == 2
+            assert "git_sha" in record["env"]
+
+    def test_bench_unknown_suite_pattern_errors(self, run_cli, tmp_path):
+        with pytest.raises(ValueError):
+            run_cli(
+                "bench", "--suite", "definitely-missing",
+                *self._paths(tmp_path),
+            )

@@ -18,7 +18,9 @@ from repro.engine.cache import CacheStats
 from repro.lowlevel.checker import CheckStats
 from repro.obs.export import (
     format_metrics,
+    format_quantiles,
     format_trace,
+    histogram_quantile,
     parse_prometheus,
     to_prometheus,
     trace_from_jsonl,
@@ -478,3 +480,64 @@ class TestPipelineIntegration:
         schedule_workload(machine, None, blocks, engine=engine)
         assert obs.TRACER.roots == []
         assert len(obs.REGISTRY) == 0
+
+
+class TestHistogramQuantiles:
+    """Bucket-interpolated quantile estimation over the registry."""
+
+    def test_interpolates_within_bucket(self):
+        # 4 observations <= 1.0, 4 more in (1.0, 2.0]: the median rank
+        # (4.0) lands exactly on the first bucket's edge.
+        buckets = [(1.0, 4), (2.0, 8), (math.inf, 8)]
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(1.0)
+        # p75 -> rank 6, halfway through the (1.0, 2.0] bucket.
+        assert histogram_quantile(buckets, 0.75) == pytest.approx(1.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        buckets = [(2.0, 10), (math.inf, 10)]
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(1.0)
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self):
+        buckets = [(1.0, 0), (math.inf, 5)]
+        assert histogram_quantile(buckets, 0.99) == pytest.approx(1.0)
+
+    def test_extremes(self):
+        buckets = [(1.0, 5), (2.0, 10), (math.inf, 10)]
+        assert histogram_quantile(buckets, 0.0) == pytest.approx(0.0)
+        assert histogram_quantile(buckets, 1.0) == pytest.approx(2.0)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            histogram_quantile([(1.0, 0), (math.inf, 0)], 0.5)
+        with pytest.raises(ValueError):
+            histogram_quantile([(1.0, 1), (math.inf, 1)], 1.5)
+
+    def test_matches_known_distribution(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat", buckets=(0.1, 0.5, 1.0, 5.0)
+        )
+        for value in [0.05] * 50 + [0.3] * 40 + [2.0] * 10:
+            hist.observe(value)
+        estimate = histogram_quantile(hist.bucket_counts(), 0.95)
+        # True p95 sits among the 2.0s; the estimate must land in
+        # their (1.0, 5.0] bucket.
+        assert 1.0 <= estimate <= 5.0
+
+    def test_format_quantiles_lists_populated_histograms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_t_seconds", stage="4")
+        for value in (0.01, 0.02, 0.03):
+            hist.observe(value)
+        registry.histogram("repro_empty_seconds")  # stays silent
+        text = format_quantiles(registry)
+        lines = text.splitlines()
+        assert lines[0].split()[:4] == ["histogram", "p50", "p95", "p99"]
+        assert "repro_t_seconds" in text
+        assert 'stage="4"' in text
+        assert "repro_empty_seconds" not in text
+
+    def test_format_quantiles_empty_registry(self):
+        assert format_quantiles(MetricsRegistry()) == ""

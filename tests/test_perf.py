@@ -1,0 +1,326 @@
+"""Tests for ``repro.obs.perf`` + ``repro.obs.bench``.
+
+Covers the normalized :class:`BenchRecord` schema, the rank-sum
+regression test (exact permutation and normal-approximation branches),
+baseline/history persistence, comparison statuses, the summary
+artifact, and the bench driver end-to-end -- including the acceptance
+requirement that an injected slowdown is detected as a regression while
+a clean re-run against the same baseline passes.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import bench, perf
+
+
+def _rec(metric, values, direction="lower", tolerance=0.25, **kw):
+    return perf.make_record(
+        "unit", metric, list(values),
+        direction=direction, tolerance=tolerance, env={}, **kw
+    )
+
+
+class TestBenchRecord:
+    def test_round_trip(self):
+        rec = _rec("compile.seconds", [0.2, 0.21, 0.19])
+        again = perf.BenchRecord.from_dict(rec.to_dict())
+        assert again == rec
+        assert json.dumps(rec.to_dict())
+
+    def test_defaults_fill_values_and_repeats(self):
+        rec = perf.BenchRecord(
+            suite="unit", metric="m", unit="s", value=1.5
+        )
+        assert rec.values == [1.5]
+        assert rec.repeats == 1
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            perf.BenchRecord(
+                suite="unit", metric="m", unit="s", value=1.0,
+                direction="sideways",
+            )
+
+    def test_representative_by_direction(self):
+        values = [3.0, 1.0, 2.0]
+        assert perf.representative(values, "lower") == 1.0
+        assert perf.representative(values, "higher") == 3.0
+        assert perf.representative(values, "info") == pytest.approx(2.0)
+
+    def test_env_fingerprint_has_required_keys(self):
+        env = perf.env_fingerprint()
+        for key in ("git_sha", "python", "platform", "cpu_count"):
+            assert key in env
+
+    def test_records_from_payload_flattens_and_skips_non_numeric(self):
+        payload = {
+            "machine": "PA7100",          # string: skipped
+            "passed": True,               # bool: skipped
+            "seconds": 1.25,
+            "detail": {"nodes": 42},
+        }
+        records = perf.records_from_payload("suiteX", payload, env={})
+        by_metric = {r.metric: r for r in records}
+        assert set(by_metric) == {"suiteX.seconds", "suiteX.detail.nodes"}
+        assert by_metric["suiteX.seconds"].value == 1.25
+        assert by_metric["suiteX.detail.nodes"].direction == "info"
+        assert all(r.suite == "suiteX" for r in records)
+
+
+class TestRankTest:
+    def test_small_samples_return_none(self):
+        assert perf.rank_p_greater([1.0], [1.0, 2.0]) is None
+        assert perf.rank_p_greater([1.0, 2.0], [2.0]) is None
+
+    def test_identical_samples_are_not_significant(self):
+        p = perf.rank_p_greater([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        assert p is not None and p > 0.4
+
+    def test_complete_separation_3v3_hits_exactly_alpha(self):
+        # C(6,3) = 20 arrangements; complete separation has p = 1/20,
+        # which is why the regression decision uses p <= alpha.
+        p = perf.rank_p_greater([2.0, 2.1, 2.2], [1.0, 1.1, 1.2])
+        assert p == pytest.approx(0.05)
+        assert p <= perf.DEFAULT_ALPHA
+
+    def test_wrong_direction_is_insignificant(self):
+        p = perf.rank_p_greater([1.0, 1.1, 1.2], [2.0, 2.1, 2.2])
+        assert p is not None and p > 0.9
+
+    def test_normal_approximation_branch(self):
+        xs = [2.0 + i * 0.01 for i in range(12)]
+        ys = [1.0 + i * 0.01 for i in range(12)]
+        p = perf.rank_p_greater(xs, ys)  # pooled n=24 > exact limit
+        assert p is not None and p < 0.001
+
+    def test_normal_approximation_handles_all_ties(self):
+        p = perf.rank_p_greater([1.0] * 12, [1.0] * 12)
+        assert p is not None and p > 0.4
+
+
+class TestCompare:
+    def test_ok_within_tolerance(self):
+        base = _rec("m", [1.0, 1.0, 1.0])
+        cur = _rec("m", [1.1, 1.1, 1.1])
+        (cmp,) = perf.compare_records([cur], {"m": base})
+        assert cmp.status == "ok"
+        assert cmp.delta_pct == pytest.approx(10.0)
+
+    def test_confirmed_regression(self):
+        base = _rec("m", [1.0, 1.01, 1.02])
+        cur = _rec("m", [2.0, 2.01, 2.02])
+        (cmp,) = perf.compare_records([cur], {"m": base})
+        assert cmp.status == "regression"
+        assert cmp.p_value is not None and cmp.p_value <= 0.05
+
+    def test_breach_without_significance_is_suspect(self):
+        # Representative breaches the threshold but samples overlap, so
+        # the rank test cannot confirm: flagged, not failing.
+        base = _rec("m", [1.0, 2.0, 3.0])
+        cur = _rec("m", [1.4, 2.2, 3.1])
+        (cmp,) = perf.compare_records([cur], {"m": base})
+        assert cmp.status == "suspect"
+
+    def test_higher_is_better_regression(self):
+        base = _rec("speedup", [4.0, 4.1, 4.2], direction="higher")
+        cur = _rec("speedup", [2.0, 2.1, 2.2], direction="higher")
+        (cmp,) = perf.compare_records([cur], {"speedup": base})
+        assert cmp.status == "regression"
+
+    def test_improvement_reported(self):
+        base = _rec("m", [2.0, 2.1, 2.2])
+        cur = _rec("m", [1.0, 1.1, 1.2])
+        (cmp,) = perf.compare_records([cur], {"m": base})
+        assert cmp.status == "improved"
+
+    def test_new_and_missing_metrics(self):
+        base = _rec("gone", [1.0])
+        cur = _rec("fresh", [1.0])
+        statuses = {
+            c.metric: c.status
+            for c in perf.compare_records([cur], {"gone": base})
+        }
+        assert statuses == {"fresh": "new", "gone": "missing"}
+
+    def test_info_metrics_never_regress(self):
+        base = _rec("nodes", [100.0], direction="info")
+        cur = _rec("nodes", [100000.0], direction="info")
+        (cmp,) = perf.compare_records([cur], {"nodes": base})
+        assert cmp.status == "info"
+
+    def test_scale_mismatch_is_neutralized(self):
+        # A smoke-scale run against a full-scale baseline times a
+        # different workload; even a huge delta must not fail the gate.
+        base = perf.make_record(
+            "unit", "m", [1.0, 1.01, 1.02], env={"smoke": False}
+        )
+        cur = perf.make_record(
+            "unit", "m", [9.0, 9.01, 9.02], env={"smoke": True}
+        )
+        (cmp,) = perf.compare_records([cur], {"m": base})
+        assert cmp.status == "scale-mismatch"
+        assert perf.regressions([cmp]) == []
+
+    def test_zero_baseline_is_info(self):
+        base = _rec("m", [0.0, 0.0, 0.0])
+        cur = _rec("m", [5.0, 5.0, 5.0])
+        (cmp,) = perf.compare_records([cur], {"m": base})
+        assert cmp.status == "info"
+
+    def test_regressions_filter(self):
+        base = {"m": _rec("m", [1.0, 1.01, 1.02])}
+        cur = [_rec("m", [2.0, 2.01, 2.02])]
+        cmps = perf.compare_records(cur, base)
+        assert [c.metric for c in perf.regressions(cmps)] == ["m"]
+
+    def test_format_comparisons_is_tabular(self):
+        base = {"m": _rec("m", [1.0, 1.01, 1.02])}
+        cmps = perf.compare_records([_rec("m", [2.0, 2.01, 2.02])], base)
+        text = perf.format_comparisons(cmps)
+        assert "regression" in text
+        assert "m" in text
+
+
+class TestPersistence:
+    def test_history_append_and_load(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        first = [_rec("a", [1.0])]
+        second = [_rec("b", [2.0])]
+        perf.append_history(str(path), first)
+        perf.append_history(str(path), second)
+        loaded = perf.load_history(str(path))
+        assert [r.metric for r in loaded] == ["a", "b"]
+        assert loaded[0] == first[0]
+
+    def test_load_history_missing_file(self, tmp_path):
+        assert perf.load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_baseline_write_and_load(self, tmp_path):
+        path = tmp_path / "base.json"
+        records = [_rec("a", [1.0, 1.1]), _rec("b", [2.0])]
+        perf.write_baseline(str(path), records)
+        loaded = perf.load_baseline(str(path))
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"] == records[0]
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+
+    def test_write_summary_shape(self, tmp_path):
+        path = tmp_path / "summary.json"
+        base = {"m": _rec("m", [1.0, 1.01, 1.02])}
+        cur = [_rec("m", [2.0, 2.01, 2.02]), _rec("extra", [3.0])]
+        cmps = perf.compare_records(cur, base)
+        perf.write_summary(str(path), cur, cmps, env={"git_sha": "x"})
+        data = json.loads(path.read_text())
+        assert data["env"] == {"git_sha": "x"}
+        m = data["metrics"]["m"]
+        assert m["status"] == "regression"
+        assert m["baseline"] == 1.0
+        assert m["delta_pct"] == pytest.approx(100.0)
+        assert data["metrics"]["extra"]["status"] == "new"
+
+
+def _toy_kernel(name="toy.sleep", seconds=0.0):
+    import time
+
+    def setup(smoke):
+        def run():
+            if seconds:
+                time.sleep(seconds)
+            return {"ops": 10.0}
+        return run
+
+    return bench.Kernel(
+        name=name,
+        description="test kernel",
+        setup=setup,
+        extra={"ops": bench.MetricMeta(unit="ops", direction="info")},
+    )
+
+
+class TestBenchDriver:
+    def test_injection_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INJECT", "exact.pentium=0.25")
+        assert bench.parse_injection() == ("exact.pentium", 0.25)
+        monkeypatch.delenv("REPRO_BENCH_INJECT")
+        assert bench.parse_injection() is None
+        with pytest.raises(ValueError):
+            bench.parse_injection("exact.pentium")
+
+    def test_select_kernels_substring_and_unknown(self):
+        names = [k.name for k in bench.select_kernels(["exact"])]
+        assert names and all("exact" in n for n in names)
+        with pytest.raises(ValueError):
+            bench.select_kernels(["no-such-kernel"])
+
+    def test_curated_suite_metric_metadata(self):
+        names = [k.name for k in bench.KERNELS]
+        assert len(names) == len(set(names))
+        for kernel in bench.KERNELS:
+            metrics = kernel.metrics()
+            assert metrics
+            assert all(m.startswith(kernel.name + ".") for m in metrics)
+            if kernel.seconds is not None:
+                assert kernel.seconds.direction in ("lower", "higher", "info")
+            for meta in kernel.extra.values():
+                assert meta.direction in ("lower", "higher", "info")
+
+    def test_run_suite_records_have_env_and_repeats(self):
+        records, skipped = bench.run_suite(
+            repeats=2, smoke=True, kernels=[_toy_kernel()]
+        )
+        assert skipped == []
+        by_metric = {r.metric: r for r in records}
+        assert set(by_metric) == {"toy.sleep.seconds", "toy.sleep.ops"}
+        sec = by_metric["toy.sleep.seconds"]
+        assert sec.repeats == 2 and len(sec.values) == 2
+        assert sec.direction == "lower"
+        assert "git_sha" in sec.env
+        assert by_metric["toy.sleep.ops"].value == 10.0
+
+    def test_unavailable_kernel_is_skipped_not_fatal(self):
+        def setup(smoke):
+            raise bench.KernelUnavailable("no numpy here")
+
+        kernel = bench.Kernel(
+            name="toy.gone", description="always skips", setup=setup
+        )
+        records, skipped = bench.run_suite(
+            repeats=2, smoke=True, kernels=[kernel]
+        )
+        assert records == []
+        assert skipped == [("toy.gone", "no numpy here")]
+
+    def test_injected_slowdown_trips_regression_end_to_end(self):
+        """The acceptance scenario at unit scale: clean run passes
+        against its own baseline, injected run fails."""
+        kernels = [_toy_kernel()]
+        baseline, _ = bench.run_suite(
+            repeats=3, smoke=True, kernels=kernels
+        )
+        base_map = {r.metric: r for r in baseline}
+
+        clean, _ = bench.run_suite(repeats=3, smoke=True, kernels=kernels)
+        clean_cmp = perf.compare_records(clean, base_map)
+        assert perf.regressions(clean_cmp) == []
+
+        slow, _ = bench.run_suite(
+            repeats=3, smoke=True, kernels=kernels,
+            inject=("toy", 0.05),
+        )
+        slow_cmp = perf.compare_records(slow, base_map)
+        regs = perf.regressions(slow_cmp)
+        assert [c.metric for c in regs] == ["toy.sleep.seconds"]
+        assert regs[0].p_value is not None and regs[0].p_value <= 0.05
+
+    def test_injection_only_hits_matching_kernels(self):
+        kernels = [_toy_kernel("toy.a"), _toy_kernel("toy.b")]
+        records, _ = bench.run_suite(
+            repeats=2, smoke=True, kernels=kernels,
+            inject=("toy.a", 0.05),
+        )
+        by_metric = {r.metric: r for r in records}
+        assert by_metric["toy.a.seconds"].value >= 0.05
+        assert by_metric["toy.b.seconds"].value < 0.05
