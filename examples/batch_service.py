@@ -2,7 +2,11 @@
 """The batch-scheduling service through the stable ``repro.api`` facade.
 
 Everything here imports from ``repro.api`` -- the supported public
-surface -- rather than deep module paths.  The walk-through:
+surface -- and speaks its request/response vocabulary: every entry
+point takes one validated request object (``ScheduleRequest`` /
+``BatchRequest``) and returns the uniform ``ScheduleResponse``
+envelope, the same objects the CLI and the ``repro serve`` network
+tier use.  The walk-through:
 
 1. compile a machine to its low-level (LMDES) form with one call;
 2. schedule a workload in-process (`api.schedule`);
@@ -24,9 +28,9 @@ MACHINE = "SuperSPARC"
 
 def main():
     machine = api.get_machine(MACHINE)
-    blocks = api.generate_blocks(
+    blocks = tuple(api.generate_blocks(
         machine, api.WorkloadConfig(total_ops=400, seed=7)
-    )
+    ))
 
     # 1. The paper's two-tier flow in one call: HMDES -> transforms ->
     #    compiled low-level representation.
@@ -34,10 +38,13 @@ def main():
     print(f"{MACHINE}: compiled LMDES with "
           f"{len(compiled.constraints)} opclass constraints")
 
-    # 2. One in-process run (the single-request path).
-    run = api.schedule(MACHINE, blocks, backend="bitvector")
-    print(f"serial: {run.total_ops} ops in {run.total_cycles} cycles, "
-          f"{run.stats.attempts} attempts")
+    # 2. One in-process run (the single-request path).  The response
+    #    is the same JSON-ready envelope the server returns.
+    serial = api.schedule(api.ScheduleRequest(
+        machine=MACHINE, blocks=blocks, backend="bitvector",
+    ))
+    print(f"serial: {serial.ops} ops in {serial.cycles} cycles, "
+          f"{serial.attempts} attempts (request {serial.request_id})")
 
     with tempfile.TemporaryDirectory() as cache_dir:
         config = api.BatchConfig(
@@ -49,12 +56,15 @@ def main():
             timeout=api.TimeoutPolicy(chunk_seconds=30.0),
             on_error="report",
         )
+        request = api.BatchRequest(
+            machine=MACHINE, blocks=blocks, config=config,
+        )
 
         # 3. The service path: chunked, pooled, disk-cached.
-        clean = api.schedule_batch(MACHINE, blocks, config)
-        print(f"batch:  {clean.total_ops} ops across "
-              f"{clean.chunk_count} chunks, "
-              f"{clean.cache_stats.disk_stores} artifact(s) published")
+        clean = api.schedule_batch(request)
+        print(f"batch:  {clean.ops} ops across "
+              f"{clean.result.chunk_count} chunks, "
+              f"{clean.cache['disk_stores']} artifact(s) published")
         for failure in clean.errors:  # typed quarantine records
             print(f"  quarantined block {failure.block_index}: "
                   f"{failure.error_type}")
@@ -63,17 +73,20 @@ def main():
         #    transient scheduling error, chunk 1's worker crashes.
         #    (Equivalent to REPRO_FAULTS="sched@0;crash@1" in the env.)
         with faults.injected(faults.parse_faults("sched@0;crash@1")):
-            recovered = api.schedule_batch(MACHINE, blocks, config)
-        print(f"faulted: {recovered.retries} retry(ies), "
-              f"{recovered.pool_restarts} pool restart(s), "
-              f"{recovered.quarantined} quarantined")
+            recovered = api.schedule_batch(request)
+        print(f"faulted: {recovered.resilience['retries']} retry(ies), "
+              f"{recovered.resilience['pool_restarts']} pool restart(s), "
+              f"{recovered.resilience['quarantined']} quarantined")
 
         identical = (
             recovered.signature() == clean.signature()
-            and recovered.stats == clean.stats
+            and recovered.cycles == clean.cycles
         )
         print(f"recovered output identical to clean run: {identical}")
         assert identical
+
+        # The batch envelope matches the serial one bit-for-bit.
+        assert clean.signature() == serial.signature()
 
 
 if __name__ == "__main__":

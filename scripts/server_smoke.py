@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Boot ``repro serve`` on a real socket and prove the service claims.
+
+The in-process suite (``tests/test_server.py``) covers the app; this
+script covers the deployment story end to end with nothing but the
+standard library on the client side:
+
+1. start ``python -m repro.cli serve`` with a prewarmed cache;
+2. wait for ``/healthz``;
+3. fire concurrent mixed-machine clients (plain ``urllib`` threads)
+   and check every response is bit-identical to a one-shot
+   ``repro.api.schedule`` run of the same request;
+4. assert the run recovered from nothing (zero resilience events) and
+   shed nothing;
+5. save ``/metrics`` as a CI artifact;
+6. SIGTERM the server and assert a clean, graceful exit.
+
+Run:  PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+MACHINES = ("PA7100", "Pentium", "SuperSPARC", "K5")
+REQUESTS = 48
+CLIENTS = 8
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def http(method: str, url: str, body=None, timeout: float = 30.0):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"content-type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def wait_healthy(base: str, deadline: float = 30.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            status, _ = http("GET", f"{base}/healthz", timeout=2.0)
+            if status == 200:
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit("server never became healthy")
+
+
+def request_bodies():
+    bodies = []
+    for index in range(REQUESTS):
+        machine = MACHINES[index % len(MACHINES)]
+        ops = 40 + 10 * (index % 3)
+        seed = 200 + index % 4
+        bodies.append((machine, ops, seed, {
+            "machine": machine,
+            "workload": {"total_ops": ops, "seed": seed},
+            "client": f"smoke-{index % CLIENTS}",
+        }))
+    return bodies
+
+
+def serial_references(bodies):
+    from repro import api
+
+    references = {}
+    for machine, ops, seed, _ in bodies:
+        key = (machine, ops, seed)
+        if key not in references:
+            response = api.schedule(api.ScheduleRequest(
+                machine=machine,
+                workload=api.WorkloadConfig(total_ops=ops, seed=seed),
+            ))
+            references[key] = response.to_dict()
+    return references
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics-out", default="server_metrics.txt")
+    args = parser.parse_args()
+
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", str(port), "--prewarm", "all",
+            "--max-inflight", "128", "--per-client", "32",
+        ],
+        env=env, cwd=REPO_ROOT,
+    )
+    try:
+        wait_healthy(base)
+        bodies = request_bodies()
+        print(f"server up on {base}; computing "
+              f"{len(set((m, o, s) for m, o, s, _ in bodies))} serial "
+              "reference runs")
+        references = serial_references(bodies)
+
+        results = [None] * len(bodies)
+
+        def fire(index, body):
+            status, raw = http("POST", f"{base}/v1/schedule", body)
+            results[index] = (status, json.loads(raw))
+
+        threads = [
+            threading.Thread(target=fire, args=(index, body))
+            for index, (_, _, _, body) in enumerate(bodies)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+
+        mismatches = 0
+        for (machine, ops, seed, _), outcome in zip(bodies, results):
+            status, payload = outcome
+            assert status == 200, (status, payload)
+            expected = references[(machine, ops, seed)]
+            if (payload["cycles"] != expected["cycles"]
+                    or payload["schedules"] != expected["schedules"]):
+                mismatches += 1
+                print(f"MISMATCH {machine} ops={ops} seed={seed}")
+        assert mismatches == 0, f"{mismatches} responses diverged"
+        print(f"{len(bodies)} concurrent requests bit-identical to "
+              f"serial runs in {elapsed:.2f}s")
+
+        _, raw = http("GET", f"{base}/healthz")
+        health = json.loads(raw)
+        resilience = health["resilience"]
+        assert all(v == 0 for v in resilience.values()), resilience
+        assert health["admission"]["rejected_total"] == 0, \
+            health["admission"]
+        assert health["cache"]["memory_misses"] \
+            == 2 * len(MACHINES), health["cache"]
+        print(f"healthz clean: resilience={resilience}, "
+              f"cache={health['cache']}")
+
+        _, metrics = http("GET", f"{base}/metrics")
+        with open(args.metrics_out, "wb") as handle:
+            handle.write(metrics)
+        assert b"repro_server_requests_total" in metrics
+        print(f"metrics saved to {args.metrics_out} "
+              f"({len(metrics)} bytes)")
+
+        server.send_signal(signal.SIGTERM)
+        exit_code = server.wait(timeout=30)
+        assert exit_code == 0, f"server exited {exit_code}"
+        print("graceful drain: server exited 0 on SIGTERM")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,19 @@ def deprecated_reexport(module: str, name: str, canonical: str, value):
     return value
 
 
+def deprecated_call(module: str, name: str, message: str) -> None:
+    """Warn once per (module, name) about a deprecated calling style.
+
+    The sibling of :func:`deprecated_reexport` for signatures rather
+    than import paths: an old kwarg convention keeps working, warns the
+    first time a process uses it, and stays quiet after that.
+    """
+    key = (module, name)
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(message, DeprecationWarning, stacklevel=4)
+
+
 def reset_deprecation_warnings() -> None:
     """Forget which shims have warned (test scaffolding)."""
     _WARNED.clear()

@@ -13,36 +13,59 @@ your problem::
     machine = api.get_machine("SuperSPARC")
     compiled = api.compile_machine(machine)          # paper's LMDES form
     engine = api.get_engine("bitvector", machine)    # any backend
-    run = api.schedule(machine, blocks)              # one workload
-    result = api.schedule_batch(                     # the service path
-        "SuperSPARC", blocks,
-        api.BatchConfig(workers=4, retry=api.RetryPolicy(retries=2),
-                        on_error="report"),
+
+    response = api.schedule(                         # one workload
+        api.ScheduleRequest(machine="SuperSPARC", blocks=blocks)
     )
-    for failure in result.errors:                    # typed quarantine
+    response = api.schedule_batch(                   # the service path
+        api.BatchRequest(
+            machine="SuperSPARC", blocks=blocks,
+            config=api.BatchConfig(
+                workers=4, retry=api.RetryPolicy(retries=2),
+                on_error="report",
+            ),
+        )
+    )
+    for failure in response.errors:                  # typed quarantine
         print(failure.block_index, failure.error_type)
-    report = api.verify_schedule(machine, run)       # independent oracle
+    report = api.verify_schedule(machine, response.schedules)
     assert report.ok, report.diagnostics
+
+Every entry point takes one validated request object
+(:class:`ScheduleRequest` / :class:`BatchRequest`) and returns the
+uniform :class:`ScheduleResponse` envelope -- the same vocabulary the
+CLI and the network tier (:mod:`repro.server`) speak.  The pre-redesign
+kwarg signatures (``schedule(machine, blocks, backend=...)``) still
+work but warn once per process with a :class:`DeprecationWarning` and
+return the bare underlying result objects.
 
 The error taxonomy is part of the surface: every exception the library
 raises derives from :class:`ReproError`, service-layer failures from
-:class:`ServiceError`.
+:class:`ServiceError`, malformed requests raise :class:`RequestError`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence, Union
 
+from repro._compat import deprecated_call
 from repro.engine.cache import DescriptionCache
 from repro.engine.registry import create_engine, engine_names, get_engine_spec
 from repro.errors import (
+    BackpressureError,
     CacheCorruptionError,
     ChunkTimeoutError,
+    DeadlineExceededError,
     HmdesError,
     MdesError,
+    QueueFullError,
+    QuotaExceededError,
     ReproError,
+    RequestError,
     SchedulingError,
     ServiceError,
+    ShuttingDownError,
     VerificationError,
     WorkerCrashError,
 )
@@ -66,12 +89,16 @@ from repro.scheduler import BlockSchedule, RunResult, schedule_workload
 from repro.service import (
     DEFAULT_BACKEND,
     BatchConfig,
+    BatchRequest,
     BatchResult,
+    BatchSubmitter,
     BlockFailure,
     RetryPolicy,
+    ScheduleRequest,
+    ScheduleResponse,
     TimeoutPolicy,
-    schedule_batch,
 )
+from repro.service import schedule_batch as _service_schedule_batch
 from repro.obs.bench import run_suite as run_bench_suite
 from repro.obs.perf import (
     BenchRecord,
@@ -134,60 +161,209 @@ def get_engine(
     )
 
 
-def schedule(
-    machine: Union[str, object],
-    blocks: Sequence[BasicBlock],
-    backend: str = DEFAULT_BACKEND,
-    stage: int = FINAL_STAGE,
-    direction: str = "forward",
-    keep_schedules: bool = True,
-) -> Union[RunResult, ExactRunResult]:
-    """Schedule one workload in-process and return the run statistics.
-
-    The single-request counterpart of :func:`schedule_batch`: one
-    engine, one pass over ``blocks``, the paper's ``CheckStats``
-    attached to the result.  Backends registered with
-    ``scheduler="exact"`` dispatch to :func:`schedule_exact` and return
-    an :class:`ExactRunResult` (forward direction only).
-    """
-    machine = _resolve_machine(machine)
-    if get_engine_spec(backend).scheduler == "exact":
-        if direction != "forward":
-            raise ValueError(
-                "exact backends schedule forward only; "
-                f"direction {direction!r} is not supported"
-            )
-        return schedule_exact(machine, blocks, backend=backend, stage=stage)
-    engine = create_engine(backend, machine, stage=stage)
+def _run_list_request(
+    request: ScheduleRequest,
+    cache: Optional[DescriptionCache] = None,
+) -> RunResult:
+    """Execute a validated list-scheduler request (no envelope)."""
+    machine = request.resolve_machine()
+    engine = create_engine(
+        request.backend_name, machine, stage=request.stage, cache=cache
+    )
     return schedule_workload(
-        machine, None, blocks,
-        keep_schedules=keep_schedules, direction=direction, engine=engine,
+        machine, None, request.resolve_blocks(),
+        keep_schedules=request.keep_schedules,
+        direction=request.direction, engine=engine,
+    )
+
+
+def _run_exact_request(
+    request: ScheduleRequest,
+    budget: Optional[ExactBudget] = None,
+    max_block_ops: Optional[int] = None,
+    cache: Optional[DescriptionCache] = None,
+) -> ExactRunResult:
+    """Execute a validated exact-scheduler request (no envelope)."""
+    machine = request.resolve_machine()
+    spec = get_engine_spec(request.backend_name)
+    if spec.scheduler != "exact":
+        raise RequestError(
+            f"backend {request.backend_name!r} is not an exact scheduler"
+        )
+    engine = create_engine(
+        request.backend_name, machine, stage=request.stage, cache=cache
+    )
+    return schedule_workload_exact(
+        machine, request.resolve_blocks(), engine=engine,
+        budget=budget, max_block_ops=max_block_ops,
+    )
+
+
+def _maybe_verify(request: ScheduleRequest, schedules):
+    """Run the oracle over a response's schedules when asked to."""
+    if not request.verify:
+        return None
+    return verify_schedule(
+        request.resolve_machine(), list(schedules),
+        direction=request.direction,
+    )
+
+
+def schedule(
+    request: Union[ScheduleRequest, str, object],
+    blocks: Optional[Sequence[BasicBlock]] = None,
+    *,
+    cache: Optional[DescriptionCache] = None,
+    backend: Optional[str] = None,
+    stage: Optional[int] = None,
+    direction: Optional[str] = None,
+    keep_schedules: Optional[bool] = None,
+) -> Union[ScheduleResponse, RunResult, ExactRunResult]:
+    """Schedule one workload in-process.
+
+    The canonical form takes a :class:`ScheduleRequest` and returns the
+    :class:`ScheduleResponse` envelope; backends registered with
+    ``scheduler="exact"`` dispatch to the branch-and-bound exact
+    scheduler behind the same surface.  The pre-redesign signature
+    (``schedule(machine, blocks, backend=..., ...)``) still works,
+    warns once per process, and returns the bare
+    :class:`RunResult` / :class:`ExactRunResult`.
+    """
+    if not isinstance(request, ScheduleRequest):
+        deprecated_call(
+            "repro.api", "schedule",
+            "schedule(machine, blocks, ...) is deprecated; pass a "
+            "repro.api.ScheduleRequest instead",
+        )
+        legacy = ScheduleRequest(
+            machine=request,
+            blocks=tuple(blocks or ()),
+            backend=backend,
+            stage=FINAL_STAGE if stage is None else stage,
+            direction=direction or "forward",
+            keep_schedules=(
+                True if keep_schedules is None else keep_schedules
+            ),
+        ).validate()
+        if legacy.is_exact:
+            return _run_exact_request(legacy, cache=cache)
+        return _run_list_request(legacy, cache=cache)
+    if blocks is not None or backend is not None or stage is not None \
+            or direction is not None or keep_schedules is not None:
+        raise TypeError(
+            "schedule(ScheduleRequest) takes no separate "
+            "blocks/backend/stage arguments"
+        )
+    request = request.validate().with_request_id()
+    started = time.perf_counter()
+    if request.is_exact:
+        run = _run_exact_request(request, cache=cache)
+        report = _maybe_verify(request, run.schedules)
+        return ScheduleResponse.from_exact(
+            request, run, wall_seconds=time.perf_counter() - started,
+            verify_report=report,
+        )
+    run = _run_list_request(request, cache=cache)
+    report = _maybe_verify(request, run.schedules or ())
+    return ScheduleResponse.from_run(
+        request, run, wall_seconds=time.perf_counter() - started,
+        verify_report=report,
     )
 
 
 def schedule_exact(
-    machine: Union[str, object],
-    blocks: Sequence[BasicBlock],
-    backend: str = "exact",
-    stage: int = FINAL_STAGE,
+    request: Union[ScheduleRequest, str, object],
+    blocks: Optional[Sequence[BasicBlock]] = None,
+    backend: Optional[str] = None,
+    stage: Optional[int] = None,
     budget: Optional[ExactBudget] = None,
     max_block_ops: Optional[int] = None,
-) -> ExactRunResult:
+    *,
+    cache: Optional[DescriptionCache] = None,
+) -> Union[ScheduleResponse, ExactRunResult]:
     """Schedule one workload with the branch-and-bound exact scheduler.
 
-    Returns an :class:`ExactRunResult` whose per-block entries carry
-    the proven-optimal flag, the lower bound, the heuristic seed
-    length, and the search-effort counters -- the data behind the
-    optimality-gap benchmark (``benchmarks/bench_optimality.py``).
+    The canonical form takes a :class:`ScheduleRequest` (its backend
+    must be registered with ``scheduler="exact"``; the default
+    ``None`` resolves to ``"exact"`` here) and returns a
+    :class:`ScheduleResponse` whose ``exact`` block carries the
+    proven-optimality counters behind the optimality-gap benchmark
+    (``benchmarks/bench_optimality.py``).  The pre-redesign signature
+    (``schedule_exact(machine, blocks, ...)``) warns once and returns
+    the bare :class:`ExactRunResult`.
     """
-    machine = _resolve_machine(machine)
-    spec = get_engine_spec(backend)
-    if spec.scheduler != "exact":
-        raise ValueError(f"backend {backend!r} is not an exact scheduler")
-    engine = create_engine(backend, machine, stage=stage)
-    return schedule_workload_exact(
-        machine, blocks, engine=engine,
-        budget=budget, max_block_ops=max_block_ops,
+    if not isinstance(request, ScheduleRequest):
+        deprecated_call(
+            "repro.api", "schedule_exact",
+            "schedule_exact(machine, blocks, ...) is deprecated; pass "
+            "a repro.api.ScheduleRequest instead",
+        )
+        legacy = ScheduleRequest(
+            machine=request,
+            blocks=tuple(blocks or ()),
+            backend=backend or "exact",
+            stage=FINAL_STAGE if stage is None else stage,
+        ).validate()
+        return _run_exact_request(
+            legacy, budget=budget, max_block_ops=max_block_ops, cache=cache
+        )
+    if blocks is not None or backend is not None or stage is not None:
+        raise TypeError(
+            "schedule_exact(ScheduleRequest) takes no separate "
+            "blocks/backend/stage arguments"
+        )
+    if request.backend is None:
+        from dataclasses import replace
+
+        request = replace(request, backend="exact")
+    request = request.validate().with_request_id()
+    started = time.perf_counter()
+    run = _run_exact_request(
+        request, budget=budget, max_block_ops=max_block_ops, cache=cache
+    )
+    report = _maybe_verify(request, run.schedules)
+    return ScheduleResponse.from_exact(
+        request, run, wall_seconds=time.perf_counter() - started,
+        verify_report=report,
+    )
+
+
+def schedule_batch(
+    request: Union[BatchRequest, str, object],
+    blocks: Optional[Sequence[BasicBlock]] = None,
+    config: Optional[BatchConfig] = None,
+    *,
+    cache: Optional[DescriptionCache] = None,
+) -> Union[ScheduleResponse, BatchResult]:
+    """Schedule a workload through the fault-tolerant batch service.
+
+    The canonical form takes a :class:`BatchRequest` and returns the
+    :class:`ScheduleResponse` envelope (resilience and cache summaries
+    included).  The pre-redesign signature
+    (``schedule_batch(machine, blocks, config)``) warns once and
+    returns the bare :class:`BatchResult`; the service-layer entry
+    point :func:`repro.service.schedule_batch` keeps that convention
+    without any warning.
+    """
+    if not isinstance(request, BatchRequest):
+        deprecated_call(
+            "repro.api", "schedule_batch",
+            "schedule_batch(machine, blocks, config) is deprecated; "
+            "pass a repro.api.BatchRequest instead",
+        )
+        return _service_schedule_batch(
+            request, list(blocks or ()), config, cache=cache
+        )
+    if blocks is not None or config is not None:
+        raise TypeError(
+            "schedule_batch(BatchRequest) takes no separate "
+            "blocks/config arguments"
+        )
+    request = request.validate().with_request_id()
+    started = time.perf_counter()
+    result = _service_schedule_batch(request, cache=cache)
+    return ScheduleResponse.from_batch(
+        request, result, wall_seconds=time.perf_counter() - started,
     )
 
 
@@ -214,9 +390,14 @@ __all__ = [
     "engine_names",
     "numpy_available",
     "packing_eligible",
+    # Request/response vocabulary
+    "BatchRequest",
+    "ScheduleRequest",
+    "ScheduleResponse",
     # Service types
     "BatchConfig",
     "BatchResult",
+    "BatchSubmitter",
     "BlockFailure",
     "RetryPolicy",
     "TimeoutPolicy",
@@ -247,9 +428,15 @@ __all__ = [
     "ReproError",
     "MdesError",
     "HmdesError",
+    "RequestError",
     "SchedulingError",
     "ServiceError",
     "ChunkTimeoutError",
     "WorkerCrashError",
     "CacheCorruptionError",
+    "BackpressureError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "DeadlineExceededError",
+    "ShuttingDownError",
 ]

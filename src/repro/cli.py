@@ -22,6 +22,12 @@ Commands:
   [--on-error raise|report] [options]`` -- shard a workload across a
   process pool with a persistent on-disk description cache, retrying
   recoverable faults and quarantining poisoned blocks.
+* ``serve [--host H] [--port P] [--cache-dir DIR] [--prewarm NAME]
+  [--max-inflight N] [--per-client N] [--deadline S]`` -- run the
+  long-running scheduling service: POST workloads to
+  ``/v1/schedule``, every request served out of one warm description
+  cache, with ``/metrics`` and ``/healthz`` wired to the obs and
+  resilience layers.
 * ``verify [--machine NAME] [--backend NAME] [options]`` -- schedule a
   seeded workload and replay it through the independent oracle; with
   ``--golden DIR`` check (or ``--regen`` regenerate) the golden
@@ -313,17 +319,19 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             )
     with obs.span("cli:schedule", machine=machine.name) as sp:
         if args.backend:
-            from repro.engine import create_engine
+            from repro import api
+            from repro.errors import RequestError
 
             try:
-                engine = create_engine(
-                    args.backend, machine, stage=args.stage
-                )
-            except MdesError as exc:
+                response = api.schedule(api.ScheduleRequest(
+                    machine=machine, blocks=tuple(blocks),
+                    backend=args.backend, stage=args.stage,
+                ))
+            except (MdesError, RequestError) as exc:
                 print(f"schedule --backend {args.backend}: {exc}",
                       file=sys.stderr)
                 return 2
-            result = schedule_workload(machine, None, blocks, engine=engine)
+            result = response.result
             configuration = f"backend {args.backend}"
         else:
             if args.lmdes:
@@ -383,17 +391,19 @@ def _run_exact_cmd(
     """Shared body of ``exact`` and ``schedule --backend exact``."""
     import json
 
-    from repro import obs
-    from repro.api import schedule_exact
+    from repro import api, obs
 
     if as_json:
         obs.enable()
         obs.reset()
     with obs.span("cli:exact", machine=machine.name) as sp:
-        run = schedule_exact(
-            machine, blocks, backend=backend, stage=stage,
+        run = api.schedule_exact(
+            api.ScheduleRequest(
+                machine=machine, blocks=tuple(blocks),
+                backend=backend, stage=stage,
+            ),
             budget=budget, max_block_ops=max_block_ops,
-        )
+        ).result
     per_block = [
         {
             "ops": len(result.schedule.block),
@@ -499,14 +509,9 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
     import json
     import time
 
-    from repro import obs
-    from repro.errors import MdesError, ServiceError
-    from repro.service import (
-        BatchConfig,
-        RetryPolicy,
-        TimeoutPolicy,
-        schedule_batch,
-    )
+    from repro import api, obs
+    from repro.errors import MdesError, RequestError, ServiceError
+    from repro.service import BatchConfig, RetryPolicy, TimeoutPolicy
 
     if args.backend and args.lmdes:
         print(
@@ -538,7 +543,9 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     with obs.span("cli:schedule-batch", machine=machine.name) as sp:
         try:
-            result = schedule_batch(machine, blocks, config)
+            result = api.schedule_batch(api.BatchRequest(
+                machine=machine, blocks=tuple(blocks), config=config,
+            )).result
         except ServiceError as exc:
             print(f"schedule-batch: {exc}", file=sys.stderr)
             for failure in exc.failures:
@@ -550,7 +557,7 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             return 3
-        except (MdesError, ValueError, OSError) as exc:
+        except (MdesError, RequestError, ValueError, OSError) as exc:
             print(f"schedule-batch: {exc}", file=sys.stderr)
             return 2
     elapsed = sp.seconds if obs.enabled() else time.perf_counter() - started
@@ -674,7 +681,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             from repro.engine import create_engine, get_engine_spec
 
             if get_engine_spec(backend).scheduler == "exact":
-                from repro.api import schedule_exact
+                from repro import api
 
                 if args.direction != "forward":
                     print(
@@ -682,9 +689,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
                     return 2
-                run = schedule_exact(
-                    machine, blocks, backend=backend, stage=args.stage
-                )
+                run = api.schedule_exact(api.ScheduleRequest(
+                    machine=machine, blocks=tuple(blocks),
+                    backend=backend, stage=args.stage,
+                )).result
             else:
                 engine = create_engine(backend, machine, stage=args.stage)
                 run = schedule_workload(
@@ -714,6 +722,43 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(results, indent=2))
     return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import QueuePolicy, ServerConfig, create_app
+    from repro.server.http import serve
+
+    prewarm_names = list(args.prewarm or ())
+    if "all" in prewarm_names:
+        prewarm_names = list(MACHINE_NAMES)
+    for name in prewarm_names:
+        if name not in ALL_MACHINE_NAMES:
+            print(f"serve --prewarm: unknown machine {name!r}",
+                  file=sys.stderr)
+            return 2
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        queue=QueuePolicy(
+            max_inflight=args.max_inflight,
+            per_client_inflight=args.per_client,
+        ),
+        window_seconds=args.window_ms / 1000.0,
+        submit_threads=args.submit_threads,
+        prewarm=tuple(
+            (name, args.prewarm_backend) for name in prewarm_names
+        ),
+        default_deadline_seconds=args.deadline,
+        drain_seconds=args.drain,
+    )
+    print(f"repro serve: http://{args.host}:{args.port} "
+          f"(workers={args.workers}, max_inflight={args.max_inflight}, "
+          f"prewarm={prewarm_names or 'none'})")
+    serve(create_app(config), host=args.host, port=args.port)
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -1181,6 +1226,60 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the long-running scheduling service: POST workloads, "
+            "get schedules out of one warm description cache"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8181)
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persistent description-cache directory shared by all "
+             "requests",
+    )
+    serve.add_argument("--workers", type=int, default=1,
+                       help="batch-pool size for /v1/schedule/batch runs")
+    serve.add_argument("--chunk-size", type=int, default=32,
+                       help="blocks per dispatched batch task")
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admitted requests across all clients before 429",
+    )
+    serve.add_argument(
+        "--per-client", type=int, default=8,
+        help="admitted requests per client id before 429",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=4.0,
+        help="micro-batch window: requests arriving within it share "
+             "one batch run",
+    )
+    serve.add_argument(
+        "--submit-threads", type=int, default=4,
+        help="executor threads driving batch runs",
+    )
+    serve.add_argument(
+        "--prewarm", action="append", default=None, metavar="MACHINE",
+        help="compile MACHINE's description at startup (repeatable; "
+             "'all' prewarm every built-in machine)",
+    )
+    serve.add_argument(
+        "--prewarm-backend", default="bitvector",
+        choices=engine_names(),
+        help="backend to prewarm (default: bitvector)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline when the client sets none",
+    )
+    serve.add_argument(
+        "--drain", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight requests",
+    )
+
     verify = commands.add_parser(
         "verify",
         help=(
@@ -1365,6 +1464,7 @@ _HANDLERS = {
     "schedule": _cmd_schedule,
     "exact": _cmd_exact,
     "schedule-batch": _cmd_schedule_batch,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "fuzz": _cmd_fuzz,
     "stats": _cmd_stats,

@@ -1,12 +1,38 @@
-"""Exception hierarchy for the MDES reproduction library."""
+"""Exception hierarchy for the MDES reproduction library.
+
+Every exception carries an ``http_status`` so the network tier
+(:mod:`repro.server`) can map failures onto responses without a
+type-by-type table: client mistakes (bad requests, unknown machines)
+are 4xx, capacity shedding is 429, expired deadlines are 504, and
+anything else is a 500.  Library code never inspects the attribute --
+it exists purely so the error taxonomy *is* the HTTP contract.
+"""
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: HTTP status the server tier maps this failure onto.
+    http_status = 500
+
 
 class MdesError(ReproError):
     """An inconsistency in a machine description."""
+
+    # A broken description reaches the server only inside a request
+    # (bad stage/backend combination, malformed HMDES): client-side.
+    http_status = 400
+
+
+class RequestError(ReproError):
+    """A malformed or unsatisfiable scheduling request.
+
+    Raised by request validation (:mod:`repro.service.models`) and by
+    the server's wire-level decoding: unknown machines or backends,
+    out-of-range stages, bodies that do not parse.
+    """
+
+    http_status = 400
 
 
 class HmdesError(MdesError):
@@ -79,3 +105,43 @@ class VerificationError(ServiceError):
 
 class WorkerCrashError(ServiceError):
     """A pool worker died (or a crash was injected) mid-chunk."""
+
+
+class BackpressureError(ServiceError):
+    """The service shed this request instead of queueing it unboundedly.
+
+    Base class of the two load-shedding verdicts; carries the
+    ``retry_after`` hint (seconds) the server surfaces as the HTTP
+    ``Retry-After`` header.
+    """
+
+    http_status = 429
+
+    def __init__(self, message, retry_after=1.0, failures=()):
+        super().__init__(message, failures)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class QueueFullError(BackpressureError):
+    """The bounded request queue is at capacity; try again later."""
+
+
+class QuotaExceededError(BackpressureError):
+    """One client holds its full in-flight allowance already."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its schedule was produced."""
+
+    http_status = 504
+
+
+class ShuttingDownError(ServiceError):
+    """The service is draining and no longer admits new requests."""
+
+    http_status = 503
+
+
+def http_status_for(error: BaseException) -> int:
+    """The HTTP status a failure maps onto (500 for foreign types)."""
+    return int(getattr(error, "http_status", 500))

@@ -1,0 +1,267 @@
+"""The ASGI application: routing, error mapping, request telemetry.
+
+A deliberately small, dependency-free ASGI 3 implementation: the app is
+``async def __call__(scope, receive, send)`` and nothing more, so it
+runs identically under the in-process test client
+(:mod:`repro.server.testing`), the stdlib socket host
+(:mod:`repro.server.http`), or any external ASGI server a deployment
+already has.
+
+Error mapping is the error taxonomy itself: every exception carries an
+``http_status`` (:func:`repro.errors.http_status_for`), backpressure
+verdicts add a ``Retry-After`` header, and the JSON error body names
+the exception type so clients can switch on it without parsing
+messages.
+
+Each request emits one ``server:request`` span -- built as a plain
+span dict and grafted with :func:`repro.obs.attach` (never an active
+context-manager span: handler awaits interleave on the loop thread, so
+nesting through the tracer's thread-local stack would braid concurrent
+requests together).  The batch run's own captured spans hang beneath
+it, so a trace shows ``server:request -> service:batch -> ...`` per
+request.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro import obs
+from repro.errors import (
+    BackpressureError,
+    RequestError,
+    http_status_for,
+)
+from repro.server.lifecycle import ServerConfig, ServerState
+from repro.server.models import decode_batch_request, decode_schedule_request
+
+_JSON = [(b"content-type", b"application/json")]
+_TEXT = [(b"content-type", b"text/plain; version=0.0.4; charset=utf-8")]
+
+
+class App:
+    """The scheduling service as an ASGI 3 callable."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.state = ServerState(config)
+
+    # ------------------------------------------------------------------
+    # ASGI entry
+    # ------------------------------------------------------------------
+
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(f"unsupported scope type {scope['type']!r}")
+        await self._http(scope, receive, send)
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                try:
+                    await self.state.startup()
+                except Exception as exc:  # pragma: no cover - config bug
+                    await send({
+                        "type": "lifespan.startup.failed",
+                        "message": str(exc),
+                    })
+                    return
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await self.state.shutdown()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    # ------------------------------------------------------------------
+    # HTTP dispatch
+    # ------------------------------------------------------------------
+
+    async def _http(self, scope, receive, send) -> None:
+        method = scope["method"].upper()
+        path = scope["path"].rstrip("/") or "/"
+        started = time.perf_counter()
+        start_ts = time.time()
+        status, headers, body, attrs = await self._dispatch(
+            method, path, receive
+        )
+        seconds = time.perf_counter() - started
+        self._observe(method, path, status, seconds, start_ts, attrs)
+        await send({
+            "type": "http.response.start",
+            "status": status,
+            "headers": headers,
+        })
+        await send({"type": "http.response.body", "body": body})
+
+    async def _dispatch(
+        self, method: str, path: str, receive,
+    ) -> Tuple[int, list, bytes, Dict[str, Any]]:
+        """Route and execute; returns (status, headers, body, span attrs)."""
+        attrs: Dict[str, Any] = {}
+        try:
+            if path == "/healthz" and method == "GET":
+                payload = self.state.health()
+                status = 200 if payload["status"] == "ok" else 503
+                return status, list(_JSON), _dumps(payload), attrs
+            if path == "/metrics" and method == "GET":
+                text = obs.to_prometheus(obs.REGISTRY)
+                return 200, list(_TEXT), text.encode(), attrs
+            if path == "/v1/machines" and method == "GET":
+                return 200, list(_JSON), _dumps(self.state.machines()), attrs
+            if path == "/v1/engines" and method == "GET":
+                return 200, list(_JSON), _dumps(self.state.engines()), attrs
+            if path == "/v1/schedule" and method == "POST":
+                return await self._schedule(receive, attrs)
+            if path == "/v1/schedule/batch" and method == "POST":
+                return await self._schedule_batch(receive, attrs)
+            if path in (
+                "/healthz", "/metrics", "/v1/machines", "/v1/engines",
+                "/v1/schedule", "/v1/schedule/batch",
+            ):
+                return 405, list(_JSON), _dumps({
+                    "error": "MethodNotAllowed",
+                    "message": f"{method} is not supported on {path}",
+                }), attrs
+            return 404, list(_JSON), _dumps({
+                "error": "NotFound",
+                "message": f"no route for {path}",
+            }), attrs
+        except Exception as exc:
+            return self._error(exc, attrs)
+
+    async def _schedule(self, receive, attrs) -> Tuple[int, list, bytes, dict]:
+        request, include = decode_schedule_request(
+            await _read_json(receive)
+        )
+        attrs.update(
+            machine=request.machine_name, backend=request.backend_name,
+            client=request.client,
+        )
+        response = await self.state.handle_schedule(request)
+        attrs.update(request_id=response.request_id, blocks=response.blocks)
+        attrs["_spans"] = response.captured_spans
+        return 200, list(_JSON), _dumps(
+            response.to_dict(include_schedules=include)
+        ), attrs
+
+    async def _schedule_batch(
+        self, receive, attrs
+    ) -> Tuple[int, list, bytes, dict]:
+        request, include = decode_batch_request(
+            await _read_json(receive),
+            base_config=self.state.config.batch_defaults(),
+        )
+        attrs.update(
+            machine=request.machine_name, backend=request.backend_name,
+            client=request.client,
+        )
+        response = await self.state.handle_batch(request)
+        attrs.update(request_id=response.request_id, blocks=response.blocks)
+        attrs["_spans"] = response.captured_spans
+        return 200, list(_JSON), _dumps(
+            response.to_dict(include_schedules=include)
+        ), attrs
+
+    # ------------------------------------------------------------------
+    # Errors and telemetry
+    # ------------------------------------------------------------------
+
+    def _error(
+        self, exc: Exception, attrs: Dict[str, Any]
+    ) -> Tuple[int, list, bytes, Dict[str, Any]]:
+        status = http_status_for(exc)
+        headers = list(_JSON)
+        payload: Dict[str, Any] = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+        }
+        if isinstance(exc, BackpressureError):
+            retry_after = exc.retry_after
+            headers.append(
+                (b"retry-after", f"{retry_after:g}".encode())
+            )
+            payload["retry_after_seconds"] = retry_after
+        failures = getattr(exc, "failures", None)
+        if failures:
+            payload["failures"] = [f.to_dict() for f in failures]
+        self.state.errors_total += 1
+        attrs["error"] = type(exc).__name__
+        if status >= 500 and not isinstance(exc, RequestError):
+            obs.count(
+                "repro_server_failures_total",
+                help="Server responses with a 5xx status.",
+                error=type(exc).__name__,
+            )
+        return status, headers, _dumps(payload), attrs
+
+    def _observe(
+        self, method: str, path: str, status: int, seconds: float,
+        start_ts: float, attrs: Dict[str, Any],
+    ) -> None:
+        if not obs.enabled():
+            return
+        route = path if path.startswith("/v1") or path in (
+            "/healthz", "/metrics"
+        ) else "<other>"
+        obs.count(
+            "repro_server_requests_total",
+            help="HTTP requests served, by route and status.",
+            route=route, status=str(status),
+        )
+        obs.observe(
+            "repro_server_request_seconds", seconds,
+            help="Wall seconds per server request.",
+            route=route,
+        )
+        obs.set_gauge(
+            "repro_server_inflight", float(self.state.admission.inflight),
+            help="Requests currently admitted.",
+        )
+        if route in ("/v1/schedule", "/v1/schedule/batch"):
+            children = attrs.pop("_spans", [])
+            span = {
+                "name": "server:request",
+                "start": start_ts,
+                "seconds": seconds,
+                "attrs": dict(
+                    attrs, route=route, method=method, status=status
+                ),
+                "children": children,
+            }
+            obs.attach([span])
+
+
+def create_app(config: Optional[ServerConfig] = None) -> App:
+    """Build the service app (the ``repro serve`` entry point)."""
+    return App(config)
+
+
+def _dumps(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+async def _read_json(receive) -> Any:
+    """Drain the request body and parse it as JSON."""
+    chunks = []
+    while True:
+        message = await receive()
+        if message["type"] != "http.request":  # pragma: no cover
+            raise RequestError("unexpected ASGI message before body end")
+        chunks.append(message.get("body", b""))
+        if not message.get("more_body"):
+            break
+    raw = b"".join(chunks)
+    if not raw:
+        raise RequestError("request body is empty")
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise RequestError(f"request body is not valid JSON: {exc}") from None
+
+
+__all__ = ["App", "create_app"]

@@ -1,0 +1,212 @@
+"""A dependency-free HTTP/1.1 host for the ASGI app.
+
+``repro serve`` must run in environments with nothing but the standard
+library, so this module is a minimal asyncio-streams HTTP server that
+speaks just enough HTTP/1.1 to host :class:`repro.server.app.App`:
+one request per connection turn, ``Content-Length`` bodies (the only
+kind our clients send), no TLS, no websockets.  Deployments that
+already run an ASGI server (uvicorn, hypercorn) can point it at
+``repro.server.app:create_app()`` instead -- the app never knows the
+difference.
+
+``SIGTERM``/``SIGINT`` trigger the graceful-drain lifecycle: stop
+accepting, run the app's shutdown (flush batch windows, wait for
+in-flight work), then exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+from typing import Optional
+
+logger = logging.getLogger("repro.server.http")
+
+#: Largest request head (request line + headers) we will parse.
+_MAX_HEAD = 64 * 1024
+
+#: Largest request body we will buffer.
+_MAX_BODY = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+async def _read_request(reader: "asyncio.StreamReader"):
+    """Parse one request; returns (method, path, headers, body) or None."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    except asyncio.LimitOverrunError:
+        raise ValueError("request head too large")
+    if len(head) > _MAX_HEAD:
+        raise ValueError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    headers = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers.append((name.strip().lower(), value.strip()))
+    length = 0
+    for name, value in headers:
+        if name == "content-length":
+            try:
+                length = int(value)
+            except ValueError:
+                raise ValueError(f"bad Content-Length: {value!r}")
+    if length > _MAX_BODY:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path, _, query = target.partition("?")
+    return method, path, query.encode("latin-1"), headers, body
+
+
+def _write_response(writer, status: int, headers, body: bytes) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}\r\n".encode("latin-1")]
+    seen_length = False
+    for name, value in headers:
+        if name.lower() == b"content-length":
+            seen_length = True
+        head.append(name + b": " + value + b"\r\n")
+    if not seen_length:
+        head.append(f"content-length: {len(body)}\r\n".encode("latin-1"))
+    head.append(b"connection: keep-alive\r\n\r\n")
+    writer.write(b"".join(head) + body)
+
+
+class Server:
+    """The app bound to a socket, with lifespan + signal handling."""
+
+    def __init__(self, app, host: str, port: int) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._stop = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await _read_request(reader)
+                except ValueError as exc:
+                    _write_response(
+                        writer, 400, [],
+                        f'{{"error": "BadRequest", "message": "{exc}"}}'
+                        .encode(),
+                    )
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, path, query, headers, body = parsed
+                await self._respond(
+                    writer, method, path, query, headers, body
+                )
+                await writer.drain()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+
+    async def _respond(
+        self, writer, method, path, query, headers, body
+    ) -> None:
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query,
+            "headers": [
+                (name.encode("latin-1"), value.encode("latin-1"))
+                for name, value in headers
+            ],
+        }
+        body_sent = {"done": False}
+
+        async def _receive():
+            if body_sent["done"]:
+                return {"type": "http.disconnect"}
+            body_sent["done"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        state = {"status": 500, "headers": [], "body": b""}
+
+        async def _send(message):
+            if message["type"] == "http.response.start":
+                state["status"] = message["status"]
+                state["headers"] = list(message.get("headers", ()))
+            elif message["type"] == "http.response.body":
+                state["body"] += message.get("body", b"")
+
+        try:
+            await self.app(scope, _receive, _send)
+        except Exception:  # pragma: no cover - app maps its own errors
+            logger.exception("unhandled error serving %s %s", method, path)
+            state.update(status=500, headers=[], body=b'{"error": "Internal"}')
+        _write_response(
+            writer, state["status"], state["headers"], state["body"]
+        )
+
+    async def serve(self) -> None:
+        """Run until a termination signal, then drain and exit."""
+        loop = asyncio.get_running_loop()
+        self._stop = loop.create_future()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self._request_stop)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+
+        lifespan_in: "asyncio.Queue" = asyncio.Queue()
+        lifespan_out: "asyncio.Queue" = asyncio.Queue()
+        lifespan = loop.create_task(self.app(
+            {"type": "lifespan"}, lifespan_in.get, lifespan_out.put,
+        ))
+        await lifespan_in.put({"type": "lifespan.startup"})
+        started = await lifespan_out.get()
+        if started["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"startup failed: {started}")
+
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        logger.info("serving on http://%s:%s", self.host, self.port)
+        try:
+            await self._stop
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            await lifespan_in.put({"type": "lifespan.shutdown"})
+            await lifespan_out.get()
+            await lifespan
+            logger.info("drained and stopped")
+
+    def _request_stop(self) -> None:
+        if self._stop is not None and not self._stop.done():
+            self._stop.set_result(None)
+
+
+def serve(app, host: str = "127.0.0.1", port: int = 8181) -> None:
+    """Blocking entry point: host ``app`` until SIGINT/SIGTERM."""
+    asyncio.run(Server(app, host, port).serve())
+
+
+__all__ = ["Server", "serve"]

@@ -1,0 +1,131 @@
+"""Bounded admission control: quotas, backpressure, drain.
+
+The server never queues unboundedly.  Every request passes through one
+:class:`Admission` gate on the event-loop thread before any work is
+enqueued; the gate's three verdicts map straight onto the error
+taxonomy (and therefore onto HTTP statuses):
+
+* draining        -> :class:`~repro.errors.ShuttingDownError` (503)
+* client at quota -> :class:`~repro.errors.QuotaExceededError`  (429)
+* queue full      -> :class:`~repro.errors.QueueFullError`      (429)
+
+Both 429s carry a ``Retry-After`` hint estimated from an exponential
+moving average of recent request service times -- a client that backs
+off for one average service time usually finds a slot.
+
+Everything here runs on the single event-loop thread, so the counters
+need no locking; the submitter's worker threads never touch this
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import QueueFullError, QuotaExceededError, ShuttingDownError
+
+#: EMA weight for new service-time samples.
+_EMA_ALPHA = 0.3
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Admission limits for one server process.
+
+    Attributes:
+        max_inflight: Requests admitted at once, queued or running --
+            the bounded queue.  Everything past it is shed with a 429.
+        per_client_inflight: One client's in-flight allowance; stops a
+            single tenant from occupying the whole queue.
+    """
+
+    max_inflight: int = 64
+    per_client_inflight: int = 8
+
+    def validate(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1: {self.max_inflight}"
+            )
+        if self.per_client_inflight < 1:
+            raise ValueError(
+                "per_client_inflight must be >= 1: "
+                f"{self.per_client_inflight}"
+            )
+
+
+class Admission:
+    """The admission gate; one per server."""
+
+    def __init__(self, policy: QueuePolicy) -> None:
+        policy.validate()
+        self.policy = policy
+        self.inflight = 0
+        self.per_client: Dict[str, int] = {}
+        self.draining = False
+        self.admitted_total = 0
+        self.rejected_total = 0
+        #: EMA of request service seconds (the Retry-After basis).
+        self.avg_seconds = 0.05
+
+    def retry_after(self) -> float:
+        """Seconds a shed client should wait before retrying."""
+        return max(0.05, round(self.avg_seconds, 3))
+
+    def admit(self, client: str) -> None:
+        """Claim a slot for ``client`` or raise the typed rejection."""
+        if self.draining:
+            self.rejected_total += 1
+            raise ShuttingDownError(
+                "server is draining; no new requests"
+            )
+        held = self.per_client.get(client, 0)
+        if held >= self.policy.per_client_inflight:
+            self.rejected_total += 1
+            raise QuotaExceededError(
+                f"client {client!r} already holds {held} in-flight "
+                f"request(s) (quota {self.policy.per_client_inflight})",
+                retry_after=self.retry_after(),
+            )
+        if self.inflight >= self.policy.max_inflight:
+            self.rejected_total += 1
+            raise QueueFullError(
+                f"request queue is full ({self.inflight} in flight, "
+                f"limit {self.policy.max_inflight})",
+                retry_after=self.retry_after(),
+            )
+        self.inflight += 1
+        self.per_client[client] = held + 1
+        self.admitted_total += 1
+
+    def release(self, client: str, seconds: float) -> None:
+        """Return ``client``'s slot and feed the service-time EMA."""
+        self.inflight = max(0, self.inflight - 1)
+        held = self.per_client.get(client, 0)
+        if held <= 1:
+            self.per_client.pop(client, None)
+        else:
+            self.per_client[client] = held - 1
+        if seconds >= 0:
+            self.avg_seconds += _EMA_ALPHA * (seconds - self.avg_seconds)
+
+    def idle(self) -> bool:
+        """Whether nothing is admitted (drain completion test)."""
+        return self.inflight == 0
+
+    def summary(self) -> Dict[str, object]:
+        """Gate state for ``/healthz``."""
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.policy.max_inflight,
+            "per_client_inflight": self.policy.per_client_inflight,
+            "clients": dict(sorted(self.per_client.items())),
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+            "draining": self.draining,
+            "retry_after_seconds": self.retry_after(),
+        }
+
+
+__all__ = ["Admission", "QueuePolicy"]

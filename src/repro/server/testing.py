@@ -1,0 +1,140 @@
+"""In-process ASGI client: drive the app with no socket.
+
+``tests/test_server.py`` exercises the full request path -- routing,
+admission, micro-batching, error mapping -- by calling the app exactly
+the way an ASGI server would, minus the network.  The client speaks
+the same three-message HTTP exchange (``http.request`` in,
+``http.response.start`` + ``http.response.body`` out) plus the
+lifespan protocol, so anything proven here holds under the socket host
+unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Response:
+    """One in-process HTTP exchange's outcome."""
+
+    def __init__(
+        self, status: int, headers: List[Tuple[bytes, bytes]], body: bytes,
+    ) -> None:
+        self.status = status
+        self.headers = {
+            key.decode().lower(): value.decode() for key, value in headers
+        }
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode()
+
+    def __repr__(self) -> str:
+        return f"Response({self.status}, {len(self.body)} bytes)"
+
+
+class AsgiClient:
+    """Async context manager running an app's lifespan around requests.
+
+    ::
+
+        async with AsgiClient(app) as client:
+            response = await client.post("/v1/schedule", {...})
+            assert response.status == 200
+    """
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self._lifespan_task: Optional["asyncio.Task"] = None
+        self._to_app: Optional["asyncio.Queue"] = None
+        self._from_app: Optional["asyncio.Queue"] = None
+
+    # ------------------------------------------------------------------
+    # Lifespan plumbing
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "AsgiClient":
+        self._to_app = asyncio.Queue()
+        self._from_app = asyncio.Queue()
+
+        async def _receive():
+            return await self._to_app.get()
+
+        async def _send(message):
+            await self._from_app.put(message)
+
+        self._lifespan_task = asyncio.get_running_loop().create_task(
+            self.app({"type": "lifespan"}, _receive, _send)
+        )
+        await self._to_app.put({"type": "lifespan.startup"})
+        message = await self._from_app.get()
+        if message["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"startup failed: {message}")
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self._to_app.put({"type": "lifespan.shutdown"})
+        message = await self._from_app.get()
+        if message["type"] != "lifespan.shutdown.complete":
+            raise RuntimeError(f"shutdown failed: {message}")
+        await self._lifespan_task
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    async def request(
+        self, method: str, path: str, body: bytes = b"",
+    ) -> Response:
+        """One HTTP exchange against the app."""
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode(),
+            "query_string": b"",
+            "headers": [],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+        }
+        sent = {"done": False}
+        received: Dict[str, Any] = {"status": 0, "headers": [], "body": b""}
+
+        async def _receive():
+            if sent["done"]:
+                return {"type": "http.disconnect"}
+            sent["done"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def _send(message):
+            if message["type"] == "http.response.start":
+                received["status"] = message["status"]
+                received["headers"] = list(message.get("headers", ()))
+            elif message["type"] == "http.response.body":
+                received["body"] += message.get("body", b"")
+
+        await self.app(scope, _receive, _send)
+        return Response(
+            received["status"], received["headers"], received["body"]
+        )
+
+    async def get(self, path: str) -> Response:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: Any) -> Response:
+        body = (
+            payload if isinstance(payload, bytes)
+            else json.dumps(payload).encode()
+        )
+        return await self.request("POST", path, body=body)
+
+
+__all__ = ["AsgiClient", "Response"]

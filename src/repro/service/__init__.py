@@ -27,30 +27,37 @@ fault-injection harness (:mod:`repro.service.faults`, gated by
 ``REPRO_FAULTS``) exists so tests can prove exactly that.
 """
 
-from repro.service.batch import (
+from repro.service.batch import BatchResult, schedule_batch
+from repro.service.faults import FaultPlan, FaultRule, parse_faults
+from repro.service.models import (
     DEFAULT_BACKEND,
     ON_ERROR_MODES,
     BatchConfig,
-    BatchResult,
-    schedule_batch,
+    BatchRequest,
+    ScheduleRequest,
+    ScheduleResponse,
 )
-from repro.service.faults import FaultPlan, FaultRule, parse_faults
 from repro.service.resilience import (
     BlockFailure,
     RetryPolicy,
     TimeoutPolicy,
     is_retryable,
 )
+from repro.service.submit import BatchSubmitter
 
 __all__ = [
     "BatchConfig",
+    "BatchRequest",
     "BatchResult",
+    "BatchSubmitter",
     "BlockFailure",
     "DEFAULT_BACKEND",
     "FaultPlan",
     "FaultRule",
     "ON_ERROR_MODES",
     "RetryPolicy",
+    "ScheduleRequest",
+    "ScheduleResponse",
     "TimeoutPolicy",
     "is_retryable",
     "parse_faults",

@@ -77,6 +77,15 @@ from repro.lowlevel.checker import CheckStats
 from repro.machines import get_machine
 from repro.scheduler import ListScheduler, BlockSchedule, schedule_workload
 from repro.service import faults
+# The request vocabulary lives in repro.service.models; re-exported here
+# because BatchConfig grew up in this module and callers import it from
+# either place.
+from repro.service.models import (
+    BatchConfig,
+    BatchRequest,
+    DEFAULT_BACKEND,
+    ON_ERROR_MODES,
+)
 from repro.service.resilience import (
     BlockFailure,
     RetryPolicy,
@@ -87,90 +96,8 @@ from repro.transforms.pipeline import FINAL_STAGE
 
 logger = logging.getLogger("repro.service.batch")
 
-#: Backend used when a config names neither a backend nor an LMDES file.
-DEFAULT_BACKEND = "bitvector"
-
 #: Poll interval for the pool wait loop while a chunk deadline is armed.
 _WAIT_TICK = 0.05
-
-#: ``BatchConfig.on_error`` modes.
-ON_ERROR_MODES = ("raise", "report")
-
-
-@dataclass(frozen=True)
-class BatchConfig:
-    """One batch-scheduling request's knobs.
-
-    Attributes:
-        backend: Registered query-engine backend; mutually exclusive
-            with ``lmdes_path``.  ``None`` means :data:`DEFAULT_BACKEND`
-            (unless ``lmdes_path`` is given).
-        lmdes_path: Schedule against a pre-compiled LMDES file instead
-            of a registry backend.
-        stage: Transformation stage for registry backends.
-        workers: Process count; 1 runs in-process (no pool).
-        chunk_size: Blocks per dispatched task.  Part of the result's
-            deterministic identity: the summed stats of engine-memoizing
-            backends depend on the partition, never on ``workers``.
-        cache_dir: Directory for the persistent description cache;
-            ``None`` disables the disk tier.
-        direction: Scheduling direction, as in the list scheduler.
-        retry: Chunk retry / pool restart budgets and backoff shape.
-        timeout: Per-chunk wall-clock budget (pool path only).
-        on_error: ``"raise"`` raises :class:`ServiceError` when any
-            block ends up quarantined; ``"report"`` returns them as
-            typed ``BatchResult.errors`` records alongside the
-            surviving schedules.
-        verify: Replay the assembled schedules through the independent
-            oracle (:mod:`repro.verify`) after the run.  The report
-            lands in ``BatchResult.verify_report``; in ``"raise"`` mode
-            a failed verification raises
-            :class:`~repro.errors.VerificationError`.
-        shared_descriptions: Publish the compiled description to pool
-            workers as a zero-copy shared-memory segment
-            (:mod:`repro.engine.shared`); workers attach it instead of
-            re-deserializing the disk artifact.  Purely an
-            optimization: any attach failure falls back to the normal
-            cache path, and runs injecting cache corruption disable
-            sharing so the quarantine path stays observable.
-    """
-
-    backend: Optional[str] = None
-    lmdes_path: Optional[str] = None
-    stage: int = FINAL_STAGE
-    workers: int = 1
-    chunk_size: int = 32
-    cache_dir: Optional[str] = None
-    direction: str = "forward"
-    retry: RetryPolicy = field(default_factory=RetryPolicy)
-    timeout: TimeoutPolicy = field(default_factory=TimeoutPolicy)
-    on_error: str = "raise"
-    verify: bool = False
-    shared_descriptions: bool = True
-
-    def validate(self) -> None:
-        if self.backend and self.lmdes_path:
-            raise ValueError(
-                "BatchConfig backend and lmdes_path are mutually exclusive"
-            )
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1: {self.workers}")
-        if self.chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1: {self.chunk_size}")
-        if self.on_error not in ON_ERROR_MODES:
-            raise ValueError(
-                f"on_error must be one of {ON_ERROR_MODES}: "
-                f"{self.on_error!r}"
-            )
-        self.retry.validate()
-        self.timeout.validate()
-
-    @property
-    def backend_label(self) -> str:
-        """What the run's constraint checks came from, for reports."""
-        if self.lmdes_path:
-            return f"lmdes:{self.lmdes_path}"
-        return self.backend or DEFAULT_BACKEND
 
 
 @dataclass
@@ -620,7 +547,8 @@ def _sharing_enabled(
 
 
 def _publish_shared(
-    machine, config: BatchConfig, tally: _Tally
+    machine, config: BatchConfig, tally: _Tally,
+    cache: Optional[DescriptionCache] = None,
 ) -> Optional[shared.SharedDescriptionSpec]:
     """Compile once in the parent and publish the segment (best effort).
 
@@ -630,6 +558,11 @@ def _publish_shared(
     persistent disk tier is attached, the packed bytes are also
     written through as a ``.packed.bin`` sidecar, so even a worker that
     cannot attach shared memory skips the JSON parse.
+
+    A caller-lent long-lived ``cache`` (the server's warm cache) is
+    used as-is -- a warm hit publishes without recompiling -- and only
+    this call's stats *delta* is folded into the tally, so a cache that
+    outlives many runs is never double-counted.
     """
     try:
         spec = get_engine_spec(config.backend or DEFAULT_BACKEND)
@@ -641,11 +574,15 @@ def _publish_shared(
     if not is_persistent_token(token):
         return None
     try:
-        disk = (
-            DiskDescriptionCache(config.cache_dir)
-            if config.cache_dir else None
-        )
-        cache = DescriptionCache(disk=disk)
+        if cache is None:
+            disk = (
+                DiskDescriptionCache(config.cache_dir)
+                if config.cache_dir else None
+            )
+            cache = DescriptionCache(disk=disk)
+        else:
+            disk = cache.disk
+        before = cache.stats.copy()
         try:
             with obs.capture():
                 compiled = cache.compiled(
@@ -653,7 +590,7 @@ def _publish_shared(
                     reduce=spec.reduce,
                 )
         finally:
-            tally.cache_stats += cache.stats
+            tally.cache_stats += cache.stats.since(before)
         published = shared.publish(
             compiled, machine.name, token, spec.rep, config.stage,
             spec.bitvector, spec.reduce,
@@ -682,6 +619,7 @@ def _run_pooled(
     outcomes: Dict[int, _ChunkOutcome],
     block_failures: List[BlockFailure],
     tally: _Tally,
+    cache: Optional[DescriptionCache] = None,
 ) -> None:
     """The pool path: dispatch, watch deadlines, recover, reassemble.
 
@@ -698,7 +636,7 @@ def _run_pooled(
     driver.
     """
     shared_spec = (
-        _publish_shared(machine, config, tally)
+        _publish_shared(machine, config, tally, cache=cache)
         if _sharing_enabled(config, plan) else None
     )
     tally.shared = shared_spec is not None
@@ -898,17 +836,29 @@ def _resolve_machine(machine: Union[str, object], parallel: bool):
 
 
 def schedule_batch(
-    machine: Union[str, object],
-    blocks: Sequence[BasicBlock],
+    machine: Union[str, object, BatchRequest],
+    blocks: Optional[Sequence[BasicBlock]] = None,
     config: Optional[BatchConfig] = None,
+    *,
+    cache: Optional[DescriptionCache] = None,
 ) -> BatchResult:
     """Schedule a workload of blocks, sharded across a process pool.
 
-    ``machine`` is a registered machine name or a
-    :class:`~repro.machines.base.Machine`; parallel runs require it to
-    resolve through the registry so workers can rebuild it.  Results
-    come back in input block order regardless of worker count, and the
-    summed statistics are identical for any ``workers`` value.
+    The first argument is either a validated
+    :class:`~repro.service.models.BatchRequest` (the canonical calling
+    convention -- ``blocks`` and ``config`` must then be omitted), or a
+    registered machine name / :class:`~repro.machines.base.Machine`
+    with the blocks and config passed alongside.  Parallel runs require
+    the machine to resolve through the registry so workers can rebuild
+    it.  Results come back in input block order regardless of worker
+    count, and the summed statistics are identical for any ``workers``
+    value.
+
+    ``cache`` lends the run a long-lived description cache (the server
+    tier's warm process-wide cache) instead of the per-call default;
+    the in-process path schedules straight out of it and the pool path
+    publishes its shared segment from it, so a description compiles at
+    most once across every request that shares the cache.
 
     Recoverable faults (worker death, chunk timeouts, transient
     scheduling errors, corrupt cache entries) are retried under
@@ -917,6 +867,16 @@ def schedule_batch(
     reported (``on_error="report"``) or raised as a
     :class:`~repro.errors.ServiceError` (``on_error="raise"``).
     """
+    if isinstance(machine, BatchRequest):
+        if blocks is not None or config is not None:
+            raise TypeError(
+                "schedule_batch(BatchRequest) takes no separate "
+                "blocks/config arguments"
+            )
+        request = machine.validate()
+        machine = request.machine
+        blocks = request.resolve_blocks()
+        config = request.effective_config()
     config = config or BatchConfig()
     config.validate()
     machine = _resolve_machine(machine, parallel=config.workers > 1)
@@ -939,10 +899,11 @@ def schedule_batch(
         chunks=len(chunks),
     ) as sp:
         if config.workers == 1:
-            cache = DescriptionCache(
-                disk=DiskDescriptionCache(config.cache_dir)
-                if config.cache_dir else None
-            )
+            if cache is None:
+                cache = DescriptionCache(
+                    disk=DiskDescriptionCache(config.cache_dir)
+                    if config.cache_dir else None
+                )
             _run_serial(
                 machine, states, config, plan, cache,
                 outcomes, block_failures, tally,
@@ -950,7 +911,7 @@ def schedule_batch(
         else:
             _run_pooled(
                 machine, states, config, plan,
-                outcomes, block_failures, tally,
+                outcomes, block_failures, tally, cache=cache,
             )
 
         result = BatchResult(

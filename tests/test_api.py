@@ -82,28 +82,81 @@ class TestFacadeSurface:
 
     def test_schedule_matches_deep_path(self):
         machine, blocks = workload()
-        facade = api.schedule(MACHINE, blocks, backend="bitvector",
-                              stage=STAGE)
+        response = api.schedule(api.ScheduleRequest(
+            machine=MACHINE, blocks=tuple(blocks),
+            backend="bitvector", stage=STAGE,
+        ))
         deep = schedule_workload(
             machine, None, blocks, keep_schedules=True,
             engine=create_engine("bitvector", machine, stage=STAGE),
         )
-        assert [s.signature() for s in facade.schedules] \
+        assert isinstance(response, api.ScheduleResponse)
+        assert [s.signature() for s in response.schedules] \
             == [s.signature() for s in deep.schedules]
-        assert facade.stats == deep.stats
-        assert facade.total_cycles == deep.total_cycles
+        assert response.cycles == deep.total_cycles
+        assert response.signature() \
+            == tuple(s.signature() for s in deep.schedules)
+        assert response.kind == "list" and response.ok
+        assert response.request_id
 
-    def test_schedule_batch_reexport_is_the_service_entry_point(self):
+    def test_schedule_response_serializes_to_json(self):
+        import json
+
+        _, blocks = workload(ops=60)
+        response = api.schedule(api.ScheduleRequest(
+            machine=MACHINE, blocks=tuple(blocks), stage=STAGE,
+            verify=True,
+        ))
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert payload["machine"] == MACHINE
+        assert payload["cycles"] == response.cycles
+        assert payload["verify"]["ok"] is True
+        assert len(payload["schedules"]) == response.blocks
+        slim = response.to_dict(include_schedules=False)
+        assert "schedules" not in slim
+
+    def test_schedule_rejects_mixed_calling_styles(self):
+        _, blocks = workload(ops=40)
+        request = api.ScheduleRequest(machine=MACHINE, blocks=tuple(blocks))
+        with pytest.raises(TypeError):
+            api.schedule(request, backend="bitvector")
+        with pytest.raises(TypeError):
+            api.schedule_batch(
+                api.BatchRequest(machine=MACHINE, blocks=tuple(blocks)),
+                config=api.BatchConfig(),
+            )
+
+    def test_schedule_request_validation_is_typed(self):
+        from repro.errors import RequestError
+
+        _, blocks = workload(ops=40)
+        with pytest.raises(RequestError):
+            api.schedule(api.ScheduleRequest(
+                machine="NoSuchMachine", blocks=tuple(blocks),
+            ))
+        with pytest.raises(RequestError):
+            api.schedule(api.ScheduleRequest(
+                machine=MACHINE, blocks=tuple(blocks), backend="nope",
+            ))
+
+    def test_schedule_batch_takes_batch_request(self):
         from repro.service import schedule_batch
 
-        assert api.schedule_batch is schedule_batch
         _, blocks = workload(ops=60)
-        result = api.schedule_batch(
-            MACHINE, blocks,
-            api.BatchConfig(workers=1, chunk_size=8, stage=STAGE),
-        )
-        assert result.total_ops == sum(len(b) for b in blocks)
-        assert result.errors == []
+        config = api.BatchConfig(workers=1, chunk_size=8, stage=STAGE)
+        response = api.schedule_batch(api.BatchRequest(
+            machine=MACHINE, blocks=tuple(blocks), config=config,
+        ))
+        assert isinstance(response, api.ScheduleResponse)
+        assert response.kind == "batch"
+        assert response.ops == sum(len(b) for b in blocks)
+        assert response.errors == []
+        assert response.resilience is not None
+        assert response.cache is not None
+        # The service-layer entry point keeps the bare-result
+        # convention without any deprecation warning.
+        bare = schedule_batch(get_machine(MACHINE), blocks, config)
+        assert response.signature() == bare.signature()
 
 
 class TestDeprecationShims:
@@ -160,6 +213,59 @@ class TestDeprecationShims:
                 FINAL_STAGE,
                 staged_mdes,
             )
+        assert caught == []
+
+    def _call_warns_once(self, invoke):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = invoke()
+            invoke()
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, (
+            f"legacy call warned {len(deprecations)} times"
+        )
+        return first, str(deprecations[0].message)
+
+    def test_legacy_schedule_signature_warns_once(self):
+        _, blocks = workload(ops=40)
+        run, message = self._call_warns_once(
+            lambda: api.schedule(MACHINE, blocks, backend="bitvector",
+                                 stage=STAGE)
+        )
+        assert "ScheduleRequest" in message
+        # Legacy calls return the bare result, not the envelope.
+        assert not isinstance(run, api.ScheduleResponse)
+        assert run.total_ops == sum(len(b) for b in blocks)
+
+    def test_legacy_schedule_exact_signature_warns_once(self):
+        _, blocks = workload(ops=30)
+        run, message = self._call_warns_once(
+            lambda: api.schedule_exact(MACHINE, blocks, stage=STAGE)
+        )
+        assert "ScheduleRequest" in message
+        assert not isinstance(run, api.ScheduleResponse)
+        assert run.total_cycles <= run.heuristic_cycles
+
+    def test_legacy_schedule_batch_signature_warns_once(self):
+        _, blocks = workload(ops=40)
+        config = api.BatchConfig(workers=1, chunk_size=8, stage=STAGE)
+        result, message = self._call_warns_once(
+            lambda: api.schedule_batch(MACHINE, blocks, config)
+        )
+        assert "BatchRequest" in message
+        assert not isinstance(result, api.ScheduleResponse)
+        assert result.total_ops == sum(len(b) for b in blocks)
+
+    def test_request_style_calls_do_not_warn(self):
+        _, blocks = workload(ops=30)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            api.schedule(api.ScheduleRequest(
+                machine=MACHINE, blocks=tuple(blocks), stage=STAGE,
+            ))
         assert caught == []
 
     def test_unknown_attribute_still_raises(self):

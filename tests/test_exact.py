@@ -237,21 +237,31 @@ class TestSurface:
 
     def test_api_schedule_dispatches_on_backend(self):
         machine, blocks = shared_workload("Pentium", 30, 5)
-        run = api.schedule(machine, blocks, backend="exact")
-        assert hasattr(run, "optimal_blocks")
-        assert run.total_cycles <= run.heuristic_cycles
+        response = api.schedule(api.ScheduleRequest(
+            machine=machine, blocks=tuple(blocks), backend="exact",
+        ))
+        assert response.kind == "exact"
+        assert response.exact is not None
+        assert response.cycles <= response.exact["heuristic_cycles"]
+        assert hasattr(response.result, "optimal_blocks")
 
     def test_api_schedule_exact_rejects_list_backends(self):
         machine, blocks = shared_workload("Pentium", 30, 5)
-        with pytest.raises(ValueError, match="not an exact scheduler"):
-            api.schedule_exact(machine, blocks, backend="bitvector")
+        with pytest.raises(
+            api.RequestError, match="not an exact scheduler"
+        ):
+            api.schedule_exact(api.ScheduleRequest(
+                machine=machine, blocks=tuple(blocks),
+                backend="bitvector",
+            ))
 
     def test_api_exact_backend_rejects_backward(self):
         machine, blocks = shared_workload("Pentium", 30, 5)
-        with pytest.raises(ValueError, match="forward only"):
-            api.schedule(
-                machine, blocks, backend="exact", direction="backward"
-            )
+        with pytest.raises(api.RequestError, match="forward only"):
+            api.schedule(api.ScheduleRequest(
+                machine=machine, blocks=tuple(blocks), backend="exact",
+                direction="backward",
+            ))
 
     def test_empty_block_schedules_to_nothing(self):
         machine = get_machine("K5")

@@ -97,7 +97,9 @@ class TestSelfTime:
         machine, blocks = shared_workload("SuperSPARC", 300, 7)
         from repro import api
 
-        api.schedule(machine, blocks)
+        api.schedule(api.ScheduleRequest(
+            machine=machine, blocks=tuple(blocks),
+        ))
         assert obs.TRACER.roots
         for root in obs.TRACER.roots:
             total_self = sum(
