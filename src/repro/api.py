@@ -109,6 +109,16 @@ from repro.obs.perf import (
     write_baseline,
 )
 from repro.obs.prof import flamegraph, hot_spans, self_seconds
+from repro.machines.synth import (
+    family_names as synth_family_names,
+)
+from repro.machines.synth import (
+    fleet_names as synth_fleet_names,
+)
+from repro.machines.synth import (
+    machine_name as synth_machine_name,
+)
+from repro.sweep import SweepConfig, SweepReport, VariantResult, run_sweep
 from repro.transforms.pipeline import FINAL_STAGE, staged_mdes
 from repro.verify import (
     Diagnostic,
@@ -408,6 +418,14 @@ __all__ = [
     "ExactBlockResult",
     "ExactBudget",
     "ExactRunResult",
+    # Synthetic fleets and sweeps
+    "SweepConfig",
+    "SweepReport",
+    "VariantResult",
+    "run_sweep",
+    "synth_family_names",
+    "synth_fleet_names",
+    "synth_machine_name",
     # Verification
     "Diagnostic",
     "VerifyReport",

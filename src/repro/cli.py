@@ -28,10 +28,17 @@ Commands:
   ``/v1/schedule``, every request served out of one warm description
   cache, with ``/metrics`` and ``/healthz`` wired to the obs and
   resilience layers.
+* ``sweep [--family NAME] [--count N] [--seed N] [--workers N]
+  [--exact-sample N] [--out FILE] [--json]`` -- schedule one fixed
+  workload across a seeded synthetic machine fleet
+  (``synth:<family>:<seed>:<index>``), verify every variant against
+  the oracle, and report transform effectiveness vs. machine
+  complexity; ``--out`` streams the per-variant rows as JSONL.
 * ``verify [--machine NAME] [--backend NAME] [options]`` -- schedule a
   seeded workload and replay it through the independent oracle; with
   ``--golden DIR`` check (or ``--regen`` regenerate) the golden
-  conformance corpus.
+  conformance corpus (paper machines plus the pinned synth
+  mini-fleet).
 * ``fuzz [--seed N] [--cases N] [--no-shrink] [--out DIR]`` -- run the
   cross-backend differential fuzzer over generated HMDES descriptions,
   shrinking any divergence to a minimal reproducer.
@@ -66,6 +73,28 @@ from repro.machines.registry import EXTRA_MACHINE_NAMES
 
 #: Every machine the CLI can target (paper four + retargeting demos).
 ALL_MACHINE_NAMES = MACHINE_NAMES + EXTRA_MACHINE_NAMES
+
+
+def _machine_arg(value: str) -> str:
+    """Argparse type for ``--machine``: a built-in name or a synthetic
+    fleet name (``synth:<family>:<seed>:<index>``), validated eagerly
+    so malformed names fail at parse time like a bad choice would."""
+    from repro.machines.synth import get_family, is_synth_name, parse_name
+
+    if is_synth_name(value):
+        try:
+            get_family(parse_name(value)[0])
+        except KeyError as exc:
+            raise argparse.ArgumentTypeError(
+                exc.args[0] if exc.args else str(exc)
+            ) from None
+        return value
+    if value in ALL_MACHINE_NAMES:
+        return value
+    raise argparse.ArgumentTypeError(
+        "invalid choice: %r (choose from %s, or synth:<family>:<seed>:<index>)"
+        % (value, ", ".join(repr(name) for name in ALL_MACHINE_NAMES))
+    )
 
 
 def _cmd_machines(args: argparse.Namespace) -> int:
@@ -637,21 +666,79 @@ def _cmd_schedule_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sweep import SweepConfig, run_sweep
+
+    config = SweepConfig(
+        family=args.family,
+        count=args.count,
+        seed=args.seed,
+        ops=args.ops,
+        workload_seed=args.workload_seed,
+        backend=args.backend,
+        stage=args.stage,
+        workers=args.workers,
+        verify=not args.no_verify,
+        exact_sample=args.exact_sample,
+        cache_dir=args.cache_dir,
+    )
+    try:
+        config.validate()
+    except (KeyError, ValueError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    progress = None
+    if not args.json and sys.stderr.isatty():
+        def progress(done: int, total: int) -> None:
+            print(f"\rsweep: {done}/{total} variants",
+                  end="", file=sys.stderr, flush=True)
+    report = run_sweep(config, progress=progress)
+    if progress is not None:
+        print(file=sys.stderr)
+    if args.out:
+        path = report.write_jsonl(args.out)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.json:
+        print(json.dumps(report.summary_dict(), indent=2))
+    else:
+        print(report.summary_table())
+        if not report.ok:
+            for variant in report.variants:
+                if not variant.ok:
+                    print(
+                        f"quarantined {variant.name}: "
+                        f"{variant.error_type}: {variant.error_message}",
+                        file=sys.stderr,
+                    )
+    return 0 if report.ok else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
 
     from repro.engine import engine_names
     from repro.scheduler import schedule_workload
-    from repro.verify import check_corpus, verify_schedule, write_corpus
+    from repro.verify import (
+        check_corpus,
+        check_synth_fleet,
+        verify_schedule,
+        write_corpus,
+        write_synth_fleet,
+    )
     from repro.workloads import WorkloadConfig, generate_blocks
 
     if args.golden:
         if args.regen:
             written = write_corpus(args.golden)
+            written.append(write_synth_fleet(args.golden))
             for path in written:
                 print(f"wrote {path}")
             return 0
         mismatches = check_corpus(args.golden)
+        mismatches.extend(check_synth_fleet(args.golden))
         if mismatches:
             for mismatch in mismatches:
                 print(f"golden mismatch: {mismatch}", file=sys.stderr)
@@ -1045,7 +1132,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser("lint", help="lint a machine description")
     lint.add_argument("file", nargs="?", default=None)
-    lint.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    lint.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                       default=None)
     lint.add_argument("--strict", action="store_true",
                       help="exit 1 on warnings")
@@ -1063,7 +1150,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compile", help="compile an HMDES file (or machine) to LMDES"
     )
     compile_cmd.add_argument("file", nargs="?", default=None)
-    compile_cmd.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    compile_cmd.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                              default=None)
     compile_cmd.add_argument("--stage", type=int, default=4)
     compile_cmd.add_argument("--no-bitvector", action="store_true")
@@ -1078,7 +1165,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate = commands.add_parser(
         "generate", help="synthesize a workload trace"
     )
-    generate.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    generate.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                           required=True)
     generate.add_argument("--ops", type=int, default=5000)
     generate.add_argument("--seed", type=int, default=20161202)
@@ -1087,7 +1174,7 @@ def build_parser() -> argparse.ArgumentParser:
     schedule = commands.add_parser(
         "schedule", help="schedule a workload and report statistics"
     )
-    schedule.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    schedule.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                           default=None)
     schedule.add_argument("--trace", default=None)
     schedule.add_argument("--lmdes", default=None,
@@ -1127,7 +1214,7 @@ def build_parser() -> argparse.ArgumentParser:
             "scheduler and report the optimality gap"
         ),
     )
-    exact.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    exact.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                        required=True)
     exact.add_argument("--ops", type=int, default=200,
                        help="workload size (exact search is exponential; "
@@ -1166,7 +1253,7 @@ def build_parser() -> argparse.ArgumentParser:
             "persistent on-disk description cache"
         ),
     )
-    batch.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    batch.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                        default=None)
     batch.add_argument("--trace", default=None)
     batch.add_argument("--lmdes", default=None,
@@ -1225,6 +1312,60 @@ def build_parser() -> argparse.ArgumentParser:
             "worker spans (forces obs on)"
         ),
     )
+
+    from repro.machines.synth import family_names
+
+    sweep = commands.add_parser(
+        "sweep",
+        help=(
+            "schedule one fixed workload across a seeded synthetic "
+            "machine fleet and report transform effectiveness vs. "
+            "machine complexity"
+        ),
+    )
+    sweep.add_argument(
+        "--family", choices=family_names(), default="superscalar-wide",
+        help="synth family preset the fleet is drawn from",
+    )
+    sweep.add_argument("--count", type=int, default=100,
+                       help="fleet size (variant indices 0..count-1)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="fleet seed")
+    sweep.add_argument("--ops", type=int, default=64,
+                       help="workload ops scheduled on every variant")
+    sweep.add_argument("--workload-seed", type=int, default=20161202)
+    sweep.add_argument(
+        "--backend", choices=engine_names(scheduler="list"),
+        default="bitvector",
+        help="constraint-check backend (default: bitvector)",
+    )
+    sweep.add_argument("--stage", type=int, default=4,
+                       help="transformation stage 0-4")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="submitter threads (results identical at any value)",
+    )
+    sweep.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-variant oracle replay",
+    )
+    sweep.add_argument(
+        "--exact-sample", type=int, default=0, metavar="N",
+        help=(
+            "run the exact scheduler on every Nth variant and record "
+            "the optimality gap (0 = off)"
+        ),
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="persistent description-cache directory for the fleet",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the full report (meta + per-variant rows) as JSONL",
+    )
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the machine-readable summary document")
 
     serve = commands.add_parser(
         "serve",
@@ -1287,7 +1428,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the golden conformance corpus"
         ),
     )
-    verify.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+    verify.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                         default=None,
                         help="one machine (default: the paper's four)")
     verify.add_argument("--backend", choices=engine_names(), default=None,
@@ -1334,7 +1475,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit a machine-readable report")
 
     def _obs_demo_args(sub, machine_required: bool = True) -> None:
-        sub.add_argument("--machine", choices=ALL_MACHINE_NAMES,
+        sub.add_argument("--machine", type=_machine_arg, metavar="MACHINE",
                          required=machine_required, default=None)
         sub.add_argument("--backend", choices=engine_names(),
                          default="bitvector")
@@ -1464,6 +1605,7 @@ _HANDLERS = {
     "schedule": _cmd_schedule,
     "exact": _cmd_exact,
     "schedule-batch": _cmd_schedule_batch,
+    "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "verify": _cmd_verify,
     "fuzz": _cmd_fuzz,

@@ -1,4 +1,13 @@
-"""Machine registry: look up the paper's four processors by name."""
+"""Machine registry: look up machines by name.
+
+Two name spaces resolve here: the hand-written processors (the paper's
+four plus retargeting demos), and synthetic fleet variants addressed as
+``synth:<family>:<seed>:<index>`` (see :mod:`repro.machines.synth`).
+Synth resolution is deterministic -- the same name builds byte-identical
+HMDES source in any process -- so batch-pool workers and the server can
+rebuild any variant from its name alone, exactly as they do for the
+built-ins.
+"""
 
 from __future__ import annotations
 
@@ -33,12 +42,22 @@ def _builders() -> Dict[str, Callable[[], Machine]]:
 
 
 def get_machine(name: str) -> Machine:
-    """Return the named machine (cached); raises KeyError for unknowns."""
+    """Return the named machine (cached); raises KeyError for unknowns.
+
+    ``synth:`` names are delegated to the synthetic-fleet resolver,
+    which keeps its own bounded LRU (unbounded fleets must not pin
+    memory the way the small built-in cache safely can).
+    """
+    if name.startswith("synth:"):
+        from repro.machines import synth
+
+        return synth.resolve(name)
     builders = _builders()
     if name not in builders:
         available = ", ".join(MACHINE_NAMES + EXTRA_MACHINE_NAMES)
         raise KeyError(
-            f"unknown machine {name!r}; available: {available}"
+            f"unknown machine {name!r}; available: {available}, "
+            "or synth:<family>:<seed>:<index>"
         )
     if name not in _CACHE:
         _CACHE[name] = builders[name]()

@@ -11,7 +11,8 @@ them to :mod:`repro.obs.perf` for history/baseline/regression work.
 The kernels deliberately cover every paper-relevant hot path the repo
 has grown: description compilation, list scheduling on two machines,
 the vectorized first-fit batch query (the PR 6 5x win), the exact
-branch-and-bound backend, and the independent verification oracle.
+branch-and-bound backend, the independent verification oracle, and the
+warm-cache synthetic-fleet sweep.
 
 Two environment knobs the CI gate relies on:
 
@@ -231,6 +232,38 @@ def _k_oracle(smoke: bool):
     return run
 
 
+def _k_sweep(smoke: bool):
+    """Description-space sweep across a synthetic fleet (PR 10)."""
+    from repro.engine.cache import DescriptionCache
+    from repro.sweep import SWEEP_CACHE_SIZE, SweepConfig, run_sweep
+
+    count = 12 if smoke else 48
+    config = SweepConfig(
+        family="superscalar-wide", count=count, seed=7,
+        ops=32, workers=1, verify=False,
+    )
+    # One cache across repeats: the warmup run pays the compiles, the
+    # timed repeats measure warm fleet throughput -- the regime a
+    # long-lived sweep or server actually runs in.
+    cache = DescriptionCache(maxsize=SWEEP_CACHE_SIZE, name="bench-sweep")
+
+    def run():
+        report = run_sweep(config, cache=cache)
+        if not report.ok:
+            raise RuntimeError("bench sweep quarantined a variant")
+        hits = report.cache.get("memory_hits", 0)
+        misses = report.cache.get("memory_misses", 0)
+        total = hits + misses
+        return {
+            "variants_per_second": (
+                count / report.wall_seconds if report.wall_seconds else 0.0
+            ),
+            "cache_hit_rate": hits / total if total else 0.0,
+        }
+
+    return run
+
+
 KERNELS: Tuple[Kernel, ...] = (
     Kernel(
         "compile.pa7100",
@@ -270,6 +303,17 @@ KERNELS: Tuple[Kernel, ...] = (
         "verify.oracle.supersparc",
         "independent oracle replay of a scheduled SuperSPARC workload",
         _k_oracle,
+    ),
+    Kernel(
+        "sweep.fleet",
+        "fixed workload swept across a seeded superscalar-wide synth fleet",
+        _k_sweep,
+        extra={
+            "variants_per_second": MetricMeta(
+                unit="1/s", direction="higher", tolerance=0.5
+            ),
+            "cache_hit_rate": MetricMeta(unit="ratio", direction="info"),
+        },
     ),
 )
 

@@ -151,6 +151,7 @@ class BatchSubmitter:
             "entries": len(self.cache),
             "memory_hits": stats.hits,
             "memory_misses": stats.misses,
+            "evictions": stats.evictions,
             "disk_hits": stats.disk_hits,
             "disk_misses": stats.disk_misses,
             "disk_stores": stats.disk_stores,

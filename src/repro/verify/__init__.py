@@ -40,12 +40,17 @@ from repro.verify.golden import (
     CORPUS_SEED,
     CORPUS_STAGE,
     CORPUS_VERSION,
+    SYNTH_FLEET_FILE,
+    SYNTH_FLEET_SEED,
     check_corpus,
+    check_synth_fleet,
     compute_exact_entry,
     corpus_workload,
     exact_corpus_workload,
     schedule_digest,
+    synth_fleet_names,
     write_corpus,
+    write_synth_fleet,
 )
 from repro.verify.oracle import (
     LATENCY_VIOLATION,
@@ -90,10 +95,15 @@ __all__ = [
     "CORPUS_SEED",
     "CORPUS_STAGE",
     "CORPUS_VERSION",
+    "SYNTH_FLEET_FILE",
+    "SYNTH_FLEET_SEED",
     "check_corpus",
+    "check_synth_fleet",
     "compute_exact_entry",
     "corpus_workload",
     "exact_corpus_workload",
     "schedule_digest",
+    "synth_fleet_names",
     "write_corpus",
+    "write_synth_fleet",
 ]

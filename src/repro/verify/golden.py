@@ -258,3 +258,152 @@ def check_corpus(
         result="mismatch" if mismatches else "ok",
     )
     return mismatches
+
+
+# ----------------------------------------------------------------------
+# Synthetic mini-fleet section
+# ----------------------------------------------------------------------
+# A pinned 8-machine seeded fleet from repro.machines.synth, one corpus
+# file for all of them.  It pins two things the per-machine files
+# cannot: that seeded *generation* is bit-stable (the HMDES source
+# digest) and that the full name -> writer -> parser -> translator ->
+# schedule path stays put for machines nobody hand-wrote.
+
+SYNTH_FLEET_FILE = "synth_fleet.json"
+SYNTH_FLEET_VERSION = 1
+SYNTH_FLEET_SEED = 7
+SYNTH_FLEET_OPS = 48
+SYNTH_FLEET_BACKEND = "bitvector"
+#: (family, index) members: every preset family, double-sampled where
+#: the generator has the most degrees of freedom.
+SYNTH_FLEET_MEMBERS: Tuple[Tuple[str, int], ...] = (
+    ("vliw-narrow", 0),
+    ("vliw-narrow", 1),
+    ("vliw-wide", 0),
+    ("superscalar-narrow", 0),
+    ("superscalar-wide", 0),
+    ("superscalar-wide", 1),
+    ("cydra-like", 0),
+    ("fuzz-small", 0),
+)
+
+
+def synth_fleet_path(directory) -> Path:
+    """The mini-fleet corpus file."""
+    return Path(directory) / SYNTH_FLEET_FILE
+
+
+def synth_fleet_names() -> Tuple[str, ...]:
+    """The pinned fleet's registry names, in corpus order."""
+    from repro.machines.synth import machine_name
+
+    return tuple(
+        machine_name(family, SYNTH_FLEET_SEED, index)
+        for family, index in SYNTH_FLEET_MEMBERS
+    )
+
+
+def compute_synth_fleet() -> Dict[str, object]:
+    """Recompute the mini-fleet document from scratch."""
+    from repro import obs
+    from repro.machines.synth import describe_complexity
+
+    members: List[Dict[str, object]] = []
+    with obs.span("verify:golden-synth", fleet=len(SYNTH_FLEET_MEMBERS)):
+        for name in synth_fleet_names():
+            machine = get_machine(name)
+            blocks = generate_blocks(machine, WorkloadConfig(
+                total_ops=SYNTH_FLEET_OPS, seed=CORPUS_SEED,
+            ))
+            engine = create_engine(
+                SYNTH_FLEET_BACKEND, machine, stage=CORPUS_STAGE
+            )
+            run = schedule_workload(
+                machine, None, blocks, keep_schedules=True, engine=engine
+            )
+            report = ScheduleOracle(machine).verify(run.schedules)
+            members.append({
+                "name": name,
+                "source_digest": hashlib.sha256(
+                    machine.hmdes_source.encode("utf-8")
+                ).hexdigest(),
+                "digest": schedule_digest(run.signature()),
+                "total_ops": run.total_ops,
+                "total_cycles": run.total_cycles,
+                "oracle_ok": report.ok,
+                "oracle_diagnostics": len(report.diagnostics),
+                "complexity": describe_complexity(machine),
+            })
+    return {
+        "version": SYNTH_FLEET_VERSION,
+        "workload": {
+            "total_ops": SYNTH_FLEET_OPS,
+            "seed": CORPUS_SEED,
+            "stage": CORPUS_STAGE,
+            "backend": SYNTH_FLEET_BACKEND,
+            "fleet_seed": SYNTH_FLEET_SEED,
+        },
+        "members": members,
+    }
+
+
+def write_synth_fleet(directory) -> Path:
+    """(Re)generate the mini-fleet file; returns the path written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = synth_fleet_path(directory)
+    path.write_text(
+        json.dumps(compute_synth_fleet(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def check_synth_fleet(directory) -> List[str]:
+    """Compare current synth generation/scheduling against the pins."""
+    path = synth_fleet_path(directory)
+    if not path.exists():
+        return [f"synth-fleet: missing corpus file {path}"]
+    try:
+        stored = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"synth-fleet: unreadable corpus: {exc}"]
+    if stored.get("version") != SYNTH_FLEET_VERSION:
+        return [
+            f"synth-fleet: corpus version {stored.get('version')} != "
+            f"{SYNTH_FLEET_VERSION}"
+        ]
+    current = compute_synth_fleet()
+    mismatches: List[str] = []
+    if stored.get("workload") != current["workload"]:
+        return [
+            "synth-fleet: pinned workload changed: "
+            f"{stored.get('workload')} != {current['workload']}"
+        ]
+    stored_members = {
+        member.get("name"): member
+        for member in stored.get("members", [])
+    }
+    for member in current["members"]:
+        name = member["name"]
+        pinned = stored_members.pop(name, None)
+        if pinned is None:
+            mismatches.append(
+                f"synth-fleet/{name}: no pinned member "
+                "(regenerate the corpus)"
+            )
+            continue
+        for key in (
+            "source_digest", "digest", "total_ops", "total_cycles",
+            "oracle_ok", "oracle_diagnostics", "complexity",
+        ):
+            if pinned.get(key) != member[key]:
+                mismatches.append(
+                    f"synth-fleet/{name}: {key} changed: "
+                    f"pinned {pinned.get(key)!r}, got {member[key]!r}"
+                )
+    for name in stored_members:
+        mismatches.append(
+            f"synth-fleet/{name}: pinned member not in the fleet"
+        )
+    return mismatches

@@ -576,3 +576,68 @@ class TestWireModels:
         body = json.loads(json.dumps(response.to_dict()))
         assert body["cycles"] == response.cycles
         assert len(body["schedules"]) == response.blocks
+
+
+class TestSynthFleetChurn:
+    """Server load test: a fleet of distinct synth machines through
+    ``/v1/schedule``.
+
+    The server's warm cache is built for a handful of hand-written
+    machines; a synth fleet deliberately overflows it.  The contract
+    under churn: every response stays correct (200, ok, nonzero
+    cycles), the cache grows only to its bound and starts evicting,
+    and no resilience machinery ever fires -- eviction is a capacity
+    event, not a fault.
+    """
+
+    FLEET = 64
+
+    def test_64_distinct_synth_machines_churn_the_cache(self):
+        from repro.machines.synth import fleet_names
+
+        names = fleet_names("superscalar-narrow", 21, self.FLEET)
+        app = make_app(
+            queue=QueuePolicy(max_inflight=256, per_client_inflight=64),
+        )
+
+        async def scenario():
+            async with AsgiClient(app) as client:
+                before = (await client.get("/healthz")).json()
+                responses = []
+                # Waves of 8 concurrent requests, each wave all-new
+                # machines: sustained compile pressure, not one burst.
+                for start in range(0, len(names), 8):
+                    wave = names[start:start + 8]
+                    responses.extend(await asyncio.gather(*[
+                        client.post(
+                            "/v1/schedule", payload(name, 40, 17)
+                        )
+                        for name in wave
+                    ]))
+                health = (await client.get("/healthz")).json()
+                return before, responses, health
+
+        before, responses, health = run(scenario())
+
+        assert before["cache"]["entries"] == 0
+        for name, response in zip(names, responses):
+            assert response.status == 200, response.text
+            body = response.json()
+            assert body["ok"], name
+            assert body["machine"] == name
+            assert body["cycles"] > 0
+            assert body["errors"] == []
+
+        cache = health["cache"]
+        # Every distinct description compiled at least once...
+        assert cache["memory_misses"] >= self.FLEET
+        # ...the resident set respected the LRU bound (64 entries,
+        # two per machine, 64 machines -> must have evicted)...
+        assert cache["entries"] <= 64
+        assert cache["evictions"] > 0
+        # ...and churn produced zero resilience events.
+        assert health["resilience"] == {
+            "retries": 0, "timeouts": 0, "pool_restarts": 0,
+            "degraded_runs": 0, "quarantined": 0,
+        }
+        assert health["status"] == "ok"

@@ -342,6 +342,25 @@ class TestGoldenCorpus:
     def test_checked_in_corpus_is_current(self):
         assert check_corpus(GOLDEN_DIR) == []
 
+    def test_checked_in_synth_fleet_is_current(self):
+        """Seeded synth generation and scheduling both stay pinned:
+        the fleet file digests the HMDES source (generation
+        determinism) and the schedules (full-stack determinism)."""
+        from repro.verify import check_synth_fleet
+
+        assert check_synth_fleet(GOLDEN_DIR) == []
+
+    def test_synth_fleet_regeneration_reproduces_checked_in_bytes(
+        self, tmp_path
+    ):
+        from repro.verify import SYNTH_FLEET_FILE, write_synth_fleet
+
+        written = write_synth_fleet(tmp_path)
+        pinned = (GOLDEN_DIR / SYNTH_FLEET_FILE).read_text(
+            encoding="utf-8"
+        )
+        assert written.read_text(encoding="utf-8") == pinned
+
     def test_regeneration_reproduces_checked_in_bytes(self, tmp_path):
         written = write_corpus(tmp_path)
         assert len(written) == len(MACHINE_NAMES)
